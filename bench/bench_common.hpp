@@ -1,0 +1,85 @@
+// Shared machinery for the table/figure reproduction harnesses.
+//
+// Every harness runs seeded best-response-dynamics trials over a
+// parameter grid and prints paper-style rows (mean ± 95% CI). Two env
+// knobs trade fidelity for wall time:
+//   NCG_TRIALS — trials per grid point (default 8; the paper used 20)
+//   NCG_SCALE  — 1 enables the paper's full grids (default: reduced)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/game.hpp"
+#include "dynamics/round_robin.hpp"
+#include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/accumulator.hpp"
+#include "support/random.hpp"
+
+namespace ncg::bench {
+
+/// Initial-network family for a trial.
+enum class Source {
+  kRandomTree,
+  kErdosRenyi,
+};
+
+/// One grid point of an experiment.
+struct TrialSpec {
+  Source source = Source::kRandomTree;
+  NodeId n = 100;
+  double p = 0.1;  ///< only for kErdosRenyi
+  GameParams params;
+  int maxRounds = 60;
+};
+
+/// Result of one dynamics trial.
+struct TrialOutcome {
+  DynamicsOutcome outcome = DynamicsOutcome::kConverged;
+  int rounds = 0;
+  NetworkFeatures features;  ///< features of the final state
+};
+
+/// Samples the initial network of a spec (connected by construction).
+Graph makeInitialGraph(const TrialSpec& spec, Rng& rng);
+
+/// Runs one trial: sample graph, coin-toss ownership, round-robin
+/// dynamics, final-state features.
+TrialOutcome runTrial(const TrialSpec& spec, Rng& rng);
+
+/// Runs `trials` seeded trials of a spec in parallel; results in trial
+/// order (deterministic for a given baseSeed).
+std::vector<TrialOutcome> runTrials(ThreadPool& pool, const TrialSpec& spec,
+                                    int trials, std::uint64_t baseSeed);
+
+/// Accumulates f(outcome) over converged trials.
+template <typename F>
+RunningStat statOver(const std::vector<TrialOutcome>& outcomes, F&& f) {
+  RunningStat stat;
+  for (const TrialOutcome& outcome : outcomes) {
+    stat.push(static_cast<double>(f(outcome)));
+  }
+  return stat;
+}
+
+/// NCG_TRIALS (default 8, paper used 20).
+int trialsFromEnv();
+
+/// True when NCG_SCALE=1 requests the paper's full grids.
+bool fullScale();
+
+/// "mean ± ci" cell with the given decimals.
+std::string ciCell(const RunningStat& stat, int decimals = 2);
+
+/// Prints a standard harness header line.
+void printHeader(const std::string& title, const std::string& paperRef);
+
+/// The α grid of §5.1 (reduced unless NCG_SCALE=1).
+std::vector<double> alphaGrid();
+
+/// The k grid of §5.1 (reduced unless NCG_SCALE=1); 1000 = full view.
+std::vector<Dist> kGrid();
+
+}  // namespace ncg::bench

@@ -1,0 +1,71 @@
+// Microbenchmarks for the exact best response — the §5.3 feasibility
+// claim ("for MAXNCG it is computationally feasible to find a
+// best-response strategy for reasonably large n and k").
+#include <benchmark/benchmark.h>
+
+#include "core/equilibrium.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace ncg;
+
+void BM_BestResponseMaxTree(benchmark::State& state) {
+  Rng rng(21);
+  const Graph g = makeRandomTree(100, rng);
+  const StrategyProfile profile = StrategyProfile::randomOwnership(g, rng);
+  const GameParams params =
+      GameParams::max(2.0, static_cast<Dist>(state.range(0)));
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bestResponseFor(g, profile, u, params));
+    u = (u + 1) % g.nodeCount();
+  }
+}
+BENCHMARK(BM_BestResponseMaxTree)->Arg(2)->Arg(4)->Arg(1000);
+
+void BM_BestResponseMaxEr(benchmark::State& state) {
+  Rng rng(22);
+  const Graph g = makeConnectedErdosRenyi(100, 0.1, rng);
+  const StrategyProfile profile = StrategyProfile::randomOwnership(g, rng);
+  const GameParams params =
+      GameParams::max(2.0, static_cast<Dist>(state.range(0)));
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bestResponseFor(g, profile, u, params));
+    u = (u + 1) % g.nodeCount();
+  }
+}
+BENCHMARK(BM_BestResponseMaxEr)->Arg(2)->Arg(3)->Arg(1000);
+
+void BM_BestResponseSumSmall(benchmark::State& state) {
+  Rng rng(23);
+  const Graph g = makeRandomTree(static_cast<NodeId>(state.range(0)), rng);
+  const StrategyProfile profile = StrategyProfile::randomOwnership(g, rng);
+  const GameParams params = GameParams::sum(1.5, 3);
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bestResponseFor(g, profile, u, params));
+    u = (u + 1) % g.nodeCount();
+  }
+}
+BENCHMARK(BM_BestResponseSumSmall)->Arg(20)->Arg(40);
+
+void BM_LkeCheckCycle(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(3.0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checkLke(g, profile, params));
+  }
+}
+BENCHMARK(BM_LkeCheckCycle)->Arg(30)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Microbenchmarks of whole dynamics runs — the end-to-end cost of the §5
+// experiment unit at several scales and knob settings.
+#include <benchmark/benchmark.h>
+
+#include "dynamics/round_robin.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace ncg;
+
+void BM_DynamicsTreeMax(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto k = static_cast<Dist>(state.range(1));
+  Rng rng(0xD0);
+  const Graph tree = makeRandomTree(n, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(2.0, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runBestResponseDynamics(start, config));
+  }
+}
+BENCHMARK(BM_DynamicsTreeMax)
+    ->Args({50, 3})
+    ->Args({100, 3})
+    ->Args({100, 1000});
+
+void BM_DynamicsErMax(benchmark::State& state) {
+  const auto k = static_cast<Dist>(state.range(0));
+  Rng rng(0xD1);
+  const Graph g = makeConnectedErdosRenyi(100, 0.1, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(g, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(1.0, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runBestResponseDynamics(start, config));
+  }
+}
+BENCHMARK(BM_DynamicsErMax)->Arg(2)->Arg(3)->Arg(1000);
+
+void BM_DynamicsGreedyRule(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(0xD2);
+  const Graph tree = makeRandomTree(n, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(2.0, 3);
+  config.moveRule = MoveRule::kGreedy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runBestResponseDynamics(start, config));
+  }
+}
+BENCHMARK(BM_DynamicsGreedyRule)->Arg(50)->Arg(100);
+
+void BM_DynamicsSumSmall(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(0xD3);
+  const Graph tree = makeRandomTree(n, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  DynamicsConfig config;
+  config.params = GameParams::sum(1.5, 3);
+  config.maxRounds = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runBestResponseDynamics(start, config));
+  }
+}
+BENCHMARK(BM_DynamicsSumSmall)->Arg(16)->Arg(24);
+
+}  // namespace

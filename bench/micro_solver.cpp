@@ -1,0 +1,60 @@
+// Microbenchmarks and ablation for the dominating-set solver: exact
+// branch-and-bound vs greedy (the design choice that replaces Gurobi).
+#include <benchmark/benchmark.h>
+
+#include "gen/classic.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "graph/power.hpp"
+#include "solver/dominating_set.hpp"
+#include "solver/set_cover.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace ncg;
+
+void BM_DominatingSetExactTree(benchmark::State& state) {
+  Rng rng(11);
+  const Graph g = makeRandomTree(static_cast<NodeId>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minDominatingSet(g, 1));
+  }
+}
+BENCHMARK(BM_DominatingSetExactTree)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_DominatingSetExactEr(benchmark::State& state) {
+  Rng rng(12);
+  const Graph g =
+      makeConnectedErdosRenyi(static_cast<NodeId>(state.range(0)), 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minDominatingSet(g, 1));
+  }
+}
+BENCHMARK(BM_DominatingSetExactEr)->Arg(50)->Arg(100);
+
+void BM_GreedyCoverAblation(benchmark::State& state) {
+  // Ablation: greedy-only on the same instance class as the exact bench.
+  Rng rng(12);
+  const Graph g =
+      makeConnectedErdosRenyi(static_cast<NodeId>(state.range(0)), 0.1, rng);
+  const auto balls = ballMasks(g, 1);
+  DynBitset universe(static_cast<std::size_t>(g.nodeCount()));
+  universe.setAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedySetCover(universe, balls));
+  }
+}
+BENCHMARK(BM_GreedyCoverAblation)->Arg(50)->Arg(100);
+
+void BM_DominatingSetRadius(benchmark::State& state) {
+  Rng rng(13);
+  const Graph g = makeRandomTree(120, rng);
+  const auto r = static_cast<Dist>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minDominatingSet(g, r));
+  }
+}
+BENCHMARK(BM_DominatingSetRadius)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include "bounds/max_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+double log2Safe(double x) { return std::log2(std::max(x, 1.0)); }
+
+/// 2^{√log2 n} — the k frontier of the Theorem 3.12 torus family.
+double torusKFrontier(double n) {
+  return std::exp2(std::sqrt(log2Safe(n)) - 3.0);
+}
+
+}  // namespace
+
+bool lbCycleApplies(double alpha, double k) { return alpha >= k - 1.0; }
+
+double lbCyclePoA(double n, double alpha) { return n / (1.0 + alpha); }
+
+bool lbHighGirthApplies(double n, double alpha, double k) {
+  return alpha >= 1.0 && k >= 2.0 && k <= log2Safe(n) / 2.0;
+}
+
+double lbHighGirthPoA(double n, double k) {
+  NCG_REQUIRE(k >= 2.0, "girth bound needs k >= 2");
+  return std::pow(n, 1.0 / (2.0 * k - 2.0));
+}
+
+bool lbTorusApplies(double n, double alpha, double k) {
+  return alpha > 1.0 && alpha <= k && k <= torusKFrontier(n);
+}
+
+double lbTorusPoA(double n, double alpha, double k) {
+  NCG_REQUIRE(alpha > 0.0 && k > 0.0, "need positive α and k");
+  const double ratio = std::max(k / alpha, 1.0);
+  const double exponent = (std::log2(ratio) + 3.0) * std::log2(ratio);
+  return n / (alpha * std::exp2(exponent));
+}
+
+double maxPoaLowerBound(double n, double alpha, double k) {
+  double best = 1.0;
+  if (lbCycleApplies(alpha, k)) {
+    best = std::max(best, lbCyclePoA(n, alpha));
+  }
+  if (lbHighGirthApplies(n, alpha, k)) {
+    best = std::max(best, lbHighGirthPoA(n, k));
+  }
+  if (lbTorusApplies(n, alpha, k)) {
+    best = std::max(best, lbTorusPoA(n, alpha, k));
+  }
+  return best;
+}
+
+double ubDensityTerm(double n, double alpha, double k) {
+  const double exponent = 2.0 / std::min(alpha, 2.0 * k);
+  return std::pow(n, exponent);
+}
+
+double maxPoaUpperBound(double n, double alpha, double k) {
+  if (alpha >= k - 1.0) {
+    return ubDensityTerm(n, alpha, k) + n / (1.0 + alpha);
+  }
+  const double ratio = std::max(k / alpha, 1.0);
+  const double diameterTermA = n * alpha / (k * k);
+  const double logRatio = std::log2(ratio);
+  const double diameterTermB =
+      n * k / (alpha * std::exp2(0.25 * logRatio * logRatio));
+  return std::pow(n, 2.0 / alpha) +
+         std::min(diameterTermA, diameterTermB);
+}
+
+bool fullKnowledgeRegionMax(double n, double alpha, double k, double c) {
+  if (alpha > k - 1.0) return false;  // Corollary 3.14 needs α <= k−1
+  const double cbrtTerm = std::cbrt(n * alpha * alpha);
+  const double quadTerm =
+      alpha * std::pow(4.0, std::sqrt(log2Safe(n)));
+  return k > c * std::min({n, cbrtTerm, quadTerm});
+}
+
+MaxRegion classifyMaxRegion(double n, double alpha, double k) {
+  const double logN = log2Safe(n);
+  const double midK = std::exp2(std::sqrt(logN));         // 2^{√log n}
+  const double bigAlpha = std::pow(4.0, std::sqrt(logN));  // 4^{√log n}
+
+  if (fullKnowledgeRegionMax(n, alpha, k)) return MaxRegion::kGray;
+
+  if (alpha >= k - 1.0) {
+    // Below the k = α+1 diagonal: the cycle bound always applies.
+    if (alpha <= logN) return MaxRegion::kR6;      // Θ(n/(1+α)), tight
+    if (alpha <= bigAlpha) return MaxRegion::kR2;  // max of cycle+girth
+    return MaxRegion::kR3;                         // Θ(n^{1/Θ(k)})
+  }
+  // Above the diagonal.
+  if (k <= logN) return MaxRegion::kR1;
+  if (k <= midK) {
+    return alpha <= logN ? MaxRegion::kR4 : MaxRegion::kR5;
+  }
+  return alpha <= logN ? MaxRegion::kR7 : MaxRegion::kR8;
+}
+
+const char* maxRegionName(MaxRegion region) {
+  switch (region) {
+    case MaxRegion::kR1: return "1";
+    case MaxRegion::kR2: return "2";
+    case MaxRegion::kR3: return "3";
+    case MaxRegion::kR4: return "4";
+    case MaxRegion::kR5: return "5";
+    case MaxRegion::kR6: return "6";
+    case MaxRegion::kR7: return "7";
+    case MaxRegion::kR8: return "8";
+    case MaxRegion::kGray: return "NE=LKE";
+  }
+  return "?";
+}
+
+}  // namespace ncg

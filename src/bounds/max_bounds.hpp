@@ -1,0 +1,66 @@
+// Closed-form evaluation of every MaxNCG PoA bound in the paper
+// (Section 3, summarized in Figure 3).
+//
+// All bounds are asymptotic (Θ/O/Ω with unspecified constants); these
+// functions evaluate the leading expressions with all hidden constants
+// set to 1. They reproduce the *shape* of Figure 3 — who dominates where,
+// where the regions meet — not absolute values.
+#pragma once
+
+namespace ncg {
+
+// --- Lower bounds ---------------------------------------------------------
+
+/// Lemma 3.1 (cycle): applies when α >= k − 1.
+bool lbCycleApplies(double alpha, double k);
+/// Lemma 3.1 value: n / (1 + α).
+double lbCyclePoA(double n, double alpha);
+
+/// Lemma 3.2 (high-girth dense graph): applies for 2 <= k = o(log n)
+/// (evaluated as k <= log2(n) / 2) and α >= 1.
+bool lbHighGirthApplies(double n, double alpha, double k);
+/// Lemma 3.2 value: n^{1/(2k−2)}.
+double lbHighGirthPoA(double n, double k);
+
+/// Theorem 3.12 (stretched torus): applies when 1 < α <= k <= 2^{√log2 n − 3}.
+bool lbTorusApplies(double n, double alpha, double k);
+/// Theorem 3.12 value: n / (α · 2^{(log2(k/α)+3)·log2(k/α)}).
+double lbTorusPoA(double n, double alpha, double k);
+
+/// Best applicable lower bound (1 when none applies — PoA >= 1 always).
+double maxPoaLowerBound(double n, double alpha, double k);
+
+// --- Upper bounds ---------------------------------------------------------
+
+/// Lemma 3.17 density term: n^{2/min(α, 2k)}.
+double ubDensityTerm(double n, double alpha, double k);
+
+/// Theorem 3.18:
+///   α >= k−1:  n^{2/min(α,2k)} + n/(1+α)
+///   α <  k−1:  n^{2/α} + min(nα/k², nk/(α·2^{(1/4)·log2²(k/α)}))
+double maxPoaUpperBound(double n, double alpha, double k);
+
+// --- Full-knowledge (gray) region -----------------------------------------
+
+/// Corollary 3.14: with α <= k−1 and
+/// k > c·min(n, (nα²)^{1/3}, α·4^{√log2 n}) every LKE is an NE.
+bool fullKnowledgeRegionMax(double n, double alpha, double k, double c = 1.0);
+
+// --- Figure 3 region classification ----------------------------------------
+
+/// The eight numbered regions of Figure 3 plus the gray NE≡LKE region.
+enum class MaxRegion {
+  kR1, kR2, kR3, kR4, kR5, kR6, kR7, kR8,
+  kGray,
+};
+
+/// Classifies an (α, k) point for instance size n following the region
+/// boundaries of Figure 3 (hidden constants = 1; boundaries are the
+/// curves k = α+1, k = log2 n, k = 2^{√log2 n}, α = log2 n, α = 4^{√log2 n}
+/// and the gray-region frontier of Corollary 3.14).
+MaxRegion classifyMaxRegion(double n, double alpha, double k);
+
+/// Human-readable region name ("1".."8", "NE=LKE").
+const char* maxRegionName(MaxRegion region);
+
+}  // namespace ncg

@@ -1,0 +1,51 @@
+#include "bounds/sum_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+bool lbSumTorusApplies(double n, double alpha, double k) {
+  return alpha >= 4.0 * k * k * k &&
+         k <= std::sqrt(2.0 * n / 3.0) - 4.0;
+}
+
+double lbSumTorusPoA(double n, double alpha, double k) {
+  NCG_REQUIRE(k > 0.0, "need positive k");
+  if (alpha <= n) return n / k;
+  return 1.0 + n * n / (k * alpha);
+}
+
+bool lbSumGirthApplies(double n, double alpha, double k) {
+  return k >= 2.0 && alpha >= k * n;
+}
+
+double lbSumGirthPoA(double n, double k) {
+  NCG_REQUIRE(k >= 2.0, "girth bound needs k >= 2");
+  return std::pow(n, 1.0 / (2.0 * k - 2.0));
+}
+
+double sumPoaLowerBound(double n, double alpha, double k) {
+  double best = 1.0;
+  if (lbSumTorusApplies(n, alpha, k)) {
+    best = std::max(best, lbSumTorusPoA(n, alpha, k));
+  }
+  if (lbSumGirthApplies(n, alpha, k)) {
+    best = std::max(best, lbSumGirthPoA(n, k));
+  }
+  return best;
+}
+
+bool fullKnowledgeRegionSum(double alpha, double k) {
+  return k > 1.0 + 2.0 * std::sqrt(std::max(alpha, 0.0));
+}
+
+int sumRegimeOfFigure4(double alpha, double k, double c, double cPrime) {
+  if (k >= c * std::sqrt(std::max(alpha, 0.0))) return 1;
+  if (k <= cPrime * std::cbrt(std::max(alpha, 0.0))) return -1;
+  return 0;
+}
+
+}  // namespace ncg

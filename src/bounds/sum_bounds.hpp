@@ -1,0 +1,34 @@
+// Closed-form evaluation of the SumNCG PoA results (Section 4,
+// summarized in Figure 4). As with Figure 3, hidden constants are set
+// to 1; the functions reproduce the figure's shape.
+#pragma once
+
+namespace ncg {
+
+/// Theorem 4.2 (stretched torus, d=2, ℓ=2): applies when α >= 4k³ and
+/// k <= √(2n/3) − 4.
+bool lbSumTorusApplies(double n, double alpha, double k);
+
+/// Theorem 4.2 value: n/k when α <= n, else 1 + n²/(kα).
+double lbSumTorusPoA(double n, double alpha, double k);
+
+/// Theorem 4.3 (high-girth dense graph): applies when α >= k·n and k >= 2.
+bool lbSumGirthApplies(double n, double alpha, double k);
+
+/// Theorem 4.3 value: n^{1/(2k−2)}.
+double lbSumGirthPoA(double n, double k);
+
+/// Best applicable lower bound (1 when none applies).
+double sumPoaLowerBound(double n, double alpha, double k);
+
+/// Theorem 4.4: for k > 1 + 2√α every LKE is an NE (so the PoA matches
+/// the full-knowledge game — constant for α <= n).
+bool fullKnowledgeRegionSum(double alpha, double k);
+
+/// The k >= c·√α / k <= c'·∛α frontier pair of Figure 4: returns
+/// +1 above the √α curve (NE ≡ LKE), −1 below the ∛α curve (strong lower
+/// bound holds), 0 in the open strip between them.
+int sumRegimeOfFigure4(double alpha, double k, double c = 2.0,
+                       double cPrime = 0.63);
+
+}  // namespace ncg

@@ -1,0 +1,380 @@
+#include "core/best_response.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/bfs.hpp"
+#include "graph/power.hpp"
+#include "solver/set_cover.hpp"
+#include "support/bitset.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// H₀ = view graph minus its center. The view builder guarantees the
+/// center has local id 0, so H₀ node i corresponds to view node i+1.
+Graph removeCenter(const Graph& h, NodeId center) {
+  NCG_REQUIRE(center == 0, "view center must have local id 0");
+  Graph out(h.nodeCount() - 1);
+  for (const Edge& e : h.edges()) {
+    if (e.u == center || e.v == center) continue;
+    out.addEdge(e.u - 1, e.v - 1);
+  }
+  return out;
+}
+
+/// Maps a strategy given as H₀ ids back to global node ids, sorted.
+std::vector<NodeId> toGlobalStrategy(const PlayerView& pv,
+                                     const std::vector<NodeId>& h0Nodes) {
+  std::vector<NodeId> global;
+  global.reserve(h0Nodes.size());
+  for (NodeId v : h0Nodes) {
+    global.push_back(
+        pv.view.toGlobal[static_cast<std::size_t>(v + 1)]);
+  }
+  std::sort(global.begin(), global.end());
+  return global;
+}
+
+std::vector<NodeId> currentGlobalStrategy(const PlayerView& pv) {
+  std::vector<NodeId> global;
+  global.reserve(pv.ownBoughtLocal.size());
+  for (NodeId v : pv.ownBoughtLocal) {
+    global.push_back(pv.view.toGlobal[static_cast<std::size_t>(v)]);
+  }
+  std::sort(global.begin(), global.end());
+  return global;
+}
+
+/// Status sum of the center inside the view (finite by construction).
+double centerStatusSum(const PlayerView& pv) {
+  BfsEngine engine;
+  const auto& dist = engine.run(pv.view.graph, pv.view.center);
+  double sum = 0.0;
+  for (Dist d : dist) {
+    NCG_ASSERT(d != kUnreachable, "view disconnected from center");
+    sum += static_cast<double>(d);
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// MaxNCG best response: eccentricity guess + constrained domination.
+// ---------------------------------------------------------------------------
+
+BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
+                             const BestResponseOptions& options) {
+  BestResponse res;
+  res.strategyGlobal = currentGlobalStrategy(pv);
+  res.currentCost = params.alpha * pv.alphaBought +
+                    static_cast<double>(pv.eccInView);
+  res.proposedCost = res.currentCost;
+
+  const NodeId m = pv.view.size();
+  if (m <= 1) return res;  // nobody visible: no move possible
+
+  const Graph h0 = removeCenter(pv.view.graph, pv.view.center);
+  const auto n0 = static_cast<std::size_t>(h0.nodeCount());
+  const std::vector<Dist> apd = allPairsDistances(h0);
+
+  // Largest finite pairwise distance bounds the useful cover radius.
+  Dist maxFinite = 0;
+  for (Dist d : apd) {
+    if (d != kUnreachable) maxFinite = std::max(maxFinite, d);
+  }
+
+  DynBitset freeMask(n0);
+  for (NodeId f : pv.freeNeighborsLocal) {
+    freeMask.set(static_cast<std::size_t>(f - 1));
+  }
+
+  double bestCost = res.currentCost;
+  std::vector<NodeId> bestStrategy;  // H₀ ids; empty sentinel = keep current
+  bool haveBetter = false;
+
+  // Per-radius instance: coverage masks of the non-free candidates plus
+  // the residual universe once free neighbors have covered their balls.
+  struct RadiusInstance {
+    std::vector<DynBitset> sets;
+    std::vector<NodeId> setVertex;
+    DynBitset universe;
+    std::size_t maxBall = 1;
+  };
+  const auto buildInstance = [&](Dist r) {
+    RadiusInstance inst;
+    inst.universe = DynBitset(n0);
+    inst.universe.setAll();
+    std::vector<DynBitset> masks(n0, DynBitset(n0));
+    for (std::size_t v = 0; v < n0; ++v) {
+      const std::size_t row = v * n0;
+      for (std::size_t w = 0; w < n0; ++w) {
+        if (apd[row + w] <= r) masks[v].set(w);
+      }
+    }
+    for (NodeId f : pv.freeNeighborsLocal) {
+      inst.universe.andNot(masks[static_cast<std::size_t>(f - 1)]);
+    }
+    inst.sets.reserve(n0);
+    for (std::size_t v = 0; v < n0; ++v) {
+      if (!freeMask.test(v)) {
+        inst.maxBall = std::max(inst.maxBall, masks[v].count());
+        inst.sets.push_back(std::move(masks[v]));
+        inst.setVertex.push_back(static_cast<NodeId>(v));
+      }
+    }
+    return inst;
+  };
+
+  const auto acceptCover = [&](const RadiusInstance& inst,
+                               const std::vector<int>& chosen, double h) {
+    const double cost =
+        params.alpha * static_cast<double>(chosen.size()) + h;
+    if (cost < bestCost - kCostEpsilon) {
+      bestCost = cost;
+      bestStrategy.clear();
+      for (int idx : chosen) {
+        bestStrategy.push_back(
+            inst.setVertex[static_cast<std::size_t>(idx)]);
+      }
+      haveBetter = true;
+    }
+  };
+
+  // Pass A (cheap): greedy covers at every radius seed a strong cost
+  // incumbent, so the exact pass below can skip most radii outright.
+  for (Dist r = 0; r <= maxFinite; ++r) {
+    const double h = static_cast<double>(r) + 1.0;
+    if (h >= bestCost - kCostEpsilon) break;
+    const RadiusInstance inst = buildInstance(r);
+    if (inst.universe.none()) {
+      acceptCover(inst, {}, h);
+      continue;
+    }
+    const SetCoverResult greedy = greedySetCover(inst.universe, inst.sets);
+    if (greedy.feasible) acceptCover(inst, greedy.chosen, h);
+  }
+
+  // Pass B (exact): per radius, prove optimality or skip radii whose
+  // cardinality lower bound already rules them out.
+  for (Dist r = 0; r <= maxFinite; ++r) {
+    const double h = static_cast<double>(r) + 1.0;
+    // Even a zero-purchase strategy at this radius costs h; larger radii
+    // only cost more, so stop once h alone can no longer win.
+    if (h >= bestCost - kCostEpsilon) break;
+    const RadiusInstance inst = buildInstance(r);
+    if (inst.universe.none()) continue;  // handled in pass A
+
+    // To strictly beat bestCost at this radius, |S'| must be <= cap.
+    const double capDouble = (bestCost - kCostEpsilon - h) / params.alpha;
+    if (capDouble < 1.0) continue;  // even one purchase is too expensive
+    const auto cap = static_cast<std::size_t>(capDouble);
+
+    // Cardinality lower bound rules out hopeless radii for free.
+    const std::size_t lower =
+        (inst.universe.count() + inst.maxBall - 1) / inst.maxBall;
+    if (lower > cap) continue;
+
+    const SetCoverResult cover =
+        minSetCover(inst.universe, inst.sets, options.coverNodeBudget, cap);
+    if (!cover.feasible) continue;
+    res.exact = res.exact && cover.optimal;
+    if (cover.withinCap) acceptCover(inst, cover.chosen, h);
+  }
+
+  if (haveBetter) {
+    res.proposedCost = bestCost;
+    res.strategyGlobal = toGlobalStrategy(pv, bestStrategy);
+    res.improving = true;
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// SumNCG best response: branch-and-bound over neighbor sets with the
+// Proposition 2.2 forbidden-set rule.
+// ---------------------------------------------------------------------------
+
+struct SumSearch {
+  double alpha = 1.0;
+  Dist k = 1;                       // view radius (fringe constraint bound)
+  std::size_t n0 = 0;               // |H₀|
+  const std::vector<Dist>* apd = nullptr;
+  std::vector<NodeId> candidates;   // H₀ ids, search order
+  std::vector<std::vector<Dist>> suffixMin;  // [idx][v]
+  std::vector<bool> isFringe;       // H₀ id -> on the distance-k horizon?
+  double bestCost = kInf;
+  std::vector<NodeId> bestChosen;   // H₀ ids
+  std::uint64_t nodes = 0;
+  std::uint64_t budget = 0;
+  bool budgetHit = false;
+
+  Dist distOf(NodeId v, NodeId w) const {
+    return (*apd)[static_cast<std::size_t>(v) * n0 +
+                  static_cast<std::size_t>(w)];
+  }
+
+  /// Sum cost of a fully decided neighbor set with per-node nearest
+  /// distances `minDist`; kInf if infeasible (unreachable node or a
+  /// fringe node pushed beyond distance k).
+  double evaluate(const std::vector<Dist>& minDist,
+                  std::size_t chosenCount) const {
+    double sum = 0.0;
+    for (std::size_t v = 0; v < n0; ++v) {
+      const Dist d = minDist[v];
+      if (d == kUnreachable) return kInf;
+      if (isFringe[v] && d > k - 1) return kInf;  // Prop. 2.2
+      sum += static_cast<double>(d);
+    }
+    return alpha * static_cast<double>(chosenCount) +
+           static_cast<double>(n0) + sum;
+  }
+
+  void search(std::size_t idx, std::vector<Dist>& minDist,
+              std::vector<NodeId>& chosen) {
+    if (++nodes > budget) {
+      budgetHit = true;
+      return;
+    }
+    if (idx == candidates.size()) {
+      const double cost = evaluate(minDist, chosen.size());
+      if (cost < bestCost - kCostEpsilon) {
+        bestCost = cost;
+        bestChosen = chosen;
+      }
+      return;
+    }
+    // Optimistic completion: every node ends at the best distance any
+    // not-yet-decided candidate (or the current set) could give it, and
+    // no further α is paid. Also detects unavoidable infeasibility.
+    double optimistic = alpha * static_cast<double>(chosen.size()) +
+                        static_cast<double>(n0);
+    bool feasiblySolvable = true;
+    for (std::size_t v = 0; v < n0; ++v) {
+      const Dist d = std::min(minDist[v], suffixMin[idx][v]);
+      if (d == kUnreachable || (isFringe[v] && d > k - 1)) {
+        feasiblySolvable = false;
+        break;
+      }
+      optimistic += static_cast<double>(d);
+    }
+    if (!feasiblySolvable || optimistic >= bestCost - kCostEpsilon) {
+      return;
+    }
+
+    const NodeId c = candidates[idx];
+    // Include branch first: with small α the optimum buys many links, so
+    // diving on inclusions reaches strong incumbents quickly.
+    std::vector<Dist> included(minDist);
+    const std::size_t row = static_cast<std::size_t>(c) * n0;
+    for (std::size_t v = 0; v < n0; ++v) {
+      included[v] = std::min(included[v], (*apd)[row + v]);
+    }
+    chosen.push_back(c);
+    search(idx + 1, included, chosen);
+    chosen.pop_back();
+    if (budgetHit) return;
+
+    search(idx + 1, minDist, chosen);
+  }
+};
+
+BestResponse sumBestResponse(const PlayerView& pv, const GameParams& params,
+                             const BestResponseOptions& options) {
+  BestResponse res;
+  res.strategyGlobal = currentGlobalStrategy(pv);
+  res.currentCost = params.alpha * pv.alphaBought + centerStatusSum(pv);
+  res.proposedCost = res.currentCost;
+
+  const NodeId m = pv.view.size();
+  if (m <= 1) return res;
+
+  const Graph h0 = removeCenter(pv.view.graph, pv.view.center);
+  const auto n0 = static_cast<std::size_t>(h0.nodeCount());
+  const std::vector<Dist> apd = allPairsDistances(h0);
+
+  SumSearch search;
+  search.alpha = params.alpha;
+  search.k = pv.view.radius;
+  search.n0 = n0;
+  search.apd = &apd;
+  search.budget = options.sumNodeBudget == 0 ? 4'000'000
+                                             : options.sumNodeBudget;
+  search.isFringe.assign(n0, false);
+  for (NodeId f : pv.fringeLocal) {
+    search.isFringe[static_cast<std::size_t>(f - 1)] = true;
+  }
+
+  std::vector<bool> isFree(n0, false);
+  for (NodeId f : pv.freeNeighborsLocal) {
+    isFree[static_cast<std::size_t>(f - 1)] = true;
+  }
+  for (std::size_t v = 0; v < n0; ++v) {
+    if (!isFree[v]) search.candidates.push_back(static_cast<NodeId>(v));
+  }
+  // Order candidates by ascending total distance (most central first):
+  // good incumbents appear early and sharpen the bound.
+  std::vector<std::int64_t> centrality(n0, 0);
+  for (std::size_t v = 0; v < n0; ++v) {
+    std::int64_t total = 0;
+    for (std::size_t w = 0; w < n0; ++w) {
+      const Dist d = apd[v * n0 + w];
+      total += d == kUnreachable ? static_cast<Dist>(n0) : d;
+    }
+    centrality[v] = total;
+  }
+  std::sort(search.candidates.begin(), search.candidates.end(),
+            [&centrality](NodeId a, NodeId b) {
+              return centrality[static_cast<std::size_t>(a)] <
+                     centrality[static_cast<std::size_t>(b)];
+            });
+
+  // suffixMin[idx][v] = best distance to v over candidates idx..end.
+  const std::size_t cCount = search.candidates.size();
+  search.suffixMin.assign(cCount + 1,
+                          std::vector<Dist>(n0, kUnreachable));
+  for (std::size_t idx = cCount; idx-- > 0;) {
+    const NodeId c = search.candidates[idx];
+    const std::size_t row = static_cast<std::size_t>(c) * n0;
+    for (std::size_t v = 0; v < n0; ++v) {
+      search.suffixMin[idx][v] =
+          std::min(search.suffixMin[idx + 1][v], apd[row + v]);
+    }
+  }
+
+  // Baseline distances: the free neighbors dominate at no cost.
+  std::vector<Dist> minDist(n0, kUnreachable);
+  for (NodeId f : pv.freeNeighborsLocal) {
+    const std::size_t row = static_cast<std::size_t>(f - 1) * n0;
+    for (std::size_t v = 0; v < n0; ++v) {
+      minDist[v] = std::min(minDist[v], apd[row + v]);
+    }
+  }
+
+  search.bestCost = res.currentCost;  // only strictly better proposals win
+  std::vector<NodeId> chosen;
+  search.search(0, minDist, chosen);
+
+  res.exact = !search.budgetHit;
+  if (search.bestCost < res.currentCost - kCostEpsilon) {
+    res.proposedCost = search.bestCost;
+    res.strategyGlobal = toGlobalStrategy(pv, search.bestChosen);
+    res.improving = true;
+  }
+  return res;
+}
+
+}  // namespace
+
+BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
+                          const BestResponseOptions& options) {
+  NCG_REQUIRE(params.alpha > 0.0, "α must be positive, got " << params.alpha);
+  return params.kind == GameKind::kMax
+             ? maxBestResponse(pv, params, options)
+             : sumBestResponse(pv, params, options);
+}
+
+}  // namespace ncg

@@ -1,0 +1,53 @@
+// Exact best-response computation under local knowledge.
+//
+// MaxNCG (Proposition 2.1 + §5.3): the player evaluates strategies on her
+// view H as if it were the whole network. With u removed from H (graph
+// H₀), a strategy is a neighbor set S = free ∪ S' and the resulting
+// eccentricity is 1 + max_v d_{H₀}(S, v); guessing the post-move
+// eccentricity h reduces the problem to a constrained minimum dominating
+// set at radius h−1, solved exactly per radius and minimized over h.
+//
+// SumNCG (Proposition 2.2): same view semantics, cost
+// α·|S'| + Σ_v (1 + d_{H₀}(S, v)), with the additional *forbidden set*
+// rule: no strategy may increase the distance of a node currently at
+// distance exactly k (in the worst case such a node hides arbitrarily many
+// invisible nodes behind it). Solved by branch-and-bound over candidate
+// neighbor sets with suffix-min distance bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/player_view.hpp"
+
+namespace ncg {
+
+/// Knobs bounding the exact solvers' effort.
+struct BestResponseOptions {
+  /// Branch-and-bound node budget for the set-cover solver (0 = default).
+  std::uint64_t coverNodeBudget = 0;
+  /// Node budget for the SumNCG subset search.
+  std::uint64_t sumNodeBudget = 4'000'000;
+};
+
+/// Outcome of a best-response computation.
+struct BestResponse {
+  /// Proposed σ'_u as *global* node ids (sorted). Equals the current
+  /// strategy when no strictly better one exists.
+  std::vector<NodeId> strategyGlobal;
+  /// Cost of the proposal, evaluated on the (modified) view.
+  double proposedCost = 0.0;
+  /// Cost of the current strategy, evaluated on the view.
+  double currentCost = 0.0;
+  /// True iff proposedCost < currentCost − ε.
+  bool improving = false;
+  /// True iff optimality was proven within the budgets.
+  bool exact = true;
+};
+
+/// Best response for either game variant, per GameParams::kind.
+BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
+                          const BestResponseOptions& options = {});
+
+}  // namespace ncg

@@ -1,0 +1,74 @@
+#include "core/cost.hpp"
+
+#include <limits>
+
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+double usageCost(GameKind kind, const Graph& g, NodeId u) {
+  if (kind == GameKind::kMax) {
+    const Dist ecc = eccentricity(g, u);
+    if (ecc == kUnreachable) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(ecc);
+  }
+  const std::int64_t status = statusSum(g, u);
+  if (status == kUnreachable) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(status);
+}
+
+double playerCost(const GameParams& params, const StrategyProfile& profile,
+                  const Graph& g, NodeId u) {
+  NCG_REQUIRE(g.nodeCount() == profile.playerCount(),
+              "graph/profile size mismatch");
+  return params.alpha * static_cast<double>(profile.boughtCount(u)) +
+         usageCost(params.kind, g, u);
+}
+
+double socialCost(const GameParams& params, const StrategyProfile& profile,
+                  const Graph& g) {
+  double total = 0.0;
+  for (NodeId u = 0; u < profile.playerCount(); ++u) {
+    total += playerCost(params, profile, g, u);
+  }
+  return total;
+}
+
+double starSocialCost(const GameParams& params, NodeId n) {
+  NCG_REQUIRE(n >= 1, "need at least one player");
+  if (n == 1) return 0.0;
+  const double edges = static_cast<double>(n - 1);
+  double usage = 0.0;
+  if (params.kind == GameKind::kMax) {
+    // Center eccentricity 1, each of the n-1 leaves eccentricity 2
+    // (eccentricity 1 for n == 2).
+    usage = n == 2 ? 2.0 : 1.0 + 2.0 * static_cast<double>(n - 1);
+  } else {
+    // Center status n-1; leaf status (n-1) + 2(n-2)... each leaf:
+    // 1 to center + 2 to the other n-2 leaves.
+    usage = static_cast<double>(n - 1) +
+            static_cast<double>(n - 1) *
+                (1.0 + 2.0 * static_cast<double>(n - 2));
+  }
+  return params.alpha * edges + usage;
+}
+
+double cliqueSocialCost(const GameParams& params, NodeId n) {
+  NCG_REQUIRE(n >= 1, "need at least one player");
+  if (n == 1) return 0.0;
+  const double edges =
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  const double perPlayerUsage = static_cast<double>(n - 1);  // all at dist 1
+  const double usage =
+      params.kind == GameKind::kMax
+          ? static_cast<double>(n) * 1.0
+          : static_cast<double>(n) * perPlayerUsage;
+  return params.alpha * edges + usage;
+}
+
+double socialOptimumReference(const GameParams& params, NodeId n) {
+  return std::min(starSocialCost(params, n), cliqueSocialCost(params, n));
+}
+
+}  // namespace ncg

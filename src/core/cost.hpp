@@ -1,0 +1,37 @@
+// Player and social cost functions (Eqs. 1 and 2 of the paper), plus the
+// social-optimum reference values used to normalize the "quality of
+// equilibrium" in the experimental section.
+#pragma once
+
+#include "core/game.hpp"
+#include "core/strategy.hpp"
+#include "graph/graph.hpp"
+
+namespace ncg {
+
+/// Usage (routing) cost of u in g: eccentricity (kMax) or status sum
+/// (kSum). +infinity when g is disconnected from u's point of view.
+double usageCost(GameKind kind, const Graph& g, NodeId u);
+
+/// Full player cost C_u(σ) = α·|σ_u| + usage. `g` must be σ's graph
+/// (passed separately so callers can reuse one materialization).
+double playerCost(const GameParams& params, const StrategyProfile& profile,
+                  const Graph& g, NodeId u);
+
+/// Social cost Σ_u C_u(σ).
+double socialCost(const GameParams& params, const StrategyProfile& profile,
+                  const Graph& g);
+
+/// Social cost of the n-player spanning star where the center buys all
+/// edges — the optimum for α > 1 (paper §3/§4).
+double starSocialCost(const GameParams& params, NodeId n);
+
+/// Social cost of the clique with each edge bought once — the relevant
+/// reference for small α.
+double cliqueSocialCost(const GameParams& params, NodeId n);
+
+/// min(star, clique): the normalizer used for the experimental "quality
+/// of equilibrium" (an upper bound on OPT that is tight for α > 1).
+double socialOptimumReference(const GameParams& params, NodeId n);
+
+}  // namespace ncg

@@ -1,0 +1,49 @@
+// Equilibrium predicates: Local Knowledge Equilibrium (LKE) and, as the
+// k → ∞ special case, Nash Equilibrium (NE).
+//
+// A profile σ is an LKE iff no player has a deviation whose worst-case
+// cost change over the networks compatible with her view is negative
+// (Eq. 3); by Propositions 2.1/2.2 this reduces to "no player's exact
+// best response on her view strictly improves her in-view cost".
+#pragma once
+
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+#include "core/strategy.hpp"
+
+namespace ncg {
+
+/// Result of scanning all players for improving deviations.
+struct EquilibriumReport {
+  /// True iff no player can strictly improve.
+  bool isEquilibrium = true;
+  /// Players with an improving deviation (just the first one found when
+  /// stopAtFirst was set).
+  std::vector<NodeId> improvingPlayers;
+  /// False if any best-response solve hit its budget (verdict heuristic).
+  bool exact = true;
+};
+
+/// Checks whether σ is an LKE of the (α, k) game on g = σ's graph.
+EquilibriumReport checkLke(const Graph& g, const StrategyProfile& profile,
+                           const GameParams& params, bool stopAtFirst = true,
+                           const BestResponseOptions& options = {});
+
+/// Convenience wrapper: true iff checkLke says equilibrium.
+bool isLke(const Graph& g, const StrategyProfile& profile,
+           const GameParams& params);
+
+/// NE check: the same scan with the view radius widened to cover the
+/// whole graph (full knowledge).
+EquilibriumReport checkNash(const Graph& g, const StrategyProfile& profile,
+                            GameParams params, bool stopAtFirst = true,
+                            const BestResponseOptions& options = {});
+
+/// Best response of a single player composed with view assembly.
+BestResponse bestResponseFor(const Graph& g, const StrategyProfile& profile,
+                             NodeId u, const GameParams& params,
+                             const BestResponseOptions& options = {});
+
+}  // namespace ncg

@@ -1,0 +1,34 @@
+// Game definition shared across the core, dynamics and bench layers.
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// The two classic NCG cost variants studied by the paper.
+enum class GameKind {
+  kMax,  ///< C_u = α·|σ_u| + ecc_G(u)          (MaxNCG, Eq. 2)
+  kSum,  ///< C_u = α·|σ_u| + Σ_v d_G(u,v)      (SumNCG, Eq. 1)
+};
+
+/// Full parameterization of a locality-based NCG instance.
+struct GameParams {
+  GameKind kind = GameKind::kMax;
+  double alpha = 1.0;  ///< per-edge activation cost α > 0
+  Dist k = 2;          ///< view radius; players know their k-neighborhood
+
+  /// Convenience constructors for readable call sites.
+  static GameParams max(double alpha, Dist k) {
+    return {GameKind::kMax, alpha, k};
+  }
+  static GameParams sum(double alpha, Dist k) {
+    return {GameKind::kSum, alpha, k};
+  }
+};
+
+/// Strict-improvement tolerance: a deviation counts as improving only if
+/// it lowers the player cost by more than this (guards against floating
+/// point noise when α is fractional).
+inline constexpr double kCostEpsilon = 1e-9;
+
+}  // namespace ncg

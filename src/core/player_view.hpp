@@ -1,0 +1,57 @@
+// Per-player view assembly: everything a player knows when she moves.
+//
+// A player u with view radius k sees the subgraph induced by her k-ball
+// (LocalView), knows which of her incident edges she pays for (σ_u) and
+// which exist regardless of her strategy (edges bought *toward* her by
+// neighbors — "free" edges she cannot remove), and — for SumNCG — which
+// visible nodes sit exactly on her horizon (distance exactly k), whose
+// distance she must not increase (Proposition 2.2).
+#pragma once
+
+#include <vector>
+
+#include "core/game.hpp"
+#include "core/strategy.hpp"
+#include "graph/bfs.hpp"
+#include "graph/view.hpp"
+
+namespace ncg {
+
+/// Everything the best-response computation needs about one player.
+struct PlayerView {
+  LocalView view;          ///< induced k-ball; center has local id 0
+  NodeId globalPlayer = -1;
+  double alphaBought = 0;  ///< |σ_u| (number of edges u currently pays for)
+
+  /// Local ids of σ_u's endpoints (all within the view by model
+  /// definition — strategies are subsets of the k-neighborhood).
+  std::vector<NodeId> ownBoughtLocal;
+
+  /// Local ids of neighbors v with u ∈ σ_v: these links exist no matter
+  /// what u plays (link severance is unilateral per owner).
+  std::vector<NodeId> freeNeighborsLocal;
+
+  /// Local ids of nodes at distance exactly k from u (the set F of
+  /// Proposition 2.2); empty when the whole ball is strictly inside.
+  std::vector<NodeId> fringeLocal;
+
+  /// Eccentricity of the center inside the view (<= k).
+  Dist eccInView = 0;
+};
+
+/// Assembles u's view of the game state (G must be profile's graph).
+PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
+                           NodeId u, Dist k);
+
+/// As above, reusing a caller-owned BFS engine (dynamics hot path).
+PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
+                           NodeId u, Dist k, BfsEngine& engine);
+
+/// Deterministic fingerprint of everything a best response depends on:
+/// the radius, the view's membership and induced edges (in global ids),
+/// the free-neighbor set and the player's own strategy. Two views with
+/// equal fingerprints yield the same best response, so the dynamics
+/// layer can skip re-solving for players whose situation is unchanged.
+std::uint64_t viewFingerprint(const PlayerView& pv);
+
+}  // namespace ncg

@@ -1,0 +1,67 @@
+#include "core/profile_io.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+void writeProfile(std::ostream& out, const StrategyProfile& profile) {
+  out << profile.playerCount() << '\n';
+  for (NodeId u = 0; u < profile.playerCount(); ++u) {
+    out << u << ':';
+    for (NodeId v : profile.strategyOf(u)) {
+      out << ' ' << v;
+    }
+    out << '\n';
+  }
+}
+
+std::string toProfileString(const StrategyProfile& profile) {
+  std::ostringstream oss;
+  writeProfile(oss, profile);
+  return oss.str();
+}
+
+StrategyProfile readProfile(std::istream& in) {
+  long long n = 0;
+  NCG_REQUIRE(static_cast<bool>(in >> n),
+              "profile header '<n>' missing or malformed");
+  NCG_REQUIRE(n >= 0 && n <= std::numeric_limits<NodeId>::max(),
+              "player count " << n << " out of range");
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+
+  StrategyProfile profile(static_cast<NodeId>(n));
+  std::string line;
+  for (long long i = 0; i < n; ++i) {
+    NCG_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                "profile line for player " << i << " missing");
+    std::istringstream lineStream(line);
+    long long player = 0;
+    char colon = '\0';
+    NCG_REQUIRE(static_cast<bool>(lineStream >> player >> colon) &&
+                    colon == ':',
+                "expected '<player>:' prefix on line " << i + 2);
+    NCG_REQUIRE(player == i, "profile lines must be in player order; "
+                             "expected " << i << ", got " << player);
+    std::vector<NodeId> endpoints;
+    long long endpoint = 0;
+    while (lineStream >> endpoint) {
+      NCG_REQUIRE(endpoint >= 0 && endpoint < n,
+                  "endpoint " << endpoint << " out of range for player "
+                              << i);
+      endpoints.push_back(static_cast<NodeId>(endpoint));
+    }
+    profile.setStrategy(static_cast<NodeId>(i), std::move(endpoints));
+  }
+  return profile;
+}
+
+StrategyProfile fromProfileString(const std::string& text) {
+  std::istringstream iss(text);
+  return readProfile(iss);
+}
+
+}  // namespace ncg

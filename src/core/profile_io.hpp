@@ -1,0 +1,32 @@
+// Strategy-profile serialization: a plain text format that captures the
+// full game state (network + ownership), so stable networks found by the
+// dynamics can be archived, diffed and re-verified by external tools.
+//
+// Format:
+//   line 1: "<n>"
+//   lines 2..n+1: "<player>: <endpoint> <endpoint> ..." — σ_u, sorted;
+//                 players with empty strategies still get a line.
+// The graph G(σ) is implied (union of strategies), so one file is the
+// whole state.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/strategy.hpp"
+
+namespace ncg {
+
+/// Writes σ in the format above.
+void writeProfile(std::ostream& out, const StrategyProfile& profile);
+
+/// The profile as a string.
+std::string toProfileString(const StrategyProfile& profile);
+
+/// Parses the format above; throws ncg::Error on malformed input.
+StrategyProfile readProfile(std::istream& in);
+
+/// Parses a profile from a string.
+StrategyProfile fromProfileString(const std::string& text);
+
+}  // namespace ncg

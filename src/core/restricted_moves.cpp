@@ -1,0 +1,161 @@
+#include "core/restricted_moves.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/bfs.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Evaluates the usage cost of the center with neighbor set `sources`
+/// (local ids in the center-less view graph h0, shifted by -1): the
+/// center reaches v via its cheapest neighbor, so usage derives from a
+/// multi-source BFS. Returns +inf when some view node becomes
+/// unreachable or (SumNCG) a fringe node is pushed beyond distance k
+/// (Proposition 2.2).
+double usageOf(const Graph& h0, std::span<const NodeId> sources,
+               const GameParams& params,
+               const std::vector<bool>& isFringe, BfsEngine& engine) {
+  if (h0.nodeCount() == 0) return 0.0;
+  if (sources.empty()) return kInf;
+  const auto& dist = engine.runMulti(h0, sources);
+  if (params.kind == GameKind::kMax) {
+    Dist ecc = 0;
+    for (Dist d : dist) {
+      if (d == kUnreachable) return kInf;
+      ecc = std::max(ecc, d);
+    }
+    return static_cast<double>(ecc) + 1.0;
+  }
+  std::int64_t sum = 0;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    const Dist d = dist[v];
+    if (d == kUnreachable) return kInf;
+    if (isFringe[v] && d > params.k - 1) return kInf;  // Prop. 2.2
+    sum += d;
+  }
+  return static_cast<double>(sum) +
+         static_cast<double>(h0.nodeCount());
+}
+
+}  // namespace
+
+BestResponse greedyMove(const PlayerView& pv, const GameParams& params) {
+  NCG_REQUIRE(params.alpha > 0.0, "α must be positive");
+  NCG_REQUIRE(pv.view.center == 0, "view center must have local id 0");
+
+  BestResponse res;
+  // Current strategy in global ids.
+  for (NodeId v : pv.ownBoughtLocal) {
+    res.strategyGlobal.push_back(
+        pv.view.toGlobal[static_cast<std::size_t>(v)]);
+  }
+  std::sort(res.strategyGlobal.begin(), res.strategyGlobal.end());
+
+  const NodeId m = pv.view.size();
+  if (m <= 1) {
+    res.currentCost = params.alpha * pv.alphaBought;
+    res.proposedCost = res.currentCost;
+    return res;
+  }
+
+  // H₀ = view minus center, ids shifted by -1.
+  Graph h0(m - 1);
+  for (const Edge& e : pv.view.graph.edges()) {
+    if (e.u != 0 && e.v != 0) h0.addEdge(e.u - 1, e.v - 1);
+  }
+  std::vector<bool> isFringe(static_cast<std::size_t>(m - 1), false);
+  for (NodeId f : pv.fringeLocal) {
+    isFringe[static_cast<std::size_t>(f - 1)] = true;
+  }
+  std::vector<bool> isFree(static_cast<std::size_t>(m - 1), false);
+  for (NodeId f : pv.freeNeighborsLocal) {
+    isFree[static_cast<std::size_t>(f - 1)] = true;
+  }
+  std::vector<bool> isOwn(static_cast<std::size_t>(m - 1), false);
+  for (NodeId o : pv.ownBoughtLocal) {
+    isOwn[static_cast<std::size_t>(o - 1)] = true;
+  }
+
+  BfsEngine engine;
+  // Neighbor set of a candidate strategy = free ∪ own', as H₀ ids.
+  const auto evaluate = [&](const std::vector<NodeId>& own) {
+    std::vector<NodeId> sources;
+    sources.reserve(own.size() + pv.freeNeighborsLocal.size());
+    for (NodeId f : pv.freeNeighborsLocal) sources.push_back(f - 1);
+    for (NodeId o : own) {
+      if (!isFree[static_cast<std::size_t>(o)]) sources.push_back(o);
+    }
+    std::sort(sources.begin(), sources.end());
+    sources.erase(std::unique(sources.begin(), sources.end()),
+                  sources.end());
+    return params.alpha * static_cast<double>(own.size()) +
+           usageOf(h0, sources, params, isFringe, engine);
+  };
+
+  // H₀-id form of the current strategy.
+  std::vector<NodeId> currentOwn;
+  for (NodeId o : pv.ownBoughtLocal) currentOwn.push_back(o - 1);
+  res.currentCost = evaluate(currentOwn);
+  res.proposedCost = res.currentCost;
+
+  double bestCost = res.currentCost;
+  std::vector<NodeId> bestOwn = currentOwn;
+
+  const auto consider = [&](std::vector<NodeId> own) {
+    const double cost = evaluate(own);
+    if (cost < bestCost - kCostEpsilon) {
+      bestCost = cost;
+      bestOwn = std::move(own);
+    }
+  };
+
+  // Buy one new edge (to any view node not already adjacent-for-free or
+  // already bought).
+  for (NodeId v = 0; v < m - 1; ++v) {
+    if (isOwn[static_cast<std::size_t>(v)] ||
+        isFree[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    std::vector<NodeId> own = currentOwn;
+    own.push_back(v);
+    consider(std::move(own));
+  }
+  // Delete one owned edge.
+  for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    std::vector<NodeId> own = currentOwn;
+    own.erase(own.begin() + static_cast<std::ptrdiff_t>(i));
+    consider(std::move(own));
+  }
+  // Swap: delete one owned, buy one elsewhere.
+  for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    for (NodeId v = 0; v < m - 1; ++v) {
+      if (v == currentOwn[i] || isOwn[static_cast<std::size_t>(v)] ||
+          isFree[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      std::vector<NodeId> own = currentOwn;
+      own[i] = v;
+      consider(std::move(own));
+    }
+  }
+
+  if (bestCost < res.currentCost - kCostEpsilon) {
+    res.improving = true;
+    res.proposedCost = bestCost;
+    res.strategyGlobal.clear();
+    for (NodeId o : bestOwn) {
+      res.strategyGlobal.push_back(
+          pv.view.toGlobal[static_cast<std::size_t>(o + 1)]);
+    }
+    std::sort(res.strategyGlobal.begin(), res.strategyGlobal.end());
+  }
+  return res;
+}
+
+}  // namespace ncg

@@ -1,0 +1,28 @@
+// Restricted ("greedy") deviations, after the move-limited NCG variants
+// the paper surveys (Alon et al.'s basic network creation games, Lenzner's
+// greedy selfish network creation): instead of an arbitrary strategy
+// reset, a player may only
+//   * buy ONE new edge,
+//   * delete ONE owned edge, or
+//   * swap ONE owned edge for a new one,
+// evaluated — like everything in this library — on her local view with
+// the worst-case semantics of Propositions 2.1/2.2.
+//
+// Greedy moves are polynomial (no dominating-set solve), so they scale to
+// much larger views; the ablation bench measures what that buys and what
+// equilibrium quality it costs.
+#pragma once
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+#include "core/player_view.hpp"
+
+namespace ncg {
+
+/// The best single-edge deviation (buy one / delete one / swap one).
+/// The result mirrors bestResponse(): strategyGlobal is the full new
+/// strategy, improving is set iff the best move strictly lowers the
+/// player's in-view cost. Always exact (the move space is enumerated).
+BestResponse greedyMove(const PlayerView& pv, const GameParams& params);
+
+}  // namespace ncg

@@ -1,0 +1,94 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+StrategyProfile::StrategyProfile(NodeId n) {
+  NCG_REQUIRE(n >= 0, "player count must be non-negative");
+  bought_.resize(static_cast<std::size_t>(n));
+}
+
+StrategyProfile StrategyProfile::fromBoughtLists(
+    const std::vector<std::vector<NodeId>>& bought) {
+  StrategyProfile profile(static_cast<NodeId>(bought.size()));
+  for (std::size_t u = 0; u < bought.size(); ++u) {
+    profile.setStrategy(static_cast<NodeId>(u), bought[u]);
+  }
+  return profile;
+}
+
+StrategyProfile StrategyProfile::randomOwnership(const Graph& g, Rng& rng) {
+  std::vector<std::vector<NodeId>> bought(
+      static_cast<std::size_t>(g.nodeCount()));
+  for (const Edge& e : g.edges()) {
+    if (rng.nextBernoulli(0.5)) {
+      bought[static_cast<std::size_t>(e.u)].push_back(e.v);
+    } else {
+      bought[static_cast<std::size_t>(e.v)].push_back(e.u);
+    }
+  }
+  return fromBoughtLists(bought);
+}
+
+void StrategyProfile::checkPlayer(NodeId u) const {
+  NCG_REQUIRE(u >= 0 && u < playerCount(),
+              "player " << u << " out of range [0," << playerCount() << ")");
+}
+
+const std::vector<NodeId>& StrategyProfile::strategyOf(NodeId u) const {
+  checkPlayer(u);
+  return bought_[static_cast<std::size_t>(u)];
+}
+
+void StrategyProfile::setStrategy(NodeId u, std::vector<NodeId> endpoints) {
+  checkPlayer(u);
+  std::sort(endpoints.begin(), endpoints.end());
+  NCG_REQUIRE(
+      std::adjacent_find(endpoints.begin(), endpoints.end()) ==
+          endpoints.end(),
+      "strategy of player " << u << " contains a duplicate endpoint");
+  for (NodeId v : endpoints) {
+    NCG_REQUIRE(v >= 0 && v < playerCount(),
+                "endpoint " << v << " out of range");
+    NCG_REQUIRE(v != u, "player " << u << " cannot buy an edge to herself");
+  }
+  bought_[static_cast<std::size_t>(u)] = std::move(endpoints);
+}
+
+std::size_t StrategyProfile::totalBought() const {
+  std::size_t total = 0;
+  for (const auto& s : bought_) total += s.size();
+  return total;
+}
+
+Graph StrategyProfile::buildGraph() const {
+  Graph g(playerCount());
+  for (NodeId u = 0; u < playerCount(); ++u) {
+    for (NodeId v : bought_[static_cast<std::size_t>(u)]) {
+      g.addEdge(u, v);  // addEdge dedups double-bought links
+    }
+  }
+  return g;
+}
+
+std::uint64_t StrategyProfile::hash() const {
+  // FNV-1a over the flattened (player, endpoint) stream; strategies are
+  // stored sorted, so equal profiles hash equal deterministically.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ULL;
+  };
+  for (NodeId u = 0; u < playerCount(); ++u) {
+    mix(0x9e3779b9u ^ static_cast<std::uint64_t>(u));
+    for (NodeId v : bought_[static_cast<std::size_t>(u)]) {
+      mix(static_cast<std::uint64_t>(v) + 1);
+    }
+  }
+  return h;
+}
+
+}  // namespace ncg

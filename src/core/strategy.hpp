@@ -1,0 +1,71 @@
+// Strategy profiles: who buys which edges.
+//
+// A strategy σ_u is the set of endpoints player u activates an edge to;
+// the played network G(σ) is the union of all activated edges (paper §1).
+// Both endpoints may buy the same link independently — the underlying
+// graph stays simple but each buyer pays α (this matters for cost
+// accounting, so ownership is tracked per player rather than per edge).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+/// The joint strategy profile σ = (σ_u)_{u ∈ V}.
+class StrategyProfile {
+ public:
+  /// Everyone-buys-nothing profile on n players.
+  explicit StrategyProfile(NodeId n = 0);
+
+  /// Builds a profile from explicit bought-endpoint lists (as produced by
+  /// the torus construction). Lists are deduplicated and sorted; self
+  /// purchases are rejected.
+  static StrategyProfile fromBoughtLists(
+      const std::vector<std::vector<NodeId>>& bought);
+
+  /// Random ownership over an existing graph: every edge is assigned to
+  /// one of its endpoints by a fair coin toss (§5.2). The resulting
+  /// profile satisfies buildGraph() == g.
+  static StrategyProfile randomOwnership(const Graph& g, Rng& rng);
+
+  /// Number of players.
+  NodeId playerCount() const {
+    return static_cast<NodeId>(bought_.size());
+  }
+
+  /// σ_u: sorted endpoints u buys.
+  const std::vector<NodeId>& strategyOf(NodeId u) const;
+
+  /// Replaces σ_u (input need not be sorted; duplicates rejected).
+  void setStrategy(NodeId u, std::vector<NodeId> endpoints);
+
+  /// |σ_u| — the number of edges u pays for.
+  NodeId boughtCount(NodeId u) const {
+    return static_cast<NodeId>(strategyOf(u).size());
+  }
+
+  /// Σ_u |σ_u| — total activations (counts double-bought links twice).
+  std::size_t totalBought() const;
+
+  /// Materializes G(σ).
+  Graph buildGraph() const;
+
+  /// Order-independent 64-bit fingerprint of the whole profile; used by
+  /// the dynamics layer for cycle detection (with exact fallback compare).
+  std::uint64_t hash() const;
+
+  friend bool operator==(const StrategyProfile&,
+                         const StrategyProfile&) = default;
+
+ private:
+  void checkPlayer(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> bought_;
+};
+
+}  // namespace ncg

@@ -1,0 +1,80 @@
+#include "dynamics/features.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+NetworkFeatures computeFeatures(const Graph& g,
+                                const StrategyProfile& profile,
+                                const GameParams& params) {
+  NCG_REQUIRE(g.nodeCount() == profile.playerCount(),
+              "graph/profile size mismatch");
+  NetworkFeatures f;
+  const NodeId n = g.nodeCount();
+  if (n == 0) return f;
+
+  f.edges = g.edgeCount();
+  f.maxDegree = g.maxDegree();
+  f.avgDegree = g.averageDegree();
+
+  f.minBought = std::numeric_limits<NodeId>::max();
+  std::size_t totalBought = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId b = profile.boughtCount(u);
+    f.minBought = std::min(f.minBought, b);
+    f.maxBought = std::max(f.maxBought, b);
+    totalBought += static_cast<std::size_t>(b);
+  }
+  f.avgBought = static_cast<double>(totalBought) / static_cast<double>(n);
+
+  // One BFS per node serves eccentricity/status, the k-ball size and the
+  // player cost simultaneously.
+  BfsEngine engine;
+  double minCost = std::numeric_limits<double>::infinity();
+  double maxCost = 0.0;
+  f.minViewSize = std::numeric_limits<NodeId>::max();
+  std::size_t totalView = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& dist = engine.run(g, u);
+    Dist ecc = 0;
+    std::int64_t status = 0;
+    NodeId inBall = 0;
+    bool connected = true;
+    for (Dist d : dist) {
+      if (d == kUnreachable) {
+        connected = false;
+        continue;
+      }
+      ecc = std::max(ecc, d);
+      status += d;
+      if (d <= params.k) ++inBall;
+    }
+    f.diameter = connected ? std::max(f.diameter, ecc)
+                           : kUnreachable;
+    f.minViewSize = std::min(f.minViewSize, inBall);
+    totalView += static_cast<std::size_t>(inBall);
+
+    const double usage =
+        !connected ? std::numeric_limits<double>::infinity()
+        : params.kind == GameKind::kMax ? static_cast<double>(ecc)
+                                        : static_cast<double>(status);
+    const double cost =
+        params.alpha * static_cast<double>(profile.boughtCount(u)) + usage;
+    f.socialCost += cost;
+    minCost = std::min(minCost, cost);
+    maxCost = std::max(maxCost, cost);
+  }
+  f.avgViewSize = static_cast<double>(totalView) / static_cast<double>(n);
+  f.unfairness = minCost > 0.0 ? maxCost / minCost
+                               : std::numeric_limits<double>::infinity();
+  const double opt = socialOptimumReference(params, n);
+  f.quality = opt > 0.0 ? f.socialCost / opt : 1.0;
+  return f;
+}
+
+}  // namespace ncg

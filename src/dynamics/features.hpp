@@ -1,0 +1,42 @@
+// Structural features of a game state — the quantities the paper's
+// experimental section tracks after every round (§5.1): diameter, social
+// cost, degree statistics, bought-edge statistics, view sizes and the
+// fairness of the player cost distribution.
+#pragma once
+
+#include "core/cost.hpp"
+#include "core/game.hpp"
+#include "core/strategy.hpp"
+#include "graph/graph.hpp"
+
+namespace ncg {
+
+/// Snapshot of the features collected per round.
+struct NetworkFeatures {
+  Dist diameter = 0;
+  double socialCost = 0.0;
+  std::size_t edges = 0;
+
+  NodeId maxDegree = 0;
+  double avgDegree = 0.0;
+
+  NodeId minBought = 0;   ///< min_u |σ_u|
+  NodeId maxBought = 0;   ///< max_u |σ_u|
+  double avgBought = 0.0;
+
+  NodeId minViewSize = 0;  ///< min_u |β_{G,k}(u)|
+  double avgViewSize = 0.0;
+
+  /// Unfairness ratio: highest player cost / lowest player cost (Fig. 9).
+  double unfairness = 1.0;
+
+  /// Quality of equilibrium: socialCost / socialOptimumReference.
+  double quality = 1.0;
+};
+
+/// Computes all features of the state (g must be profile's graph).
+NetworkFeatures computeFeatures(const Graph& g,
+                                const StrategyProfile& profile,
+                                const GameParams& params);
+
+}  // namespace ncg

@@ -1,0 +1,75 @@
+#include "dynamics/restarts.hpp"
+
+#include <limits>
+
+#include "core/cost.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+PoaEstimate estimatePoa(ThreadPool& pool, const RestartConfig& config,
+                        const InitialProfileFactory& factory) {
+  NCG_REQUIRE(config.restarts >= 1, "need at least one restart");
+  NCG_REQUIRE(factory != nullptr, "need an initial-profile factory");
+
+  struct RestartOutcome {
+    bool converged = false;
+    bool exact = true;
+    double quality = 0.0;
+    StrategyProfile profile;
+  };
+
+  std::vector<RestartOutcome> outcomes(
+      static_cast<std::size_t>(config.restarts));
+  parallelFor(
+      pool, static_cast<std::size_t>(config.restarts),
+      [&](std::size_t i) {
+        Rng rng(deriveSeed(config.baseSeed, i));
+        const StrategyProfile initial =
+            factory(static_cast<int>(i), rng);
+        DynamicsConfig dynamics = config.dynamics;
+        if (config.randomizeSchedule) {
+          dynamics.schedule = Schedule::kRandomPermutation;
+          dynamics.scheduleSeed = rng.next();
+        }
+        const DynamicsResult run =
+            runBestResponseDynamics(initial, dynamics);
+        RestartOutcome& out = outcomes[i];
+        out.exact = run.exact;
+        if (run.outcome != DynamicsOutcome::kConverged) return;
+        out.converged = true;
+        out.profile = run.profile;
+        const double opt = socialOptimumReference(
+            dynamics.params, run.profile.playerCount());
+        out.quality =
+            socialCost(dynamics.params, run.profile, run.graph) / opt;
+      },
+      /*grain=*/1);
+
+  PoaEstimate estimate;
+  estimate.restarts = config.restarts;
+  estimate.bestQuality = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (const RestartOutcome& out : outcomes) {
+    estimate.exact = estimate.exact && out.exact;
+    if (!out.converged) continue;
+    ++estimate.converged;
+    sum += out.quality;
+    if (out.quality < estimate.bestQuality) {
+      estimate.bestQuality = out.quality;
+    }
+    if (out.quality > estimate.worstQuality) {
+      estimate.worstQuality = out.quality;
+      estimate.worstProfile = out.profile;
+    }
+  }
+  if (estimate.converged == 0) {
+    estimate.bestQuality = 0.0;
+  } else {
+    estimate.meanQuality = sum / estimate.converged;
+  }
+  return estimate;
+}
+
+}  // namespace ncg

@@ -1,0 +1,50 @@
+// Empirical Price-of-Anarchy estimation by multi-restart dynamics.
+//
+// The PoA is defined over the WORST equilibrium; a single dynamics run
+// only samples one. This driver runs many seeded restarts (different
+// initial networks, ownerships and — optionally — schedules), keeps the
+// best and worst stable outcomes, and reports the empirical
+// [PoS-estimate, PoA-estimate] band that the paper's Fig. 6/7 "quality"
+// curves are single points of.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dynamics/round_robin.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ncg {
+
+/// Generator of initial profiles: called with (restartIndex, rng), must
+/// return a profile whose graph is connected.
+using InitialProfileFactory =
+    std::function<StrategyProfile(int, Rng&)>;
+
+/// Configuration of the multi-restart search.
+struct RestartConfig {
+  DynamicsConfig dynamics;
+  int restarts = 20;
+  std::uint64_t baseSeed = 1;
+  /// Additionally randomize the activation order per restart (uses the
+  /// restart's RNG stream for the schedule seed).
+  bool randomizeSchedule = false;
+};
+
+/// Aggregate over all converged restarts.
+struct PoaEstimate {
+  int restarts = 0;         ///< restarts attempted
+  int converged = 0;        ///< restarts that reached an equilibrium
+  double bestQuality = 0;   ///< min social cost / OPT ref  (PoS estimate)
+  double worstQuality = 0;  ///< max social cost / OPT ref  (PoA estimate)
+  double meanQuality = 0;
+  StrategyProfile worstProfile;  ///< the costliest equilibrium found
+  bool exact = true;             ///< all solves proven optimal
+};
+
+/// Runs the multi-restart search on the pool; deterministic for a given
+/// (config.baseSeed, factory).
+PoaEstimate estimatePoa(ThreadPool& pool, const RestartConfig& config,
+                        const InitialProfileFactory& factory);
+
+}  // namespace ncg

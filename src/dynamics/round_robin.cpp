@@ -1,0 +1,110 @@
+#include "dynamics/round_robin.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/player_view.hpp"
+#include "core/restricted_moves.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
+                                       const DynamicsConfig& config) {
+  NCG_REQUIRE(config.maxRounds >= 1, "need at least one round");
+  NCG_REQUIRE(config.params.k >= 1, "view radius must be >= 1");
+
+  DynamicsResult result;
+  result.profile = initial;
+  result.graph = initial.buildGraph();
+  NCG_REQUIRE(isConnected(result.graph),
+              "the model assumes players start on a connected network");
+
+  const NodeId n = result.profile.playerCount();
+  BfsEngine engine;
+  Rng scheduleRng(config.scheduleSeed);
+
+  // Cycle detection is only sound under a deterministic schedule: the
+  // round-robin map profile -> next profile is a function, so a repeated
+  // end-of-round profile proves a best-response cycle.
+  const bool detectCycles =
+      config.detectCycles && config.schedule == Schedule::kRoundRobin;
+  std::unordered_map<std::uint64_t, std::vector<StrategyProfile>> seen;
+  if (detectCycles) {
+    seen[result.profile.hash()].push_back(result.profile);
+  }
+
+  // Best-response memoization: a player whose view fingerprint is
+  // unchanged since her last non-improving check cannot have gained an
+  // improving move (moves depend only on the view), so the expensive
+  // solve is skipped. This makes quiet rounds near-free.
+  std::vector<std::uint64_t> settledFingerprint(
+      static_cast<std::size_t>(n), 0);
+  std::vector<bool> hasSettled(static_cast<std::size_t>(n), false);
+
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), NodeId{0});
+
+  for (int round = 1; round <= config.maxRounds; ++round) {
+    if (config.schedule == Schedule::kRandomPermutation) {
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[scheduleRng.nextBounded(i)]);
+      }
+    }
+    bool moved = false;
+    for (NodeId u : order) {
+      const PlayerView pv =
+          buildPlayerView(result.graph, result.profile, u, config.params.k,
+                          engine);
+      const auto slot = static_cast<std::size_t>(u);
+      std::uint64_t fingerprint = 0;
+      if (config.useBestResponseCache) {
+        fingerprint = viewFingerprint(pv);
+        if (hasSettled[slot] && settledFingerprint[slot] == fingerprint) {
+          continue;  // unchanged situation, known non-improving
+        }
+      }
+      const BestResponse br =
+          config.moveRule == MoveRule::kBestResponse
+              ? bestResponse(pv, config.params, config.br)
+              : greedyMove(pv, config.params);
+      result.exact = result.exact && br.exact;
+      if (br.improving) {
+        result.profile.setStrategy(u, br.strategyGlobal);
+        result.graph = result.profile.buildGraph();
+        moved = true;
+        ++result.totalMoves;
+        hasSettled[slot] = false;
+      } else if (config.useBestResponseCache) {
+        hasSettled[slot] = true;
+        settledFingerprint[slot] = fingerprint;
+      }
+    }
+    result.rounds = round;
+    if (config.collectTrace) {
+      result.trace.push_back(
+          computeFeatures(result.graph, result.profile, config.params));
+    }
+    if (!moved) {
+      result.outcome = DynamicsOutcome::kConverged;
+      return result;
+    }
+    if (detectCycles) {
+      auto& bucket = seen[result.profile.hash()];
+      for (const StrategyProfile& previous : bucket) {
+        if (previous == result.profile) {
+          result.outcome = DynamicsOutcome::kCycleDetected;
+          return result;
+        }
+      }
+      bucket.push_back(result.profile);
+    }
+  }
+  result.outcome = DynamicsOutcome::kRoundLimit;
+  return result;
+}
+
+}  // namespace ncg

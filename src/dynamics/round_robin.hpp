@@ -1,0 +1,75 @@
+// Round-robin best-response dynamics, exactly as run by the paper's
+// experiments (§5.1):
+//
+//   "The players play in turns, following a round-robin policy […] we
+//    compute a best-response strategy according to her local knowledge of
+//    the network, and whenever this strategy is strictly better than the
+//    current one we update the network. […] We continue this process until
+//    we attain an equilibrium […] we check if the last strategy profile of
+//    the current round already appeared as the last strategy profile of
+//    any previous round. In this case […] the best-response dynamics
+//    admits a cycle."
+#pragma once
+
+#include <vector>
+
+#include "core/best_response.hpp"
+#include "core/game.hpp"
+#include "core/strategy.hpp"
+#include "dynamics/features.hpp"
+
+namespace ncg {
+
+/// How a dynamics run ended.
+enum class DynamicsOutcome {
+  kConverged,      ///< a full round produced no move: the profile is an LKE
+  kCycleDetected,  ///< end-of-round profile repeated: best-response cycle
+  kRoundLimit,     ///< maxRounds elapsed without either of the above
+};
+
+/// What a player computes when it is her turn.
+enum class MoveRule {
+  kBestResponse,  ///< exact best response (the paper's protocol)
+  kGreedy,        ///< best single-edge move: buy/delete/swap one edge
+                  ///< (the Lenzner-style restricted variant; ablation)
+};
+
+/// Player activation order within a round.
+enum class Schedule {
+  kRoundRobin,         ///< 0..n−1 every round (the paper's protocol)
+  kRandomPermutation,  ///< a fresh uniform order each round
+};
+
+/// Configuration of a dynamics run.
+struct DynamicsConfig {
+  GameParams params;
+  BestResponseOptions br;
+  int maxRounds = 1000;
+  bool detectCycles = true;
+  bool collectTrace = false;  ///< record NetworkFeatures after every round
+  MoveRule moveRule = MoveRule::kBestResponse;
+  Schedule schedule = Schedule::kRoundRobin;
+  std::uint64_t scheduleSeed = 0;  ///< for kRandomPermutation
+  /// Skip re-solving players whose view fingerprint is unchanged since
+  /// their last non-improving check (sound; see viewFingerprint).
+  bool useBestResponseCache = true;
+};
+
+/// Result of a dynamics run.
+struct DynamicsResult {
+  DynamicsOutcome outcome = DynamicsOutcome::kConverged;
+  int rounds = 0;              ///< rounds played (converged: incl. final
+                               ///< all-quiet round)
+  std::size_t totalMoves = 0;  ///< strategy changes applied
+  bool exact = true;           ///< every best response proven optimal
+  StrategyProfile profile;     ///< final profile
+  Graph graph;                 ///< final network G(σ)
+  std::vector<NetworkFeatures> trace;  ///< per-round features if enabled
+};
+
+/// Runs the dynamics from `initial` (whose graph must be connected, per
+/// the model's assumption that players start on a connected network).
+DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
+                                       const DynamicsConfig& config);
+
+}  // namespace ncg

@@ -1,0 +1,56 @@
+#include "gen/classic.hpp"
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+Graph makePath(NodeId n) {
+  NCG_REQUIRE(n >= 1, "path needs at least one node");
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    g.addEdge(i, i + 1);
+  }
+  return g;
+}
+
+Graph makeCycle(NodeId n) {
+  NCG_REQUIRE(n >= 3, "cycle needs at least 3 nodes, got " << n);
+  Graph g = makePath(n);
+  g.addEdge(n - 1, 0);
+  return g;
+}
+
+Graph makeStar(NodeId n) {
+  NCG_REQUIRE(n >= 1, "star needs at least one node");
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    g.addEdge(0, i);
+  }
+  return g;
+}
+
+Graph makeComplete(NodeId n) {
+  NCG_REQUIRE(n >= 1, "complete graph needs at least one node");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph makeGrid(NodeId rows, NodeId cols) {
+  NCG_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  Graph g(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.addEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+}  // namespace ncg

@@ -1,0 +1,24 @@
+// Deterministic classic graph families used as baselines, social-optimum
+// references (star/clique) and lower-bound constructions (cycle, Lemma 3.1).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ncg {
+
+/// Path 0-1-...-(n-1).
+Graph makePath(NodeId n);
+
+/// Cycle 0-1-...-(n-1)-0; requires n >= 3.
+Graph makeCycle(NodeId n);
+
+/// Star with center 0 and leaves 1..n-1; requires n >= 1.
+Graph makeStar(NodeId n);
+
+/// Complete graph K_n.
+Graph makeComplete(NodeId n);
+
+/// rows x cols 2-D grid (4-neighborhood), node (r,c) = r*cols + c.
+Graph makeGrid(NodeId rows, NodeId cols);
+
+}  // namespace ncg

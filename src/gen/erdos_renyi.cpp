@@ -1,0 +1,34 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+Graph makeErdosRenyi(NodeId n, double p, Rng& rng) {
+  NCG_REQUIRE(n >= 0, "node count must be non-negative");
+  NCG_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1], got "
+                                        << p);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.nextBernoulli(p)) {
+        g.addEdge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph makeConnectedErdosRenyi(NodeId n, double p, Rng& rng, int maxAttempts) {
+  NCG_REQUIRE(maxAttempts >= 1, "need at least one attempt");
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    Graph g = makeErdosRenyi(n, p, rng);
+    if (isConnected(g)) return g;
+  }
+  throw Error("makeConnectedErdosRenyi: no connected sample within " +
+              std::to_string(maxAttempts) + " attempts (n=" +
+              std::to_string(n) + ", p=" + std::to_string(p) + ")");
+}
+
+}  // namespace ncg

@@ -1,0 +1,21 @@
+// Erdős–Rényi G(n,p) random graphs, with the paper's connected-sample
+// policy (§5.2): "Any remaining unconnected graph was discarded and
+// regenerated from scratch."
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+/// One G(n,p) sample (each of the n(n-1)/2 edges present independently
+/// with probability p). May be disconnected.
+Graph makeErdosRenyi(NodeId n, double p, Rng& rng);
+
+/// G(n,p) conditioned on connectivity by rejection sampling.
+/// Throws ncg::Error after `maxAttempts` consecutive disconnected samples
+/// (guards against p far below the connectivity threshold).
+Graph makeConnectedErdosRenyi(NodeId n, double p, Rng& rng,
+                              int maxAttempts = 1000);
+
+}  // namespace ncg

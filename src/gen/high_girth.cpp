@@ -1,0 +1,67 @@
+#include "gen/high_girth.hpp"
+
+#include <array>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+using Vec3 = std::array<int, 3>;
+
+/// Enumerates canonical representatives of the projective points of
+/// PG(2,q): the first nonzero coordinate is normalized to 1.
+std::vector<Vec3> projectivePoints(int q) {
+  std::vector<Vec3> points;
+  points.reserve(static_cast<std::size_t>(q) * q + q + 1);
+  for (int b = 0; b < q; ++b) {
+    for (int c = 0; c < q; ++c) {
+      points.push_back({1, b, c});
+    }
+  }
+  for (int c = 0; c < q; ++c) {
+    points.push_back({0, 1, c});
+  }
+  points.push_back({0, 0, 1});
+  return points;
+}
+
+}  // namespace
+
+bool isPrime(int q) {
+  if (q < 2) return false;
+  for (int f = 2; f * f <= q; ++f) {
+    if (q % f == 0) return false;
+  }
+  return true;
+}
+
+NodeId projectivePlanePoints(int q) {
+  return static_cast<NodeId>(q * q + q + 1);
+}
+
+Graph makeProjectivePlaneIncidence(int q) {
+  NCG_REQUIRE(isPrime(q), "PG(2,q) generator requires prime q, got " << q);
+  const std::vector<Vec3> reps = projectivePoints(q);
+  const auto count = static_cast<NodeId>(reps.size());
+  NCG_ASSERT(count == projectivePlanePoints(q), "point enumeration broken");
+
+  // By point/line duality the same representative list serves as the lines;
+  // point p lies on line l iff <p, l> ≡ 0 (mod q).
+  Graph g(2 * count);
+  for (NodeId p = 0; p < count; ++p) {
+    for (NodeId l = 0; l < count; ++l) {
+      const auto& pv = reps[static_cast<std::size_t>(p)];
+      const auto& lv = reps[static_cast<std::size_t>(l)];
+      const int dot = pv[0] * lv[0] + pv[1] * lv[1] + pv[2] * lv[2];
+      if (dot % q == 0) {
+        g.addEdge(p, count + l);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ncg

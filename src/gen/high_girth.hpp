@@ -1,0 +1,30 @@
+// Dense regular graphs of high girth for the Lemma 3.2 / Theorem 4.3
+// lower-bound family.
+//
+// The paper invokes Lazebnik–Ustimenko–Woldar graphs (q-regular, girth
+// >= g, Ω(n^{1+1/(g−4)}) edges) for arbitrary even girth g = 2k+2. As an
+// open-source substitute we build the *incidence graph of the projective
+// plane PG(2,q)*: bipartite on q²+q+1 points and q²+q+1 lines,
+// (q+1)-regular, girth exactly 6 — i.e. the g = 6 (k = 2) member of the
+// family, which is the case the experimental benches exercise. The
+// substitution is recorded in DESIGN.md.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// True iff q is a prime (the generator supports prime orders only;
+/// prime-power orders would need GF(p^e) arithmetic).
+bool isPrime(int q);
+
+/// Incidence graph of PG(2,q) for prime q >= 2:
+/// nodes 0..q²+q are the points, q²+q+1..2(q²+q+1)−1 the lines;
+/// (q+1)-regular, girth 6, diameter 3.
+Graph makeProjectivePlaneIncidence(int q);
+
+/// Number of points of PG(2,q): q² + q + 1.
+NodeId projectivePlanePoints(int q);
+
+}  // namespace ncg

@@ -1,0 +1,51 @@
+#include "gen/random_tree.hpp"
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+Graph treeFromPrufer(NodeId n, const std::vector<NodeId>& sequence) {
+  NCG_REQUIRE(n >= 2, "Prüfer decoding needs n >= 2, got " << n);
+  NCG_REQUIRE(sequence.size() == static_cast<std::size_t>(n - 2),
+              "Prüfer sequence for n=" << n << " must have length " << n - 2
+                                       << ", got " << sequence.size());
+  // degree[v] = multiplicity in sequence + 1.
+  std::vector<NodeId> degree(static_cast<std::size_t>(n), 1);
+  for (NodeId v : sequence) {
+    NCG_REQUIRE(v >= 0 && v < n, "Prüfer entry " << v << " out of range");
+    ++degree[static_cast<std::size_t>(v)];
+  }
+  Graph g(n);
+  // Standard linear-time decoding: maintain the smallest leaf pointer.
+  NodeId ptr = 0;
+  while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (NodeId v : sequence) {
+    g.addEdge(leaf, v);
+    if (--degree[static_cast<std::size_t>(v)] == 1 && v < ptr) {
+      leaf = v;  // v became a leaf smaller than the scan pointer
+    } else {
+      ++ptr;
+      while (degree[static_cast<std::size_t>(ptr)] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  // Connect the two remaining leaves; one of them is always node n-1.
+  g.addEdge(leaf, n - 1);
+  NCG_ASSERT(g.edgeCount() == static_cast<std::size_t>(n - 1),
+             "decoded tree has wrong edge count");
+  return g;
+}
+
+Graph makeRandomTree(NodeId n, Rng& rng) {
+  NCG_REQUIRE(n >= 1, "tree needs at least one node");
+  if (n == 1) return Graph(1);
+  if (n == 2) return Graph(2, {{0, 1}});
+  std::vector<NodeId> sequence(static_cast<std::size_t>(n - 2));
+  for (auto& entry : sequence) {
+    entry = static_cast<NodeId>(rng.nextBounded(static_cast<std::uint64_t>(n)));
+  }
+  return treeFromPrufer(n, sequence);
+}
+
+}  // namespace ncg

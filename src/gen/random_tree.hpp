@@ -1,0 +1,20 @@
+// Uniform random labelled trees via Prüfer sequences (§5.2 "Random trees":
+// "we picked a tree uniformly at random from the set of all possible trees
+// on n vertices").
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+/// A tree drawn uniformly from the n^(n-2) labelled trees on n nodes.
+/// Requires n >= 1 (n in {1,2} have a unique tree).
+Graph makeRandomTree(NodeId n, Rng& rng);
+
+/// Decodes a Prüfer sequence of length n-2 into its unique tree on n
+/// nodes; exposed for tests of the bijection. Requires n >= 2 and every
+/// entry in [0, n).
+Graph treeFromPrufer(NodeId n, const std::vector<NodeId>& sequence);
+
+}  // namespace ncg

@@ -1,0 +1,64 @@
+#include "gen/regular.hpp"
+
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+/// One pairing attempt: shuffle the n·d stubs, pair consecutive ones;
+/// returns an empty optional-equivalent (disconnected Graph(0)) when the
+/// pairing produced a loop or parallel edge.
+bool tryPairing(NodeId n, NodeId d, Rng& rng, Graph& out) {
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.nextBounded(i)]);
+  }
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i];
+    const NodeId v = stubs[i + 1];
+    if (u == v || g.hasEdge(u, v)) return false;  // reject, resample
+    g.addEdge(u, v);
+  }
+  out = std::move(g);
+  return true;
+}
+
+}  // namespace
+
+Graph makeRandomRegular(NodeId n, NodeId d, Rng& rng, int maxAttempts) {
+  NCG_REQUIRE(n >= 1, "need at least one node");
+  NCG_REQUIRE(d >= 0 && d < n, "degree must satisfy 0 <= d < n, got d="
+                                   << d << " n=" << n);
+  NCG_REQUIRE((static_cast<long long>(n) * d) % 2 == 0,
+              "n·d must be even (n=" << n << ", d=" << d << ")");
+  NCG_REQUIRE(maxAttempts >= 1, "need at least one attempt");
+  Graph g(n);
+  if (d == 0) return g;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    if (tryPairing(n, d, rng, g)) return g;
+  }
+  throw Error("makeRandomRegular: no simple pairing within " +
+              std::to_string(maxAttempts) + " attempts (n=" +
+              std::to_string(n) + ", d=" + std::to_string(d) + ")");
+}
+
+Graph makeConnectedRandomRegular(NodeId n, NodeId d, Rng& rng,
+                                 int maxAttempts) {
+  NCG_REQUIRE(d >= 1 || n <= 1, "a connected regular graph with n >= 2 "
+                                "needs d >= 1");
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    Graph g = makeRandomRegular(n, d, rng, maxAttempts);
+    if (isConnected(g)) return g;
+  }
+  throw Error("makeConnectedRandomRegular: no connected sample within " +
+              std::to_string(maxAttempts) + " attempts");
+}
+
+}  // namespace ncg

@@ -1,0 +1,23 @@
+// Random d-regular graphs via the configuration model (pairing model)
+// with rejection of self-loops/multi-edges — an extra initial-network
+// family for experiments beyond the paper's trees and G(n,p): regular
+// starts isolate the effect of degree heterogeneity on the dynamics.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+/// One simple d-regular graph on n nodes, uniform over the configuration
+/// model conditioned on simplicity. Requires n·d even, 0 <= d < n.
+/// Throws ncg::Error after `maxAttempts` rejected pairings (only plausible
+/// for d close to n).
+Graph makeRandomRegular(NodeId n, NodeId d, Rng& rng,
+                        int maxAttempts = 2000);
+
+/// As above but additionally conditioned on connectivity.
+Graph makeConnectedRandomRegular(NodeId n, NodeId d, Rng& rng,
+                                 int maxAttempts = 2000);
+
+}  // namespace ncg

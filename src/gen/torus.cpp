@@ -1,0 +1,247 @@
+#include "gen/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+void checkParams(const TorusParams& params) {
+  NCG_REQUIRE(params.ell >= 1, "torus stretch ℓ must be >= 1, got "
+                                   << params.ell);
+  NCG_REQUIRE(params.dims() >= 2,
+              "torus needs d >= 2 dimensions, got " << params.dims());
+  for (int d : params.delta) {
+    NCG_REQUIRE(d >= 2, "every δ_i must be >= 2 (got " << d
+                            << "); δ_i = 1 creates parallel paths");
+  }
+}
+
+/// Enumerates the intersection-vertex coordinate tuples of one parity
+/// class: (ℓ·a_1, ..., ℓ·a_d) with all a_i ≡ parity (mod 2),
+/// a_i ∈ [0, 2δ_i) for the closed torus.
+std::vector<std::vector<int>> intersectionTuples(const TorusParams& params,
+                                                 int parity) {
+  const int d = params.dims();
+  std::vector<int> index(static_cast<std::size_t>(d), 0);
+  std::vector<std::vector<int>> out;
+  for (;;) {
+    std::vector<int> coord(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      const int a = parity + 2 * index[static_cast<std::size_t>(i)];
+      coord[static_cast<std::size_t>(i)] = params.ell * a;
+    }
+    out.push_back(std::move(coord));
+    // Mixed-radix increment with per-dimension radix δ_i.
+    int pos = 0;
+    while (pos < d) {
+      auto& idx = index[static_cast<std::size_t>(pos)];
+      if (++idx < params.delta[static_cast<std::size_t>(pos)]) break;
+      idx = 0;
+      ++pos;
+    }
+    if (pos == d) break;
+  }
+  return out;
+}
+
+NodeId internNode(TorusGraph& tg, const std::vector<int>& coord,
+                  bool intersection) {
+  auto [it, inserted] = tg.coordIndex.try_emplace(
+      coord, static_cast<NodeId>(tg.coords.size()));
+  if (inserted) {
+    tg.coords.push_back(coord);
+    tg.isIntersection.push_back(intersection);
+  } else {
+    NCG_REQUIRE(tg.isIntersection[static_cast<std::size_t>(it->second)] ==
+                    intersection,
+                "construction bug: node class mismatch at shared coords");
+  }
+  return it->second;
+}
+
+/// Adds the stretched path u -> u' in direction `sign`, creating the ℓ−1
+/// interior vertices and recording ownership. `wrap` selects modular
+/// coordinate arithmetic (closed torus) or plain (open variant).
+void addStretchedPath(TorusGraph& tg, const std::vector<int>& from,
+                      const std::vector<int>& to,
+                      const std::vector<int>& sign, bool wrap,
+                      std::vector<std::pair<NodeId, NodeId>>& edges,
+                      std::vector<std::pair<NodeId, NodeId>>& ownership) {
+  const TorusParams& params = tg.params;
+  const int d = params.dims();
+  const int ell = params.ell;
+  std::vector<NodeId> path;
+  path.reserve(static_cast<std::size_t>(ell) + 1);
+  path.push_back(tg.coordIndex.at(from));
+  for (int step = 1; step < ell; ++step) {
+    std::vector<int> coord(static_cast<std::size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      int c = from[static_cast<std::size_t>(i)] +
+              step * sign[static_cast<std::size_t>(i)];
+      if (wrap) {
+        const int m = params.modulus(i);
+        c = ((c % m) + m) % m;
+      }
+      coord[static_cast<std::size_t>(i)] = c;
+    }
+    path.push_back(internNode(tg, coord, /*intersection=*/false));
+  }
+  path.push_back(tg.coordIndex.at(to));
+
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    edges.emplace_back(path[i], path[i + 1]);
+  }
+  if (ell == 1) {
+    // Ownership unspecified by the paper for ℓ = 1: smaller endpoint pays.
+    ownership.emplace_back(std::min(path[0], path[1]),
+                           std::max(path[0], path[1]));
+  } else {
+    // x_i buys the edge to x_{i−1} for i = 1..ℓ−1 …
+    for (int i = 1; i < ell; ++i) {
+      ownership.emplace_back(path[static_cast<std::size_t>(i)],
+                             path[static_cast<std::size_t>(i - 1)]);
+    }
+    // … and x_{ℓ−1} additionally buys the edge to u'.
+    ownership.emplace_back(path[static_cast<std::size_t>(ell - 1)],
+                           path[static_cast<std::size_t>(ell)]);
+  }
+}
+
+TorusGraph buildTorus(const TorusParams& params, bool wrap) {
+  checkParams(params);
+  TorusGraph tg;
+  tg.params = params;
+  const int d = params.dims();
+  const int ell = params.ell;
+
+  // 1. Intern every intersection vertex (both parity classes).
+  for (int parity = 0; parity <= 1; ++parity) {
+    for (auto& coord : intersectionTuples(params, parity)) {
+      internNode(tg, coord, /*intersection=*/true);
+    }
+  }
+  const std::size_t intersections = tg.coords.size();
+
+  // 2. For every intersection vertex and sign vector, lay the stretched
+  //    path toward the neighboring intersection vertex; each undirected
+  //    path is created once (from its lexicographically smaller endpoint).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::pair<NodeId, NodeId>> ownership;
+  std::vector<int> sign(static_cast<std::size_t>(d));
+  for (std::size_t v = 0; v < intersections; ++v) {
+    const std::vector<int> from = tg.coords[v];
+    for (unsigned mask = 0; mask < (1u << d); ++mask) {
+      bool valid = true;
+      std::vector<int> to(static_cast<std::size_t>(d));
+      for (int i = 0; i < d; ++i) {
+        sign[static_cast<std::size_t>(i)] = (mask >> i) & 1 ? 1 : -1;
+        int c = from[static_cast<std::size_t>(i)] +
+                ell * sign[static_cast<std::size_t>(i)];
+        if (wrap) {
+          const int m = params.modulus(i);
+          c = ((c % m) + m) % m;
+        } else if (c < 0 || c >= params.modulus(i)) {
+          valid = false;  // open variant: no wraparound paths
+          break;
+        }
+        to[static_cast<std::size_t>(i)] = c;
+      }
+      if (!valid) continue;
+      auto it = tg.coordIndex.find(to);
+      NCG_REQUIRE(it != tg.coordIndex.end(),
+                  "construction bug: missing neighbor intersection vertex");
+      if (from < to) {  // canonical direction: build each path once
+        addStretchedPath(tg, from, to, sign, wrap, edges, ownership);
+      }
+    }
+  }
+
+  // 3. Materialize the graph and the ownership lists.
+  tg.graph = Graph(static_cast<NodeId>(tg.coords.size()));
+  for (auto [u, v] : edges) {
+    const bool added = tg.graph.addEdge(u, v);
+    NCG_REQUIRE(added, "construction bug: duplicate edge in torus build");
+  }
+  tg.bought.assign(tg.coords.size(), {});
+  for (auto [owner, endpoint] : ownership) {
+    tg.bought[static_cast<std::size_t>(owner)].push_back(endpoint);
+  }
+  return tg;
+}
+
+}  // namespace
+
+NodeId TorusGraph::nodeAt(const std::vector<int>& c) const {
+  auto it = coordIndex.find(c);
+  return it == coordIndex.end() ? NodeId{-1} : it->second;
+}
+
+NodeId TorusGraph::intersectionCount() const {
+  return static_cast<NodeId>(
+      std::count(isIntersection.begin(), isIntersection.end(), true));
+}
+
+TorusGraph makeTorus(const TorusParams& params) {
+  return buildTorus(params, /*wrap=*/true);
+}
+
+TorusGraph makeOpenTorus(const TorusParams& params) {
+  return buildTorus(params, /*wrap=*/false);
+}
+
+Dist torusDistanceLowerBound(const TorusParams& params,
+                             const std::vector<int>& x,
+                             const std::vector<int>& y) {
+  NCG_REQUIRE(x.size() == y.size() &&
+                  x.size() == static_cast<std::size_t>(params.dims()),
+              "coordinate arity mismatch");
+  Dist bound = 0;
+  for (int i = 0; i < params.dims(); ++i) {
+    const int m = params.modulus(i);
+    const int diff = std::abs(x[static_cast<std::size_t>(i)] -
+                              y[static_cast<std::size_t>(i)]);
+    bound = std::max(bound, static_cast<Dist>(std::min(diff, m - diff)));
+  }
+  return bound;
+}
+
+Dist openDistanceLowerBound(const std::vector<int>& x,
+                            const std::vector<int>& y) {
+  NCG_REQUIRE(x.size() == y.size(), "coordinate arity mismatch");
+  Dist bound = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    bound = std::max(bound, static_cast<Dist>(std::abs(x[i] - y[i])));
+  }
+  return bound;
+}
+
+TorusParams theorem312Params(double alpha, int k, int deltaLast) {
+  NCG_REQUIRE(alpha > 1.0 && static_cast<double>(k) >= alpha,
+              "Theorem 3.12 needs 1 < α <= k (α=" << alpha << ", k=" << k
+                                                  << ")");
+  TorusParams params;
+  params.ell = static_cast<int>(std::ceil(alpha));
+  const double ratio =
+      static_cast<double>(k) / static_cast<double>(params.ell);
+  int d = static_cast<int>(std::ceil(std::log2(ratio + 2.0)));
+  d = std::max(d, 2);
+  const int base = static_cast<int>(std::ceil(ratio)) + 1;
+  params.delta.assign(static_cast<std::size_t>(d), base);
+  params.delta.back() = std::max(base, deltaLast);
+  return params;
+}
+
+TorusParams lemma41Params(int k, int deltaLast) {
+  NCG_REQUIRE(k >= 1, "Lemma 4.1 needs k >= 1");
+  TorusParams params;
+  params.ell = 2;
+  const int base = (k + 1) / 2 + 1;  // ⌈k/2⌉ + 1
+  params.delta = {base, std::max(base, deltaLast)};
+  return params;
+}
+
+}  // namespace ncg

@@ -1,0 +1,88 @@
+// The paper's §3.1 lower-bound construction: a "rotated" d-dimensional
+// torus grid, stretched by replacing every edge with a path of length ℓ.
+//
+// Vertices are d-tuples of coordinates, the i-th coordinate taken modulo
+// 2·δ_i·ℓ. *Intersection vertices* are the tuples (ℓ·a_1, ..., ℓ·a_d) with
+// all a_i of the same parity; each is joined to the 2^d tuples
+// (x_1 ± ℓ, ..., x_d ± ℓ) by a path of ℓ edges whose ℓ−1 interior
+// *non-intersection vertices* interpolate the coordinates one step at a
+// time. Edge ownership follows the paper: on the path
+// u = x_0, x_1, ..., x_ℓ = u' the vertex x_i buys the edge to x_{i−1}
+// (i = 1..ℓ−1) and x_{ℓ−1} additionally buys the edge to u'; intersection
+// vertices buy nothing. (For ℓ = 1 the paper leaves ownership unspecified;
+// we assign each edge to its lexicographically smaller endpoint.)
+//
+// The same module provides the "open" (non-modular) variant used by
+// Lemma 3.5 and the coordinate distance lower bounds of Lemmas 3.3/3.5.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// Parameters of the construction. Requires ell >= 1, delta.size() >= 2
+/// and every delta[i] >= 2 (smaller δ would create parallel paths).
+struct TorusParams {
+  int ell = 1;                ///< ℓ — stretch factor (path length)
+  std::vector<int> delta;     ///< δ_1..δ_d — per-dimension sizes
+
+  /// Number of dimensions d.
+  int dims() const { return static_cast<int>(delta.size()); }
+
+  /// Modulus of dimension i: 2·δ_i·ℓ.
+  int modulus(int i) const { return 2 * delta[static_cast<std::size_t>(i)] * ell; }
+};
+
+/// The constructed graph together with its geometry and edge ownership.
+struct TorusGraph {
+  TorusParams params;
+  Graph graph;
+  /// bought[u] = endpoints of the edges u pays for (per the paper's
+  /// ownership scheme). Every edge appears in exactly one list.
+  std::vector<std::vector<NodeId>> bought;
+  /// Coordinates of every node (d entries each, reduced mod 2·δ_i·ℓ).
+  std::vector<std::vector<int>> coords;
+  /// True for intersection vertices.
+  std::vector<bool> isIntersection;
+
+  /// Node id at the given coordinates, or -1 if no node sits there.
+  NodeId nodeAt(const std::vector<int>& c) const;
+
+  /// Count of intersection vertices (paper's N = 2·Π δ_i).
+  NodeId intersectionCount() const;
+
+  std::map<std::vector<int>, NodeId> coordIndex;  ///< coords -> node id
+};
+
+/// Builds the closed (toroidal) construction.
+TorusGraph makeTorus(const TorusParams& params);
+
+/// Builds the "open" variant: same coordinate ranges but no modular wrap;
+/// intersection vertices are joined only when every coordinate differs by
+/// exactly ℓ (no wraparound paths). Used to validate Lemma 3.5.
+TorusGraph makeOpenTorus(const TorusParams& params);
+
+/// Lemma 3.3 coordinate lower bound on the distance between two closed-
+/// torus nodes: max_i min(|x_i−y_i|, 2δ_iℓ − |x_i−y_i|).
+Dist torusDistanceLowerBound(const TorusParams& params,
+                             const std::vector<int>& x,
+                             const std::vector<int>& y);
+
+/// Lemma 3.5 coordinate lower bound for the open variant: max_i |x_i−y_i|.
+Dist openDistanceLowerBound(const std::vector<int>& x,
+                            const std::vector<int>& y);
+
+/// Parameters for the Theorem 3.12 equilibrium family: ℓ = ⌈α⌉,
+/// d = ⌈log2(k/ℓ + 2)⌉ (at least 2), δ_1..δ_{d−1} = ⌈k/ℓ⌉ + 1 and
+/// δ_d = max(δ_1, deltaLast). Requires 1 < alpha <= k.
+TorusParams theorem312Params(double alpha, int k, int deltaLast);
+
+/// Parameters for the SumNCG Lemma 4.1 family: d = 2, ℓ = 2,
+/// δ_1 = ⌈k/2⌉ + 1, δ_2 = max(δ_1, deltaLast).
+TorusParams lemma41Params(int k, int deltaLast);
+
+}  // namespace ncg

@@ -1,0 +1,67 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+void BfsEngine::prepare(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  dist_.assign(n, kUnreachable);
+  queue_.clear();
+  queue_.reserve(n);
+}
+
+const std::vector<Dist>& BfsEngine::run(const Graph& g, NodeId source,
+                                        Dist maxDepth) {
+  const NodeId sources[1] = {source};
+  return runMulti(g, sources, maxDepth);
+}
+
+const std::vector<Dist>& BfsEngine::runMulti(const Graph& g,
+                                             std::span<const NodeId> sources,
+                                             Dist maxDepth) {
+  NCG_REQUIRE(!sources.empty(), "BFS requires at least one source");
+  prepare(g);
+  for (NodeId s : sources) {
+    NCG_REQUIRE(s >= 0 && s < g.nodeCount(),
+                "BFS source " << s << " out of range");
+    if (dist_[static_cast<std::size_t>(s)] != 0) {
+      dist_[static_cast<std::size_t>(s)] = 0;
+      queue_.push_back(s);
+    }
+  }
+  // Classic array-backed frontier walk; queue_ doubles as the visit order.
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    const Dist du = dist_[static_cast<std::size_t>(u)];
+    if (maxDepth >= 0 && du >= maxDepth) continue;
+    for (NodeId v : g.neighbors(u)) {
+      auto& dv = dist_[static_cast<std::size_t>(v)];
+      if (dv == kUnreachable) {
+        dv = du + 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+  return dist_;
+}
+
+Dist BfsEngine::eccentricityOfLastRun(const Graph& g) const {
+  NCG_REQUIRE(dist_.size() == static_cast<std::size_t>(g.nodeCount()),
+              "engine was not run on this graph");
+  Dist ecc = 0;
+  for (Dist d : dist_) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::vector<Dist> bfsDistances(const Graph& g, NodeId source, Dist maxDepth) {
+  BfsEngine engine;
+  return engine.run(g, source, maxDepth);
+}
+
+}  // namespace ncg

@@ -1,0 +1,55 @@
+// Breadth-first search with a reusable workspace.
+//
+// BFS is the single hottest primitive in the library (every cost
+// evaluation, view extraction and equilibrium check runs one or more).
+// BfsEngine owns the distance and queue buffers so repeated searches on
+// graphs of the same node count perform zero allocations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// Reusable BFS engine. Not thread-safe; use one engine per thread.
+class BfsEngine {
+ public:
+  BfsEngine() = default;
+
+  /// Single-source BFS from `source`, optionally stopping at `maxDepth`
+  /// (nodes farther than maxDepth keep kUnreachable). maxDepth < 0 means
+  /// unbounded. Returns distances indexed by node.
+  const std::vector<Dist>& run(const Graph& g, NodeId source,
+                               Dist maxDepth = -1);
+
+  /// Multi-source BFS: distance to the nearest of `sources`.
+  /// Requires at least one source.
+  const std::vector<Dist>& runMulti(const Graph& g,
+                                    std::span<const NodeId> sources,
+                                    Dist maxDepth = -1);
+
+  /// Distances from the last run (valid until the next run on this engine).
+  const std::vector<Dist>& distances() const { return dist_; }
+
+  /// Nodes reached by the last run, in BFS (non-decreasing distance) order.
+  const std::vector<NodeId>& visited() const { return queue_; }
+
+  /// Eccentricity of the last run's source set: max finite distance.
+  /// Returns kUnreachable if some node of g was not reached.
+  Dist eccentricityOfLastRun(const Graph& g) const;
+
+ private:
+  void prepare(const Graph& g);
+
+  std::vector<Dist> dist_;
+  std::vector<NodeId> queue_;
+};
+
+/// Convenience one-shot single-source distances (allocates per call).
+std::vector<Dist> bfsDistances(const Graph& g, NodeId source,
+                               Dist maxDepth = -1);
+
+}  // namespace ncg

@@ -1,0 +1,112 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+Graph::Graph(NodeId n) {
+  NCG_REQUIRE(n >= 0, "node count must be non-negative, got " << n);
+  adjacency_.resize(static_cast<std::size_t>(n));
+}
+
+Graph::Graph(NodeId n, const std::vector<Edge>& edges) : Graph(n) {
+  for (const Edge& e : edges) {
+    addEdge(e.u, e.v);
+  }
+}
+
+void Graph::checkNode(NodeId u) const {
+  NCG_REQUIRE(u >= 0 && u < nodeCount(),
+              "node " << u << " out of range [0," << nodeCount() << ")");
+}
+
+NodeId Graph::degree(NodeId u) const {
+  checkNode(u);
+  return static_cast<NodeId>(adjacency_[static_cast<std::size_t>(u)].size());
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  checkNode(u);
+  const auto& list = adjacency_[static_cast<std::size_t>(u)];
+  return {list.data(), list.size()};
+}
+
+bool Graph::hasEdge(NodeId u, NodeId v) const {
+  checkNode(u);
+  checkNode(v);
+  if (u == v) return false;
+  // Scan the shorter list.
+  const auto& lu = adjacency_[static_cast<std::size_t>(u)];
+  const auto& lv = adjacency_[static_cast<std::size_t>(v)];
+  const auto& shorter = lu.size() <= lv.size() ? lu : lv;
+  const NodeId target = lu.size() <= lv.size() ? v : u;
+  return std::find(shorter.begin(), shorter.end(), target) != shorter.end();
+}
+
+bool Graph::addEdge(NodeId u, NodeId v) {
+  checkNode(u);
+  checkNode(v);
+  NCG_REQUIRE(u != v, "self-loop at node " << u << " rejected");
+  if (hasEdge(u, v)) return false;
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  ++edgeCount_;
+  return true;
+}
+
+bool Graph::removeEdge(NodeId u, NodeId v) {
+  checkNode(u);
+  checkNode(v);
+  if (u == v) return false;
+  auto& lu = adjacency_[static_cast<std::size_t>(u)];
+  auto it = std::find(lu.begin(), lu.end(), v);
+  if (it == lu.end()) return false;
+  *it = lu.back();
+  lu.pop_back();
+  auto& lv = adjacency_[static_cast<std::size_t>(v)];
+  auto jt = std::find(lv.begin(), lv.end(), u);
+  NCG_ASSERT(jt != lv.end(), "adjacency symmetry broken at " << u << "," << v);
+  *jt = lv.back();
+  lv.pop_back();
+  --edgeCount_;
+  return true;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edgeCount_);
+  for (NodeId u = 0; u < nodeCount(); ++u) {
+    for (NodeId v : adjacency_[static_cast<std::size_t>(u)]) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  return out;
+}
+
+double Graph::averageDegree() const {
+  if (nodeCount() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edgeCount_) /
+         static_cast<double>(nodeCount());
+}
+
+NodeId Graph::maxDegree() const {
+  NodeId best = 0;
+  for (const auto& list : adjacency_) {
+    best = std::max(best, static_cast<NodeId>(list.size()));
+  }
+  return best;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.nodeCount() != b.nodeCount() || a.edgeCount() != b.edgeCount()) {
+    return false;
+  }
+  return a.edges() == b.edges();
+}
+
+}  // namespace ncg

@@ -1,0 +1,67 @@
+// Undirected simple graph on a fixed vertex set 0..n-1.
+//
+// Adjacency-list representation tuned for the access pattern of network
+// creation games: node count is fixed per game, edges churn as players
+// change strategies, degrees are small compared to n, and BFS dominates
+// the runtime. Neighbor lists are kept unsorted; membership tests scan the
+// shorter endpoint list (O(min deg)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// Mutable undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  /// Empty graph on `n` isolated nodes.
+  explicit Graph(NodeId n = 0);
+
+  /// Graph on `n` nodes with the given initial edges (duplicates ignored).
+  Graph(NodeId n, const std::vector<Edge>& edges);
+
+  /// Number of nodes.
+  NodeId nodeCount() const { return static_cast<NodeId>(adjacency_.size()); }
+
+  /// Number of edges currently present.
+  std::size_t edgeCount() const { return edgeCount_; }
+
+  /// Degree of node u.
+  NodeId degree(NodeId u) const;
+
+  /// Neighbors of u (unordered, stable only until the next mutation).
+  std::span<const NodeId> neighbors(NodeId u) const;
+
+  /// True iff the edge (u,v) is present.
+  bool hasEdge(NodeId u, NodeId v) const;
+
+  /// Inserts edge (u,v). Returns true if the edge was new.
+  /// Rejects self-loops via precondition check.
+  bool addEdge(NodeId u, NodeId v);
+
+  /// Removes edge (u,v). Returns true if the edge was present.
+  bool removeEdge(NodeId u, NodeId v);
+
+  /// All edges, each reported once with u < v, sorted lexicographically.
+  std::vector<Edge> edges() const;
+
+  /// Sum of degrees / n; 0 for the empty graph.
+  double averageDegree() const;
+
+  /// Largest degree; 0 for the empty graph.
+  NodeId maxDegree() const;
+
+  friend bool operator==(const Graph& a, const Graph& b);
+
+ private:
+  void checkNode(NodeId u) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edgeCount_ = 0;
+};
+
+}  // namespace ncg

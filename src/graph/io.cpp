@@ -1,0 +1,62 @@
+#include "graph/io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+void writeEdgeList(std::ostream& out, const Graph& g) {
+  out << g.nodeCount() << ' ' << g.edgeCount() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+std::string toEdgeListString(const Graph& g) {
+  std::ostringstream oss;
+  writeEdgeList(oss, g);
+  return oss.str();
+}
+
+Graph readEdgeList(std::istream& in) {
+  long long n = 0;
+  long long m = 0;
+  NCG_REQUIRE(static_cast<bool>(in >> n >> m),
+              "edge list header '<n> <m>' missing or malformed");
+  NCG_REQUIRE(n >= 0 && n <= std::numeric_limits<NodeId>::max(),
+              "node count " << n << " out of range");
+  NCG_REQUIRE(m >= 0, "edge count must be non-negative");
+  Graph g(static_cast<NodeId>(n));
+  for (long long i = 0; i < m; ++i) {
+    long long u = 0;
+    long long v = 0;
+    NCG_REQUIRE(static_cast<bool>(in >> u >> v),
+                "edge " << i << " missing or malformed");
+    NCG_REQUIRE(u >= 0 && u < n && v >= 0 && v < n,
+                "edge (" << u << "," << v << ") out of range for n=" << n);
+    g.addEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return g;
+}
+
+Graph fromEdgeListString(const std::string& text) {
+  std::istringstream iss(text);
+  return readEdgeList(iss);
+}
+
+std::string toDot(const Graph& g, const std::string& name) {
+  std::ostringstream oss;
+  oss << "graph " << name << " {\n";
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    oss << "  " << u << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    oss << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace ncg

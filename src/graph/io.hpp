@@ -1,0 +1,31 @@
+// Graph serialization: a plain edge-list text format (round-trippable) and
+// Graphviz DOT export for eyeballing small instances.
+//
+// Edge-list format:
+//   line 1: "<n> <m>"
+//   next m lines: "<u> <v>" with 0 <= u < v < n
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ncg {
+
+/// Writes g in edge-list format.
+void writeEdgeList(std::ostream& out, const Graph& g);
+
+/// Edge-list format as a string.
+std::string toEdgeListString(const Graph& g);
+
+/// Parses the edge-list format; throws ncg::Error on malformed input.
+Graph readEdgeList(std::istream& in);
+
+/// Parses the edge-list format from a string.
+Graph fromEdgeListString(const std::string& text);
+
+/// Graphviz DOT (undirected) representation.
+std::string toDot(const Graph& g, const std::string& name = "G");
+
+}  // namespace ncg

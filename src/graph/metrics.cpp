@@ -1,0 +1,123 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+Dist eccentricity(const Graph& g, NodeId u) {
+  BfsEngine engine;
+  engine.run(g, u);
+  return engine.eccentricityOfLastRun(g);
+}
+
+std::vector<Dist> allEccentricities(const Graph& g) {
+  std::vector<Dist> ecc(static_cast<std::size_t>(g.nodeCount()));
+  BfsEngine engine;
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    engine.run(g, u);
+    ecc[static_cast<std::size_t>(u)] = engine.eccentricityOfLastRun(g);
+  }
+  return ecc;
+}
+
+Dist diameter(const Graph& g) {
+  if (g.nodeCount() <= 1) return 0;
+  Dist best = 0;
+  for (Dist e : allEccentricities(g)) {
+    if (e == kUnreachable) return kUnreachable;
+    best = std::max(best, e);
+  }
+  return best;
+}
+
+Dist radius(const Graph& g) {
+  if (g.nodeCount() <= 1) return 0;
+  Dist best = kUnreachable;
+  for (Dist e : allEccentricities(g)) {
+    best = std::min(best, e);
+  }
+  return best;
+}
+
+std::int64_t statusSum(const Graph& g, NodeId u) {
+  BfsEngine engine;
+  const auto& dist = engine.run(g, u);
+  std::int64_t sum = 0;
+  for (Dist d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    sum += d;
+  }
+  return sum;
+}
+
+bool isConnected(const Graph& g) {
+  if (g.nodeCount() <= 1) return true;
+  BfsEngine engine;
+  const auto& dist = engine.run(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](Dist d) { return d == kUnreachable; });
+}
+
+std::vector<int> connectedComponents(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  std::vector<int> label(n, -1);
+  BfsEngine engine;
+  int next = 0;
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    if (label[static_cast<std::size_t>(u)] != -1) continue;
+    engine.run(g, u);
+    for (NodeId v : engine.visited()) {
+      label[static_cast<std::size_t>(v)] = next;
+    }
+    ++next;
+  }
+  return label;
+}
+
+int componentCount(const Graph& g) {
+  const auto labels = connectedComponents(g);
+  return labels.empty() ? 0 : 1 + *std::max_element(labels.begin(),
+                                                    labels.end());
+}
+
+Dist girth(const Graph& g) {
+  // For each node u, BFS; an edge (x,y) between two visited nodes that is
+  // not a tree edge closes a cycle through their BFS paths of length
+  // d(u,x) + d(u,y) + 1. The minimum over all u and all such edges is the
+  // girth (each shortest cycle is detected from any of its vertices).
+  Dist best = kUnreachable;
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  std::vector<NodeId> parent(n);
+  std::vector<Dist> dist(n);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId s = 0; s < g.nodeCount(); ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(parent.begin(), parent.end(), NodeId{-1});
+    queue.clear();
+    queue.push_back(s);
+    dist[static_cast<std::size_t>(s)] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      const Dist du = dist[static_cast<std::size_t>(u)];
+      // Cycles longer than the current best cannot improve it.
+      if (best != kUnreachable && 2 * du >= best) break;
+      for (NodeId v : g.neighbors(u)) {
+        auto& dv = dist[static_cast<std::size_t>(v)];
+        if (dv == kUnreachable) {
+          dv = du + 1;
+          parent[static_cast<std::size_t>(v)] = u;
+          queue.push_back(v);
+        } else if (v != parent[static_cast<std::size_t>(u)]) {
+          best = std::min(best, du + dv + 1);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ncg

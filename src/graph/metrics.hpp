@@ -1,0 +1,44 @@
+// Whole-graph structural metrics: eccentricities, diameter, radius, girth,
+// connectivity, components. All metrics treat disconnected graphs
+// gracefully (distance-based ones report kUnreachable).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// Eccentricity of u: max distance from u; kUnreachable if g is
+/// disconnected (some node unreachable from u).
+Dist eccentricity(const Graph& g, NodeId u);
+
+/// Eccentricities of every node (n BFS runs).
+std::vector<Dist> allEccentricities(const Graph& g);
+
+/// Diameter: max eccentricity. kUnreachable if disconnected;
+/// 0 for graphs with fewer than 2 nodes.
+Dist diameter(const Graph& g);
+
+/// Radius: min eccentricity. kUnreachable if disconnected.
+Dist radius(const Graph& g);
+
+/// Sum of distances from u to all nodes (the "status" of u in SumNCG);
+/// kUnreachable if some node is unreachable.
+std::int64_t statusSum(const Graph& g, NodeId u);
+
+/// True iff g is connected (vacuously true for n <= 1).
+bool isConnected(const Graph& g);
+
+/// Component label per node (labels are 0..c-1 in first-seen order).
+std::vector<int> connectedComponents(const Graph& g);
+
+/// Number of connected components.
+int componentCount(const Graph& g);
+
+/// Girth: length of the shortest cycle; kUnreachable for forests.
+/// O(n·m) BFS-based computation — fine for the graph sizes in this repo.
+Dist girth(const Graph& g);
+
+}  // namespace ncg

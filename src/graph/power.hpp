@@ -1,0 +1,29 @@
+// Graph powers and distance-ball coverage masks.
+//
+// The best-response reduction of §5.3 needs, for a view graph H and a
+// radius r, the r-th power of H (edge iff distance <= r) — equivalently,
+// for each node v the bitmask of nodes within distance r of v. We expose
+// both forms; the mask form feeds the set-cover solver directly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "support/bitset.hpp"
+
+namespace ncg {
+
+/// The r-th power of g: same nodes, edge (u,v) iff 1 <= d_g(u,v) <= r.
+/// r == 0 yields the empty graph on the same nodes.
+Graph powerGraph(const Graph& g, Dist r);
+
+/// For each node v, the set of nodes at distance <= r from v (v included).
+std::vector<DynBitset> ballMasks(const Graph& g, Dist r);
+
+/// All-pairs distance matrix as a flat row-major vector
+/// (entry [u * n + v] = d(u,v), kUnreachable if disconnected).
+/// O(n·m) time, O(n²) space — intended for view-sized graphs.
+std::vector<Dist> allPairsDistances(const Graph& g);
+
+}  // namespace ncg

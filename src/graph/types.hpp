@@ -1,0 +1,26 @@
+// Shared vocabulary types for the graph subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ncg {
+
+/// Node identifier; nodes of an n-node graph are 0..n-1.
+using NodeId = std::int32_t;
+
+/// Hop-count distance. kUnreachable marks disconnected pairs.
+using Dist = std::int32_t;
+
+/// Sentinel distance for unreachable pairs.
+inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
+
+/// An undirected edge as an (unordered) pair of endpoints.
+struct Edge {
+  NodeId u = -1;
+  NodeId v = -1;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace ncg

@@ -1,0 +1,49 @@
+#include "graph/view.hpp"
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+std::vector<NodeId> ballAround(const Graph& g, NodeId center, Dist radius) {
+  NCG_REQUIRE(radius >= 0, "ball radius must be non-negative");
+  BfsEngine engine;
+  engine.run(g, center, radius);
+  return engine.visited();
+}
+
+LocalView buildView(const Graph& g, NodeId center, Dist radius) {
+  BfsEngine engine;
+  return buildView(g, center, radius, engine);
+}
+
+LocalView buildView(const Graph& g, NodeId center, Dist radius,
+                    BfsEngine& engine) {
+  NCG_REQUIRE(radius >= 0, "view radius must be non-negative");
+  engine.run(g, center, radius);
+  const std::vector<NodeId>& members = engine.visited();
+
+  LocalView view;
+  view.radius = radius;
+  view.toGlobal = members;
+  view.toLocal.assign(static_cast<std::size_t>(g.nodeCount()), NodeId{-1});
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    view.toLocal[static_cast<std::size_t>(members[i])] =
+        static_cast<NodeId>(i);
+  }
+  view.center = view.toLocal[static_cast<std::size_t>(center)];
+  NCG_ASSERT(view.center == 0, "BFS order must place the center first");
+
+  view.graph = Graph(static_cast<NodeId>(members.size()));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const NodeId globalU = members[i];
+    for (NodeId globalV : g.neighbors(globalU)) {
+      const NodeId localV = view.toLocal[static_cast<std::size_t>(globalV)];
+      if (localV >= 0 && static_cast<NodeId>(i) < localV) {
+        view.graph.addEdge(static_cast<NodeId>(i), localV);
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace ncg

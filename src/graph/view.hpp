@@ -1,0 +1,48 @@
+// k-neighborhood views: the induced subgraph a player actually sees.
+//
+// In the locality model of the paper, player u knows the subgraph induced
+// by all nodes at distance <= k from her. LocalView materializes that
+// subgraph with a compact local id space plus bidirectional id maps, so the
+// game layer can run full-knowledge algorithms on it (Propositions 2.1/2.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// Induced subgraph on a ball, with id translation.
+struct LocalView {
+  Graph graph;                      ///< induced subgraph, local ids 0..m-1
+  std::vector<NodeId> toGlobal;     ///< local id -> global id
+  std::vector<NodeId> toLocal;      ///< global id -> local id, -1 if outside
+  NodeId center = -1;               ///< local id of the ball's center
+  Dist radius = 0;                  ///< the k it was built with
+
+  /// Number of nodes in the view.
+  NodeId size() const { return graph.nodeCount(); }
+
+  /// True iff global node g is inside the view.
+  bool contains(NodeId g) const {
+    return g >= 0 && g < static_cast<NodeId>(toLocal.size()) &&
+           toLocal[static_cast<std::size_t>(g)] >= 0;
+  }
+};
+
+/// Global ids of all nodes at distance <= radius from center
+/// (in non-decreasing distance order; center first).
+std::vector<NodeId> ballAround(const Graph& g, NodeId center, Dist radius);
+
+/// Builds the induced subgraph on ballAround(g, center, radius).
+/// Local ids follow the BFS order, so the center is always local id 0.
+LocalView buildView(const Graph& g, NodeId center, Dist radius);
+
+/// As buildView but reusing a caller-provided BFS engine (hot path of the
+/// dynamics loop).
+LocalView buildView(const Graph& g, NodeId center, Dist radius,
+                    BfsEngine& engine);
+
+}  // namespace ncg

@@ -1,0 +1,47 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace ncg {
+
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t grain) {
+  if (n == 0) return;
+  const std::size_t workers = pool.threadCount();
+  if (n == 1 || workers == 1) {
+    serialFor(n, body);
+    return;
+  }
+  if (grain == 0) {
+    // Aim for ~4 chunks per worker to absorb imbalance without
+    // excessive queue traffic.
+    grain = std::max<std::size_t>(1, n / (workers * 4));
+  }
+
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t tasks = std::min(workers, (n + grain - 1) / grain);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([cursor, n, grain, &body] {
+      for (;;) {
+        const std::size_t begin =
+            cursor->fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) {
+          body(i);
+        }
+      }
+    });
+  }
+  pool.wait();
+}
+
+void serialFor(std::size_t n, const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) {
+    body(i);
+  }
+}
+
+}  // namespace ncg

@@ -1,0 +1,29 @@
+// Data-parallel index loops on top of ThreadPool.
+//
+// parallelFor(pool, n, body) runs body(i) for i in [0, n) with dynamic
+// chunking. Bodies must be independent; the call returns only after every
+// index has been processed. Determinism of the overall computation is the
+// caller's job — in this library every trial owns its RNG stream, so results
+// do not depend on which worker executes which index.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ncg {
+
+/// Runs body(i) for each i in [0, n) across the pool's workers.
+/// `grain` indices are claimed at a time (dynamic scheduling); grain 0
+/// picks a heuristic based on n and the pool size.
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t grain = 0);
+
+/// Serial fallback with the same signature; used by tests and when a
+/// caller wants deterministic sequencing (e.g. while debugging).
+void serialFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace ncg

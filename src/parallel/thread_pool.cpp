@@ -1,0 +1,69 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  workAvailable_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  NCG_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock lock(mutex_);
+    NCG_REQUIRE(!stopping_, "submit after ThreadPool destruction began");
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  workAvailable_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      workAvailable_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) {
+        allDone_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace ncg

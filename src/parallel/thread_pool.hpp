@@ -1,0 +1,54 @@
+// Fixed-size worker pool used to fan experiment trials out over all cores.
+//
+// The design is deliberately simple (single mutex-protected FIFO): the
+// experiment harness submits coarse-grained tasks (a whole best-response
+// dynamics run each), so queue contention is negligible and a work-stealing
+// deque would buy nothing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ncg {
+
+/// A fixed set of worker threads executing submitted tasks FIFO.
+/// Exceptions escaping a task terminate the program by design (tasks in
+/// this library report failures through their results, not by throwing).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Defaults to hardware concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait();
+
+  /// Number of worker threads.
+  std::size_t threadCount() const { return workers_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable workAvailable_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace ncg

@@ -1,0 +1,68 @@
+#include "solver/dominating_set.hpp"
+
+#include "graph/power.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+DominationResult minDominatingSet(const Graph& g, Dist r,
+                                  const std::vector<NodeId>& free,
+                                  const std::vector<NodeId>& excluded,
+                                  std::uint64_t nodeBudget) {
+  NCG_REQUIRE(r >= 0, "domination radius must be non-negative");
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  DominationResult result;
+  if (n == 0) {
+    result.feasible = true;
+    result.optimal = true;
+    return result;
+  }
+
+  const std::vector<DynBitset> balls = ballMasks(g, r);
+
+  DynBitset universe(n);
+  universe.setAll();
+  for (NodeId f : free) {
+    NCG_REQUIRE(f >= 0 && f < g.nodeCount(), "free vertex out of range");
+    universe.andNot(balls[static_cast<std::size_t>(f)]);
+  }
+  if (universe.none()) {
+    result.feasible = true;
+    result.optimal = true;
+    return result;
+  }
+
+  DynBitset usable(n);
+  usable.setAll();
+  for (NodeId x : excluded) {
+    NCG_REQUIRE(x >= 0 && x < g.nodeCount(), "excluded vertex out of range");
+    usable.reset(static_cast<std::size_t>(x));
+  }
+  for (NodeId f : free) {
+    usable.reset(static_cast<std::size_t>(f));  // free already dominates
+  }
+
+  // Assemble the candidate list; keep the candidate -> vertex mapping.
+  std::vector<DynBitset> sets;
+  std::vector<NodeId> setVertex;
+  sets.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (usable.test(v)) {
+      sets.push_back(balls[v]);
+      setVertex.push_back(static_cast<NodeId>(v));
+    }
+  }
+
+  const SetCoverResult cover = minSetCover(universe, sets, nodeBudget);
+  result.feasible = cover.feasible;
+  result.optimal = cover.optimal;
+  if (cover.feasible) {
+    result.chosen.reserve(cover.chosen.size());
+    for (int idx : cover.chosen) {
+      result.chosen.push_back(setVertex[static_cast<std::size_t>(idx)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ncg

@@ -1,0 +1,34 @@
+// Constrained minimum distance-r dominating set, the exact problem the
+// §5.3 best-response reduction produces:
+//
+//   given graph H₀, radius r, a set of *free* dominators F (vertices that
+//   already dominate at no cost — the neighbors who bought their edge
+//   toward the moving player) and a set of *excluded* candidates, find the
+//   smallest S' ⊆ V(H₀) \ excluded such that every vertex of H₀ is within
+//   distance r of F ∪ S'.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+#include "solver/set_cover.hpp"
+
+namespace ncg {
+
+/// Result of a constrained domination solve.
+struct DominationResult {
+  std::vector<NodeId> chosen;  ///< the extra dominators S'
+  bool feasible = false;       ///< universe coverable at this radius
+  bool optimal = false;        ///< proven minimum within budget
+};
+
+/// Solves the constrained distance-r domination problem described above.
+/// `free` and `excluded` may overlap arbitrarily with each other; free
+/// vertices never appear in `chosen`.
+DominationResult minDominatingSet(const Graph& g, Dist r,
+                                  const std::vector<NodeId>& free = {},
+                                  const std::vector<NodeId>& excluded = {},
+                                  std::uint64_t nodeBudget = 0);
+
+}  // namespace ncg

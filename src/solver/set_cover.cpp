@@ -1,0 +1,237 @@
+#include "solver/set_cover.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+constexpr std::uint64_t kDefaultNodeBudget = 500'000;
+
+/// True iff a ⊆ b.
+bool isSubsetOf(const DynBitset& a, const DynBitset& b) {
+  return a.countAndNot(b) == 0;
+}
+
+struct SearchState {
+  const std::vector<DynBitset>* sets = nullptr;
+  /// coverList[e] = indices of the sets containing element e (static:
+  /// sets are never consumed, so this is valid throughout the search).
+  std::vector<std::vector<int>> coverList;
+  std::vector<int> best;  // incumbent (may exceed sizeCap; see below)
+  std::size_t pruneLimit = 0;  // branches reaching this size are cut
+  std::vector<int> current;
+  std::uint64_t nodes = 0;
+  std::uint64_t budget = 0;
+  bool budgetHit = false;
+  bool improved = false;  // found something below the initial limit
+  std::size_t maxSetSize = 1;
+};
+
+/// Recursive branch-and-bound; `uncovered` is the universe minus the
+/// coverage of `state.current`.
+void search(SearchState& state, const DynBitset& uncovered) {
+  if (++state.nodes > state.budget) {
+    state.budgetHit = true;
+    return;
+  }
+  const std::size_t remaining = uncovered.count();
+  if (remaining == 0) {
+    if (state.current.size() < state.pruneLimit) {
+      state.best = state.current;
+      state.pruneLimit = state.current.size();
+      state.improved = true;
+    }
+    return;
+  }
+  // Cardinality lower bound: every future set covers <= maxSetSize
+  // elements.
+  const std::size_t lower =
+      (remaining + state.maxSetSize - 1) / state.maxSetSize;
+  if (state.current.size() + lower >= state.pruneLimit) {
+    return;
+  }
+
+  // Branch on the uncovered element with the fewest covering sets: its
+  // branching factor is minimal, and zero means infeasible from here.
+  std::size_t bestElement = uncovered.size();
+  std::size_t bestCount = state.sets->size() + 1;
+  for (std::size_t e : uncovered.toIndices()) {
+    const std::size_t covering = state.coverList[e].size();
+    if (covering < bestCount) {
+      bestCount = covering;
+      bestElement = e;
+      if (covering <= 1) break;
+    }
+  }
+  if (bestCount == 0) return;  // element uncoverable: infeasible branch
+
+  // Candidates covering the chosen element, largest marginal gain first.
+  const auto& sets = *state.sets;
+  std::vector<std::pair<std::size_t, int>> candidates;
+  candidates.reserve(bestCount);
+  for (int index : state.coverList[bestElement]) {
+    candidates.emplace_back(
+        sets[static_cast<std::size_t>(index)].countAnd(uncovered), index);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [gain, index] : candidates) {
+    (void)gain;
+    state.current.push_back(index);
+    DynBitset next = uncovered;
+    next.andNot(sets[static_cast<std::size_t>(index)]);
+    search(state, next);
+    state.current.pop_back();
+    if (state.budgetHit) return;
+    // A singleton incumbent cannot be beaten (covers from the root).
+    if (state.pruneLimit <= 1) return;
+  }
+}
+
+}  // namespace
+
+SetCoverResult greedySetCover(const DynBitset& universe,
+                              const std::vector<DynBitset>& sets) {
+  SetCoverResult result;
+  DynBitset uncovered = universe;
+  while (uncovered.any()) {
+    std::size_t bestGain = 0;
+    int bestIndex = -1;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      const std::size_t gain = sets[i].countAnd(uncovered);
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestIndex = static_cast<int>(i);
+      }
+    }
+    if (bestIndex < 0) {
+      result.feasible = false;
+      result.chosen.clear();
+      return result;
+    }
+    result.chosen.push_back(bestIndex);
+    uncovered.andNot(sets[static_cast<std::size_t>(bestIndex)]);
+  }
+  result.feasible = true;
+  result.withinCap = true;
+  return result;
+}
+
+SetCoverResult minSetCover(const DynBitset& universe,
+                           const std::vector<DynBitset>& sets,
+                           std::uint64_t nodeBudget, std::size_t sizeCap) {
+  for (const auto& s : sets) {
+    NCG_REQUIRE(s.size() == universe.size(),
+                "set mask size " << s.size() << " != universe size "
+                                 << universe.size());
+  }
+  SetCoverResult result;
+  if (universe.none()) {
+    result.feasible = true;
+    result.optimal = true;
+    result.withinCap = true;
+    return result;
+  }
+
+  // ---- Reduction 1: drop duplicate sets and sets contained in others.
+  // Order by descending popcount so a set can only be subsumed by an
+  // earlier (larger-or-equal) one.
+  std::vector<int> order(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&sets](int a, int b) {
+    return sets[static_cast<std::size_t>(a)].count() >
+           sets[static_cast<std::size_t>(b)].count();
+  });
+  std::vector<DynBitset> kept;         // reduced candidate list
+  std::vector<int> keptOriginal;       // reduced index -> original index
+  kept.reserve(sets.size());
+  for (int original : order) {
+    const DynBitset& candidate = sets[static_cast<std::size_t>(original)];
+    if (candidate.none()) continue;
+    bool subsumed = false;
+    for (const DynBitset& bigger : kept) {
+      if (isSubsetOf(candidate, bigger)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) {
+      kept.push_back(candidate);
+      keptOriginal.push_back(original);
+    }
+  }
+
+  // Greedy incumbent on the reduced instance doubles as the feasibility
+  // check.
+  SetCoverResult greedy = greedySetCover(universe, kept);
+  if (!greedy.feasible) {
+    return result;  // infeasible
+  }
+
+  // ---- Reduction 2: drop dominated elements. If every set covering e1
+  // also covers e2, covering e1 covers e2 automatically — search only
+  // needs e1. Compare per-element "which sets cover me" signatures.
+  const std::size_t elementCount = universe.size();
+  std::vector<DynBitset> signature(
+      elementCount, DynBitset(kept.size()));
+  for (std::size_t s = 0; s < kept.size(); ++s) {
+    for (std::size_t e : kept[s].toIndices()) {
+      signature[e].set(s);
+    }
+  }
+  DynBitset reducedUniverse = universe;
+  const std::vector<std::size_t> active = universe.toIndices();
+  for (std::size_t e2 : active) {
+    for (std::size_t e1 : active) {
+      if (e1 == e2 || !reducedUniverse.test(e2)) continue;
+      if (!reducedUniverse.test(e1)) continue;
+      // e2 dominated by e1: sig(e1) ⊆ sig(e2) (strict or tie-broken by
+      // index to avoid dropping both of an identical pair).
+      if (isSubsetOf(signature[e1], signature[e2]) &&
+          (signature[e1].count() < signature[e2].count() || e1 < e2)) {
+        reducedUniverse.reset(e2);
+      }
+    }
+  }
+
+  SearchState state;
+  state.sets = &kept;
+  state.budget = nodeBudget == 0 ? kDefaultNodeBudget : nodeBudget;
+  state.coverList.resize(elementCount);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t e : kept[i].toIndices()) {
+      state.coverList[e].push_back(static_cast<int>(i));
+    }
+    state.maxSetSize = std::max(state.maxSetSize, kept[i].count());
+  }
+
+  // The search may improve on the greedy incumbent or prove nothing
+  // within the cap exists. pruneLimit = best known size, clamped by cap.
+  const bool greedyWithinCap = greedy.chosen.size() <= sizeCap;
+  state.best = greedy.chosen;
+  state.pruneLimit = std::min(greedy.chosen.size(),
+                              sizeCap == SIZE_MAX ? SIZE_MAX : sizeCap + 1);
+  search(state, reducedUniverse);
+
+  result.feasible = true;
+  result.optimal = !state.budgetHit;
+  result.nodesExplored = state.nodes;
+  const std::vector<int>& reducedChosen =
+      state.improved ? state.best : greedy.chosen;
+  result.withinCap =
+      state.improved ? state.best.size() <= sizeCap : greedyWithinCap;
+  result.chosen.reserve(reducedChosen.size());
+  for (int reducedIndex : reducedChosen) {
+    result.chosen.push_back(
+        keptOriginal[static_cast<std::size_t>(reducedIndex)]);
+  }
+  return result;
+}
+
+}  // namespace ncg

@@ -1,0 +1,67 @@
+// Minimum-cardinality set cover over bitset masks.
+//
+// This is the engine behind the best-response computation: the paper (§5.3)
+// reduces a MaxNCG best response to a *constrained minimum dominating set*
+// on a power of the player's view and solves it with Gurobi; we solve the
+// equivalent set-cover instances exactly with branch-and-bound
+// (see DESIGN.md, substitutions).
+//
+// Before searching, two classic reductions shrink the instance (both are
+// exact): duplicate/subset sets are dropped (a set contained in another is
+// never needed), and dominated elements are dropped (if every set covering
+// e1 also covers e2, covering e1 covers e2 for free). On the ball-mask
+// instances arising from views these reductions routinely remove most of
+// the instance.
+//
+// The solver is exact but carries an explicit exploration budget so callers
+// can bound worst-case latency; when the budget trips, the best incumbent
+// is returned with `optimal = false`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitset.hpp"
+
+namespace ncg {
+
+/// Outcome of a set-cover solve.
+struct SetCoverResult {
+  /// Indices (into the candidate list) of the chosen sets.
+  std::vector<int> chosen;
+  /// True iff a cover exists at all (universe coverable by the union).
+  bool feasible = false;
+  /// True iff the verdict is proven (minimum found, or proven that no
+  /// cover under `sizeCap` exists) within the node budget.
+  bool optimal = false;
+  /// True iff a cover within `sizeCap` was found (`chosen` holds it).
+  bool withinCap = false;
+  /// Branch-and-bound nodes explored (diagnostics / benches).
+  std::uint64_t nodesExplored = 0;
+};
+
+/// Greedy cover: repeatedly pick the set covering the most uncovered
+/// elements. Returns indices; empty result with feasible=false if the
+/// union of all sets misses part of the universe.
+SetCoverResult greedySetCover(const DynBitset& universe,
+                              const std::vector<DynBitset>& sets);
+
+/// Exact minimum set cover by branch-and-bound.
+///
+/// universe  — elements that must be covered (positions set to 1)
+/// sets      — candidate coverage masks, all of universe's size
+/// nodeBudget— cap on explored B&B nodes (0 = default 500 000)
+/// sizeCap   — only covers of size <= sizeCap are of interest; branches
+///             provably exceeding it are pruned (default: unlimited).
+///             When no cover within the cap exists, the result has
+///             feasible=true (some cover exists), withinCap=false.
+///
+/// Branching: select the uncovered element covered by the fewest sets and
+/// branch on each set covering it (most-coverage first). Pruning: greedy
+/// incumbent, the sizeCap, and the ceil(uncovered / maxSetSize) bound.
+SetCoverResult minSetCover(const DynBitset& universe,
+                           const std::vector<DynBitset>& sets,
+                           std::uint64_t nodeBudget = 0,
+                           std::size_t sizeCap = SIZE_MAX);
+
+}  // namespace ncg

@@ -1,0 +1,65 @@
+#include "stats/accumulator.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace ncg {
+
+void RunningStat::push(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ci95HalfWidth() const {
+  if (count_ < 2) return 0.0;
+  const double t = tQuantile975(count_ - 1);
+  return t * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford states.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double tQuantile975(std::size_t df) {
+  // Two-sided 95% (upper 97.5%) Student t critical values.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,   2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,   2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,   2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df < kTable.size()) return kTable[df];
+  return 1.96;
+}
+
+}  // namespace ncg

@@ -1,0 +1,51 @@
+// Streaming summary statistics with 95% confidence intervals — the paper
+// reports every experimental quantity as "mean ± 95% CI over 20 runs".
+#pragma once
+
+#include <cstddef>
+
+namespace ncg {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// extrema. Values are pushed one at a time; queries are O(1).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void push(double value);
+
+  /// Number of observations.
+  std::size_t count() const { return count_; }
+
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (0 with fewer than 2 observations).
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Half-width of the 95% confidence interval for the mean, using
+  /// Student's t quantile for small samples (exactly what the paper's
+  /// error bars show). 0 with fewer than 2 observations.
+  double ci95HalfWidth() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 97.5% Student t quantile for `df` degrees of freedom
+/// (table through df = 30, 1.96 asymptote beyond).
+double tQuantile975(std::size_t df);
+
+}  // namespace ncg

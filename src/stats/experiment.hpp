@@ -1,0 +1,35 @@
+// Deterministic parallel trial execution.
+//
+// A "trial" is any seeded computation (typically one best-response
+// dynamics run). Trials fan out over a ThreadPool; trial i always receives
+// the RNG stream deriveSeed(baseSeed, i), so results are identical
+// whatever the thread count or scheduling.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+/// Runs `trials` independent seeded computations on the pool and returns
+/// their results in trial order. The functor receives (trialIndex, rng).
+template <typename T>
+std::vector<T> runTrials(ThreadPool& pool, int trials,
+                         std::uint64_t baseSeed,
+                         const std::function<T(int, Rng&)>& trial) {
+  std::vector<T> results(static_cast<std::size_t>(trials));
+  parallelFor(
+      pool, static_cast<std::size_t>(trials),
+      [&](std::size_t i) {
+        Rng rng(deriveSeed(baseSeed, i));
+        results[i] = trial(static_cast<int>(i), rng);
+      },
+      /*grain=*/1);
+  return results;
+}
+
+}  // namespace ncg

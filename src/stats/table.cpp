@@ -1,0 +1,60 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace ncg {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  NCG_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  NCG_REQUIRE(cells.size() == headers_.size(),
+              "row has " << cells.size() << " cells, table has "
+                         << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::toString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) oss << "  ";
+      oss << padRight(row[c], widths[c]);
+    }
+    oss << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+std::string TextTable::toCsv() const {
+  std::ostringstream oss;
+  oss << join(headers_, ",") << '\n';
+  for (const auto& row : rows_) {
+    oss << join(row, ",") << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace ncg

@@ -1,0 +1,32 @@
+// Aligned text tables (paper-style rows printed by the benches) with a
+// CSV escape hatch for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ncg {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Rendered with padded columns and a header underline.
+  std::string toString() const;
+
+  /// Rendered as CSV (no quoting — cells are numeric in this codebase).
+  std::string toCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ncg

@@ -1,0 +1,168 @@
+// Dynamic fixed-capacity bitset used for coverage masks in the dominating
+// set solver and graph power computations. std::vector<bool> is too slow
+// for whole-set operations and std::bitset needs a compile-time size, so we
+// roll a minimal 64-bit-word implementation with exactly the operations the
+// solver needs.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+/// Fixed-size (set at construction) bitset over 64-bit words.
+class DynBitset {
+ public:
+  DynBitset() = default;
+
+  /// All-zero bitset with `bits` positions.
+  explicit DynBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    NCG_ASSERT(i < bits_, "bit index " << i << " out of range " << bits_);
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void reset(std::size_t i) {
+    NCG_ASSERT(i < bits_, "bit index " << i << " out of range " << bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  bool test(std::size_t i) const {
+    NCG_ASSERT(i < bits_, "bit index " << i << " out of range " << bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets every position.
+  void setAll() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trimTail();
+  }
+
+  /// Clears every position.
+  void resetAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(
+        std::popcount(w));
+    return c;
+  }
+
+  bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// True iff every position is set.
+  bool all() const { return count() == bits_; }
+
+  DynBitset& operator|=(const DynBitset& other) {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  DynBitset& operator&=(const DynBitset& other) {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// this &= ~other (removes other's bits).
+  DynBitset& andNot(const DynBitset& other) {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+    return *this;
+  }
+
+  /// Number of set bits in (this & other) — coverage gain computations.
+  std::size_t countAnd(const DynBitset& other) const {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<std::size_t>(
+          std::popcount(words_[i] & other.words_[i]));
+    }
+    return c;
+  }
+
+  /// Number of set bits in (this & ~other).
+  std::size_t countAndNot(const DynBitset& other) const {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<std::size_t>(
+          std::popcount(words_[i] & ~other.words_[i]));
+    }
+    return c;
+  }
+
+  /// True iff (this & other) is non-empty.
+  bool intersects(const DynBitset& other) const {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t findFirst() const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return (i << 6) +
+               static_cast<std::size_t>(std::countr_zero(words_[i]));
+      }
+    }
+    return bits_;
+  }
+
+  /// All set-bit positions in increasing order.
+  std::vector<std::size_t> toIndices() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const auto b = static_cast<std::size_t>(std::countr_zero(w));
+        out.push_back((i << 6) + b);
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  void trimTail() {
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ncg

@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+namespace ncg::detail {
+
+void throwError(const char* condition, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream oss;
+  oss << "ncg check failed: (" << condition << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace ncg::detail

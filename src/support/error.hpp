@@ -1,0 +1,53 @@
+// Error handling primitives shared by every ncg subsystem.
+//
+// Conventions (C++ Core Guidelines E.2/E.3, I.6):
+//  * NCG_REQUIRE  — precondition / invariant check that is always compiled
+//    in; violation throws ncg::Error with file:line context. Used on public
+//    API boundaries where the cost is negligible next to the work done.
+//  * NCG_ASSERT   — internal consistency check, compiled out in NDEBUG
+//    builds; used inside hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ncg {
+
+/// Exception thrown on precondition or invariant violations anywhere in the
+/// library. Carries a human-readable message with source location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+namespace detail {
+
+/// Builds the exception message and throws. Out-of-line so that the check
+/// macros stay tiny at every call site.
+[[noreturn]] void throwError(const char* condition, const char* file, int line,
+                             const std::string& message);
+
+}  // namespace detail
+
+}  // namespace ncg
+
+/// Always-on check. `extra` is streamed, e.g.
+///   NCG_REQUIRE(u < n, "node id " << u << " out of range [0," << n << ")");
+#define NCG_REQUIRE(cond, extra)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream ncg_require_oss_;                                \
+      ncg_require_oss_ << extra;                                          \
+      ::ncg::detail::throwError(#cond, __FILE__, __LINE__,                \
+                                ncg_require_oss_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define NCG_ASSERT(cond, extra) \
+  do {                          \
+  } while (false)
+#else
+#define NCG_ASSERT(cond, extra) NCG_REQUIRE(cond, extra)
+#endif

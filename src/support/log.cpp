@@ -1,0 +1,60 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ncg {
+
+namespace {
+
+LogLevel initialLevel() {
+  const char* env = std::getenv("NCG_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& levelStore() {
+  static std::atomic<int> level{static_cast<int>(initialLevel())};
+  return level;
+}
+
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) {
+  levelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(levelStore().load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void logLine(LogLevel level, const std::string& message) {
+  // One fprintf call so concurrent lines do not interleave mid-message.
+  std::fprintf(stderr, "[ncg %s] %s\n", levelTag(level), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace ncg

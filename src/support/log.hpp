@@ -1,0 +1,41 @@
+// Minimal leveled logger for the experiment harnesses.
+//
+// The library itself never logs from hot paths; logging exists so that
+// long-running benches can report progress. Level is controlled
+// programmatically or via the NCG_LOG environment variable
+// (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ncg {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void setLogLevel(LogLevel level);
+
+/// Current global log threshold (initialized from $NCG_LOG, default warn).
+LogLevel logLevel();
+
+namespace detail {
+/// Emits one formatted line to stderr (thread-safe, single write call).
+void logLine(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace ncg
+
+#define NCG_LOG(level, expr)                               \
+  do {                                                     \
+    if (static_cast<int>(level) <=                         \
+        static_cast<int>(::ncg::logLevel())) {             \
+      std::ostringstream ncg_log_oss_;                     \
+      ncg_log_oss_ << expr;                                \
+      ::ncg::detail::logLine(level, ncg_log_oss_.str());   \
+    }                                                      \
+  } while (false)
+
+#define NCG_LOG_INFO(expr) NCG_LOG(::ncg::LogLevel::kInfo, expr)
+#define NCG_LOG_WARN(expr) NCG_LOG(::ncg::LogLevel::kWarn, expr)
+#define NCG_LOG_DEBUG(expr) NCG_LOG(::ncg::LogLevel::kDebug, expr)

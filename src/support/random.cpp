@@ -1,0 +1,107 @@
+#include "support/random.hpp"
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int s) {
+  return (x << s) | (x >> (64 - s));
+}
+
+inline std::uint64_t splitmixStep(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() { return splitmixStep(state_); }
+
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream) {
+  // Mix the stream index through two SplitMix rounds so that consecutive
+  // streams land far apart in the output space.
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  SplitMix64 mixer(s);
+  std::uint64_t a = mixer.next();
+  std::uint64_t b = mixer.next();
+  return a ^ rotl(b, 23);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 expander(seed);
+  for (auto& word : state_) {
+    word = expander.next();
+  }
+  // A theoretically possible all-zero state would lock the generator.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBounded(std::uint64_t bound) {
+  NCG_REQUIRE(bound > 0, "nextBounded requires a positive bound");
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) {
+  NCG_REQUIRE(lo <= hi, "nextInRange requires lo <= hi, got " << lo << " > "
+                                                              << hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double Rng::nextDouble() {
+  // 53 random bits scaled to [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return nextDouble() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = nextBounded(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace ncg

@@ -1,0 +1,48 @@
+#include "support/string_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncg {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string formatFixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string formatWithCi(double value, double halfWidth, int decimals) {
+  return formatFixed(value, decimals) + " ± " +
+         formatFixed(halfWidth, decimals);
+}
+
+std::string padLeft(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string padRight(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+int envInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || value <= 0) return fallback;
+  return static_cast<int>(value);
+}
+
+}  // namespace ncg

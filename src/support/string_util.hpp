@@ -1,0 +1,29 @@
+// Small string/formatting helpers used by the table writers and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ncg {
+
+/// Joins elements with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Fixed-precision decimal formatting, e.g. formatFixed(3.14159, 2) == "3.14".
+std::string formatFixed(double value, int decimals);
+
+/// Formats `value ± halfWidth` with the given number of decimals.
+std::string formatWithCi(double value, double halfWidth, int decimals);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string padLeft(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string padRight(const std::string& s, std::size_t width);
+
+/// Parses a positive integer from an environment variable, with fallback.
+/// Used by benches for NCG_TRIALS / NCG_SCALE style knobs.
+int envInt(const char* name, int fallback);
+
+}  // namespace ncg

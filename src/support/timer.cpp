@@ -1,0 +1,9 @@
+#include "support/timer.hpp"
+
+namespace ncg {
+
+double WallTimer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace ncg

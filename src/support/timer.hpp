@@ -1,0 +1,27 @@
+// Monotonic wall-clock timing for experiment harnesses and benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace ncg {
+
+/// Simple monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const;
+
+  /// Milliseconds elapsed since construction / last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ncg

@@ -1,0 +1,136 @@
+// Tests for the Figure 3 / Figure 4 bound formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/max_bounds.hpp"
+#include "bounds/sum_bounds.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(MaxBounds, CycleBoundValues) {
+  EXPECT_TRUE(lbCycleApplies(3.0, 2.0));
+  EXPECT_TRUE(lbCycleApplies(1.0, 2.0));   // α = k−1 boundary
+  EXPECT_FALSE(lbCycleApplies(0.5, 2.0));
+  EXPECT_DOUBLE_EQ(lbCyclePoA(1000, 4.0), 200.0);
+}
+
+TEST(MaxBounds, HighGirthBoundValues) {
+  EXPECT_TRUE(lbHighGirthApplies(1 << 20, 1.0, 2.0));
+  EXPECT_FALSE(lbHighGirthApplies(1 << 20, 1.0, 11.0));  // k too large
+  EXPECT_FALSE(lbHighGirthApplies(1024, 0.5, 2.0));      // α < 1
+  EXPECT_DOUBLE_EQ(lbHighGirthPoA(1 << 10, 2.0),
+                   std::pow(1 << 10, 0.5));
+}
+
+TEST(MaxBounds, TorusBoundValues) {
+  // k = α ⇒ ratio 1 ⇒ lower bound n/α (the "tight" diagonal case).
+  EXPECT_NEAR(lbTorusPoA(1e6, 4.0, 4.0), 1e6 / 4.0, 1e-6);
+  // Larger k/α lowers the bound.
+  EXPECT_LT(lbTorusPoA(1e6, 2.0, 16.0), lbTorusPoA(1e6, 2.0, 2.0));
+}
+
+TEST(MaxBounds, TorusApplicability) {
+  EXPECT_TRUE(lbTorusApplies(1e9, 2.0, 4.0));
+  EXPECT_FALSE(lbTorusApplies(1e9, 0.5, 4.0));   // α <= 1
+  EXPECT_FALSE(lbTorusApplies(1e9, 8.0, 4.0));   // α > k
+}
+
+TEST(MaxBounds, CombinedLowerBoundTakesMax) {
+  // α = k = 3: cycle bound always contributes on the diagonal; the torus
+  // bound contributes whenever its k <= 2^{√log n − 3} frontier admits it
+  // (needs very large n for k = 3).
+  const double nHuge = 1e9;
+  EXPECT_TRUE(lbTorusApplies(nHuge, 3.0, 3.0));
+  const double combined = maxPoaLowerBound(nHuge, 3.0, 3.0);
+  EXPECT_GE(combined, lbCyclePoA(nHuge, 3.0) - 1e-9);
+  EXPECT_GE(combined, lbTorusPoA(nHuge, 3.0, 3.0) - 1e-9);
+  // At n = 1e6 the torus frontier excludes k = 3: only the cycle applies.
+  EXPECT_FALSE(lbTorusApplies(1e6, 3.0, 3.0));
+  EXPECT_DOUBLE_EQ(maxPoaLowerBound(1e6, 3.0, 3.0), lbCyclePoA(1e6, 3.0));
+  // Nothing applies for α < 1, huge k: floor of 1.
+  EXPECT_DOUBLE_EQ(maxPoaLowerBound(100, 0.5, 90.0), 1.0);
+}
+
+TEST(MaxBounds, UpperBoundAboveLowerBoundOnTheDiagonal) {
+  // Sanity: UB >= LB where both formulas are exercised (k = α).
+  for (double n : {1e4, 1e6, 1e9}) {
+    for (double a : {2.0, 4.0, 16.0}) {
+      EXPECT_GE(maxPoaUpperBound(n, a, a + 1.0) * 8.0,
+                maxPoaLowerBound(n, a, a + 1.0))
+          << "n=" << n << " α=" << a;
+    }
+  }
+}
+
+TEST(MaxBounds, DensityTermShrinksWithAlpha) {
+  EXPECT_GT(ubDensityTerm(1e6, 2.0, 10.0), ubDensityTerm(1e6, 8.0, 10.0));
+}
+
+TEST(MaxBounds, FullKnowledgeRegion) {
+  // Huge k relative to n: every LKE sees the whole graph.
+  EXPECT_TRUE(fullKnowledgeRegionMax(100.0, 2.0, 200.0));
+  // Small k: locality binds.
+  EXPECT_FALSE(fullKnowledgeRegionMax(1e6, 2.0, 3.0));
+  // Region requires α <= k−1.
+  EXPECT_FALSE(fullKnowledgeRegionMax(100.0, 500.0, 200.0));
+}
+
+TEST(MaxBounds, RegionClassifierSanity) {
+  const double n = 1e6;
+  // Bottom-left: small α below diagonal → region 6.
+  EXPECT_EQ(classifyMaxRegion(n, 5.0, 2.0), MaxRegion::kR6);
+  // Below diagonal, α between log n and 4^{√log n} → region 2.
+  EXPECT_EQ(classifyMaxRegion(n, 100.0, 3.0), MaxRegion::kR2);
+  // Below diagonal, huge α → region 3.
+  EXPECT_EQ(classifyMaxRegion(n, 1e5, 3.0), MaxRegion::kR3);
+  // Above diagonal, k <= log n → region 1.
+  EXPECT_EQ(classifyMaxRegion(n, 2.0, 15.0), MaxRegion::kR1);
+  // Gray region for k near n.
+  EXPECT_EQ(classifyMaxRegion(1e4, 2.0, 9e3), MaxRegion::kGray);
+}
+
+TEST(MaxBounds, RegionNames) {
+  EXPECT_STREQ(maxRegionName(MaxRegion::kR1), "1");
+  EXPECT_STREQ(maxRegionName(MaxRegion::kGray), "NE=LKE");
+}
+
+TEST(SumBounds, TorusBound) {
+  // α between 4k³ and n: PoA >= n/k.
+  EXPECT_TRUE(lbSumTorusApplies(1e6, 500.0, 4.0));
+  EXPECT_DOUBLE_EQ(lbSumTorusPoA(1e6, 500.0, 4.0), 1e6 / 4.0);
+  // α above n: the weaker 1 + n²/(kα) form.
+  EXPECT_DOUBLE_EQ(lbSumTorusPoA(100.0, 1e6, 2.0),
+                   1.0 + 100.0 * 100.0 / (2.0 * 1e6));
+  // Applicability limits.
+  EXPECT_FALSE(lbSumTorusApplies(1e6, 10.0, 4.0));      // α < 4k³
+  EXPECT_FALSE(lbSumTorusApplies(100.0, 1e9, 50.0));    // k too large
+}
+
+TEST(SumBounds, GirthBound) {
+  EXPECT_TRUE(lbSumGirthApplies(1000.0, 1e6, 2.0));
+  EXPECT_FALSE(lbSumGirthApplies(1000.0, 10.0, 2.0));
+  EXPECT_DOUBLE_EQ(lbSumGirthPoA(1 << 10, 2.0), 32.0);
+}
+
+TEST(SumBounds, CombinedLowerBound) {
+  EXPECT_GE(sumPoaLowerBound(1e6, 1e3, 4.0), 1e6 / 4.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(sumPoaLowerBound(100.0, 1.0, 50.0), 1.0);
+}
+
+TEST(SumBounds, FullKnowledgeFrontier) {
+  // Theorem 4.4: k > 1 + 2√α.
+  EXPECT_TRUE(fullKnowledgeRegionSum(4.0, 6.0));
+  EXPECT_FALSE(fullKnowledgeRegionSum(4.0, 5.0));
+  EXPECT_TRUE(fullKnowledgeRegionSum(0.0, 2.0));
+}
+
+TEST(SumBounds, Figure4Regimes) {
+  EXPECT_EQ(sumRegimeOfFigure4(100.0, 40.0), 1);    // above √α curve
+  EXPECT_EQ(sumRegimeOfFigure4(1000.0, 2.0), -1);   // below ∛α curve
+  EXPECT_EQ(sumRegimeOfFigure4(10000.0, 50.0), 0);  // open strip
+}
+
+}  // namespace
+}  // namespace ncg

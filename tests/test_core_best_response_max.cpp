@@ -1,0 +1,227 @@
+// Tests for the MaxNCG exact best response (Prop. 2.1 + §5.3 reduction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/best_response.hpp"
+#include "core/cost.hpp"
+#include "core/equilibrium.hpp"
+#include "gen/classic.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+StrategyProfile cycleProfile(NodeId n) {
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+StrategyProfile pathProfile(NodeId n) {
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back(i + 1);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+/// Brute-force best response on tiny instances: enumerate all subsets of
+/// the view (max over the *view* per Prop. 2.1).
+double bruteForceBestCostMax(const Graph& g, const StrategyProfile& profile,
+                             NodeId u, const GameParams& params) {
+  const PlayerView pv = buildPlayerView(g, profile, u, params.k);
+  const NodeId m = pv.view.size();
+  if (m <= 1) {
+    return params.alpha * pv.alphaBought + pv.eccInView;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  const int others = m - 1;
+  for (unsigned mask = 0; mask < (1u << others); ++mask) {
+    // Strategy: buy local nodes {i+1 : bit i set} minus free ones
+    // (buying a free edge is allowed but just wastes α; include anyway
+    // for full enumeration).
+    Graph h = pv.view.graph;
+    // Remove u's current edges, keep free ones.
+    for (NodeId v = 1; v < m; ++v) {
+      h.removeEdge(0, v);
+    }
+    for (NodeId f : pv.freeNeighborsLocal) {
+      h.addEdge(0, f);
+    }
+    int boughtCount = 0;
+    for (int i = 0; i < others; ++i) {
+      if (mask & (1u << i)) {
+        h.addEdge(0, static_cast<NodeId>(i + 1));
+        ++boughtCount;
+      }
+    }
+    const double usage = usageCost(GameKind::kMax, h, 0);
+    best = std::min(best,
+                    params.alpha * static_cast<double>(boughtCount) + usage);
+  }
+  return best;
+}
+
+TEST(BestResponseMax, MatchesBruteForceOnSmallRandomGames) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId n = static_cast<NodeId>(5 + rng.nextBounded(4));  // 5..8
+    Graph g = makeComplete(n);
+    // Random connected spanning subgraph: delete random edges while
+    // keeping connectivity by starting from a random tree.
+    Rng treeRng(deriveSeed(999, static_cast<std::uint64_t>(trial)));
+    // Use the complete graph occasionally, a path otherwise.
+    const StrategyProfile profile =
+        trial % 2 == 0 ? StrategyProfile::randomOwnership(g, rng)
+                       : pathProfile(n);
+    const Graph played = profile.buildGraph();
+    const double alphas[] = {0.5, 1.5, 3.0};
+    const Dist ks[] = {1, 2, 3};
+    for (double alpha : alphas) {
+      for (Dist k : ks) {
+        const GameParams params = GameParams::max(alpha, k);
+        for (NodeId u = 0; u < n; ++u) {
+          const BestResponse br = bestResponseFor(played, profile, u, params);
+          const double brute =
+              bruteForceBestCostMax(played, profile, u, params);
+          ASSERT_TRUE(br.exact);
+          EXPECT_NEAR(std::min(br.proposedCost, br.currentCost), brute, 1e-9)
+              << "trial=" << trial << " u=" << u << " alpha=" << alpha
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(BestResponseMax, CycleIsStableForLargeAlpha) {
+  // Lemma 3.1: on a cycle with one-edge-each ownership and α >= k−1 no
+  // player can improve.
+  const StrategyProfile profile = cycleProfile(14);
+  const Graph g = profile.buildGraph();
+  for (Dist k : {1, 2, 3, 4}) {
+    const GameParams params =
+        GameParams::max(static_cast<double>(k), k);  // α = k >= k−1
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+      const BestResponse br = bestResponseFor(g, profile, u, params);
+      EXPECT_FALSE(br.improving)
+          << "player " << u << " improves at k=" << k;
+    }
+  }
+}
+
+TEST(BestResponseMax, CycleImprovesForSmallAlpha) {
+  // With α << k−1 a cycle player profits from a chord.
+  const StrategyProfile profile = cycleProfile(30);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(0.5, 10);
+  const BestResponse br = bestResponseFor(g, profile, 0, params);
+  EXPECT_TRUE(br.improving);
+  EXPECT_LT(br.proposedCost, br.currentCost);
+}
+
+TEST(BestResponseMax, LeafBuysNothingExtraOnStarForBigAlpha) {
+  std::vector<std::vector<NodeId>> lists(8);
+  for (NodeId leaf = 1; leaf < 8; ++leaf) lists[0].push_back(leaf);
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(2.0, 2);
+  for (NodeId u = 0; u < 8; ++u) {
+    const BestResponse br = bestResponseFor(g, profile, u, params);
+    EXPECT_FALSE(br.improving) << "player " << u;
+  }
+}
+
+TEST(BestResponseMax, StarLeafOwnershipDropsForHugeAlpha) {
+  // If a leaf owns its edge and α is huge she still cannot drop it
+  // (disconnection is infinitely bad) — must keep exactly one edge.
+  std::vector<std::vector<NodeId>> lists(6);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    lists[static_cast<std::size_t>(leaf)].push_back(0);
+  }
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(100.0, 2);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    const BestResponse br = bestResponseFor(g, profile, leaf, params);
+    EXPECT_FALSE(br.improving);
+  }
+}
+
+TEST(BestResponseMax, PathEndpointReanchors) {
+  // Path 0-1-2-3-4, node 0 owns (0,1). With full view and α = 1 the
+  // optimum costs 4: either one edge to the center (1·α + ecc 3) or two
+  // edges at cover radius 1 (2·α + ecc 2). Both beat the current 1 + 4.
+  const StrategyProfile profile = pathProfile(5);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(1.0, 10);
+  const BestResponse br = bestResponseFor(g, profile, 0, params);
+  ASSERT_TRUE(br.improving);
+  EXPECT_NEAR(br.currentCost, 1.0 + 4.0, 1e-9);
+  EXPECT_NEAR(br.proposedCost, 4.0, 1e-9);
+  EXPECT_LE(br.strategyGlobal.size(), 2u);
+  EXPECT_GE(br.strategyGlobal.size(), 1u);
+}
+
+TEST(BestResponseMax, RespectsLocalKnowledgeHorizon) {
+  // On a long cycle with k=2 each player sees a 5-path. With α = 0.6 no
+  // move helps: keeping one edge gives cost α + 2; reaching in-view
+  // eccentricity 1 would need 3 purchases (3α + 1 > α + 2).
+  const StrategyProfile profile = cycleProfile(40);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(0.6, 2);
+  const BestResponse br = bestResponseFor(g, profile, 7, params);
+  EXPECT_FALSE(br.improving);
+}
+
+TEST(BestResponseMax, TinyAlphaBuysEverythingInView) {
+  // Same cycle, α = 0.05: buying edges to all three non-free view members
+  // achieves eccentricity 1 at cost 3α + 1 < α + 2, so the player moves.
+  const StrategyProfile profile = cycleProfile(40);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(0.05, 2);
+  const BestResponse br = bestResponseFor(g, profile, 7, params);
+  ASSERT_TRUE(br.improving);
+  EXPECT_EQ(br.strategyGlobal.size(), 3u);
+  EXPECT_NEAR(br.proposedCost, 3 * 0.05 + 1.0, 1e-9);
+}
+
+TEST(BestResponseMax, IsolatedPlayerKeepsEmptyStrategy) {
+  StrategyProfile profile(3);
+  profile.setStrategy(1, {2});
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(1.0, 2);
+  const BestResponse br = bestResponseFor(g, profile, 0, params);
+  EXPECT_FALSE(br.improving);
+  EXPECT_TRUE(br.strategyGlobal.empty());
+}
+
+TEST(BestResponseMax, ProposedStrategyIsWithinView) {
+  const StrategyProfile profile = cycleProfile(30);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(0.3, 5);
+  for (NodeId u = 0; u < 30; u += 7) {
+    const PlayerView pv = buildPlayerView(g, profile, u, params.k);
+    const BestResponse br = bestResponse(pv, params);
+    for (NodeId v : br.strategyGlobal) {
+      EXPECT_TRUE(pv.view.contains(v));
+      EXPECT_NE(v, u);
+    }
+  }
+}
+
+TEST(BestResponseMax, CurrentCostMatchesViewCost) {
+  const StrategyProfile profile = pathProfile(9);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(2.0, 3);
+  const PlayerView pv = buildPlayerView(g, profile, 4, params.k);
+  const BestResponse br = bestResponse(pv, params);
+  // Node 4 owns one edge; in-view eccentricity is 3.
+  EXPECT_NEAR(br.currentCost, 2.0 + 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,104 @@
+// Tests for per-player view assembly.
+#include <gtest/gtest.h>
+
+#include "core/player_view.hpp"
+#include "gen/classic.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+StrategyProfile cycleProfile(NodeId n) {
+  // Node i buys the edge to (i+1) mod n — the Lemma 3.1 ownership.
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+TEST(PlayerView, CycleViewShape) {
+  const StrategyProfile profile = cycleProfile(20);
+  const Graph g = profile.buildGraph();
+  const PlayerView pv = buildPlayerView(g, profile, 5, 3);
+  EXPECT_EQ(pv.globalPlayer, 5);
+  EXPECT_EQ(pv.view.size(), 7);  // path of 7 centered at 5
+  EXPECT_EQ(pv.eccInView, 3);
+  EXPECT_EQ(pv.alphaBought, 1.0);
+  // u=5 bought the edge to 6; neighbor 4 bought the edge to 5 (free).
+  ASSERT_EQ(pv.ownBoughtLocal.size(), 1u);
+  EXPECT_EQ(pv.view.toGlobal[static_cast<std::size_t>(
+                pv.ownBoughtLocal[0])],
+            6);
+  ASSERT_EQ(pv.freeNeighborsLocal.size(), 1u);
+  EXPECT_EQ(pv.view.toGlobal[static_cast<std::size_t>(
+                pv.freeNeighborsLocal[0])],
+            4);
+}
+
+TEST(PlayerView, FringeIsDistanceExactlyK) {
+  const StrategyProfile profile = cycleProfile(20);
+  const Graph g = profile.buildGraph();
+  const PlayerView pv = buildPlayerView(g, profile, 0, 4);
+  ASSERT_EQ(pv.fringeLocal.size(), 2u);  // the two path endpoints
+  for (NodeId f : pv.fringeLocal) {
+    const NodeId global = pv.view.toGlobal[static_cast<std::size_t>(f)];
+    EXPECT_TRUE(global == 4 || global == 16);
+  }
+}
+
+TEST(PlayerView, NoFringeWhenViewCoversAll) {
+  const StrategyProfile profile = cycleProfile(6);
+  const Graph g = profile.buildGraph();
+  const PlayerView pv = buildPlayerView(g, profile, 0, 10);
+  EXPECT_TRUE(pv.fringeLocal.empty());
+  EXPECT_EQ(pv.view.size(), 6);
+  EXPECT_EQ(pv.eccInView, 3);
+}
+
+TEST(PlayerView, DoubleBoughtEdgeIsBothOwnAndFree) {
+  StrategyProfile profile(2);
+  profile.setStrategy(0, {1});
+  profile.setStrategy(1, {0});
+  const Graph g = profile.buildGraph();
+  const PlayerView pv = buildPlayerView(g, profile, 0, 2);
+  EXPECT_EQ(pv.ownBoughtLocal.size(), 1u);
+  EXPECT_EQ(pv.freeNeighborsLocal.size(), 1u);
+}
+
+TEST(PlayerView, StarCenterAndLeaf) {
+  // Center buys everything.
+  std::vector<std::vector<NodeId>> lists(6);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) lists[0].push_back(leaf);
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+
+  const PlayerView center = buildPlayerView(g, profile, 0, 1);
+  EXPECT_EQ(center.view.size(), 6);
+  EXPECT_EQ(center.ownBoughtLocal.size(), 5u);
+  EXPECT_TRUE(center.freeNeighborsLocal.empty());
+  EXPECT_EQ(center.eccInView, 1);
+
+  const PlayerView leaf = buildPlayerView(g, profile, 3, 1);
+  EXPECT_EQ(leaf.view.size(), 2);  // itself + center
+  EXPECT_TRUE(leaf.ownBoughtLocal.empty());
+  EXPECT_EQ(leaf.freeNeighborsLocal.size(), 1u);
+}
+
+TEST(PlayerView, RadiusOneRequired) {
+  const StrategyProfile profile = cycleProfile(5);
+  const Graph g = profile.buildGraph();
+  EXPECT_THROW(buildPlayerView(g, profile, 0, 0), Error);
+}
+
+TEST(PlayerView, ViewOfIsolatedPlayerIsSelfOnly) {
+  StrategyProfile profile(3);
+  profile.setStrategy(1, {2});
+  const Graph g = profile.buildGraph();
+  const PlayerView pv = buildPlayerView(g, profile, 0, 2);
+  EXPECT_EQ(pv.view.size(), 1);
+  EXPECT_EQ(pv.eccInView, 0);
+}
+
+}  // namespace
+}  // namespace ncg

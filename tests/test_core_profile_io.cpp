@@ -1,0 +1,66 @@
+// Tests for strategy-profile serialization.
+#include <gtest/gtest.h>
+
+#include "core/profile_io.hpp"
+#include "gen/classic.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(ProfileIo, RoundTripSmall) {
+  StrategyProfile profile(4);
+  profile.setStrategy(0, {1, 3});
+  profile.setStrategy(2, {1});
+  const StrategyProfile back = fromProfileString(toProfileString(profile));
+  EXPECT_EQ(profile, back);
+}
+
+TEST(ProfileIo, RoundTripEmptyStrategies) {
+  const StrategyProfile profile(5);
+  const StrategyProfile back = fromProfileString(toProfileString(profile));
+  EXPECT_EQ(profile, back);
+  EXPECT_EQ(back.playerCount(), 5);
+}
+
+TEST(ProfileIo, RoundTripZeroPlayers) {
+  const StrategyProfile profile(0);
+  EXPECT_EQ(fromProfileString(toProfileString(profile)), profile);
+}
+
+TEST(ProfileIo, RoundTripRandomProfiles) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StrategyProfile profile =
+        StrategyProfile::randomOwnership(makeComplete(12), rng);
+    EXPECT_EQ(fromProfileString(toProfileString(profile)), profile);
+  }
+}
+
+TEST(ProfileIo, FormatIsStable) {
+  StrategyProfile profile(3);
+  profile.setStrategy(0, {2, 1});
+  EXPECT_EQ(toProfileString(profile), "3\n0: 1 2\n1:\n2:\n");
+}
+
+TEST(ProfileIo, MalformedInputsRejected) {
+  EXPECT_THROW(fromProfileString(""), Error);
+  EXPECT_THROW(fromProfileString("2\n0: 1\n"), Error);        // missing line
+  EXPECT_THROW(fromProfileString("2\n1: 0\n0: 1\n"), Error);  // out of order
+  EXPECT_THROW(fromProfileString("2\n0 1\n1:\n"), Error);     // no colon
+  EXPECT_THROW(fromProfileString("2\n0: 5\n1:\n"), Error);    // bad endpoint
+  EXPECT_THROW(fromProfileString("2\n0: 0\n1:\n"), Error);    // self edge
+}
+
+TEST(ProfileIo, GraphReconstructsFromFile) {
+  StrategyProfile profile(4);
+  profile.setStrategy(0, {1});
+  profile.setStrategy(1, {2});
+  profile.setStrategy(3, {2});
+  const StrategyProfile back = fromProfileString(toProfileString(profile));
+  EXPECT_EQ(back.buildGraph(), profile.buildGraph());
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,170 @@
+// Tests for the restricted (buy/delete/swap one edge) greedy deviations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/best_response.hpp"
+#include "core/equilibrium.hpp"
+#include "core/restricted_moves.hpp"
+#include "gen/classic.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+StrategyProfile cycleProfile(NodeId n) {
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+StrategyProfile pathProfile(NodeId n) {
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back(i + 1);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+BestResponse greedyFor(const Graph& g, const StrategyProfile& profile,
+                       NodeId u, const GameParams& params) {
+  return greedyMove(buildPlayerView(g, profile, u, params.k), params);
+}
+
+TEST(GreedyMove, AgreesWithCurrentCostAccounting) {
+  const StrategyProfile profile = pathProfile(7);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(2.0, 3);
+  const BestResponse full = bestResponseFor(g, profile, 3, params);
+  const BestResponse greedy = greedyFor(g, profile, 3, params);
+  EXPECT_NEAR(full.currentCost, greedy.currentCost, 1e-9);
+}
+
+TEST(GreedyMove, NeverBeatsExactBestResponse) {
+  Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId n = static_cast<NodeId>(6 + rng.nextBounded(4));
+    const StrategyProfile profile =
+        StrategyProfile::randomOwnership(makeComplete(n), rng);
+    const Graph g = profile.buildGraph();
+    for (double alpha : {0.5, 2.0}) {
+      for (Dist k : {2, 5}) {
+        const GameParams params = GameParams::max(alpha, k);
+        for (NodeId u = 0; u < n; ++u) {
+          const BestResponse full = bestResponseFor(g, profile, u, params);
+          const BestResponse greedy = greedyFor(g, profile, u, params);
+          EXPECT_LE(full.proposedCost, greedy.proposedCost + 1e-9)
+              << "trial=" << trial << " u=" << u;
+          // A greedy improvement implies the exact one improves too.
+          if (greedy.improving) {
+            EXPECT_TRUE(full.improving);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GreedyMove, FindsTheSingleEdgeChordOnCycle) {
+  // On a full-view cycle with small α, a single chord is improving and
+  // greedy must find one.
+  const StrategyProfile profile = cycleProfile(16);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(0.5, 16);
+  const BestResponse greedy = greedyFor(g, profile, 0, params);
+  EXPECT_TRUE(greedy.improving);
+  // One move changes the strategy size by at most 1.
+  EXPECT_LE(greedy.strategyGlobal.size(), 2u);
+}
+
+TEST(GreedyMove, DeletesWastedEdgeWhenAlphaHuge) {
+  // Node 0 owns a redundant second edge on a cycle of 4 (0-1,1-2,2-3,3-0
+  // plus 0-2). Deleting it saves α at small eccentricity cost.
+  std::vector<std::vector<NodeId>> lists(4);
+  lists[0] = {1, 2};
+  lists[1] = {2};
+  lists[2] = {3};
+  lists[3] = {0};
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(10.0, 4);
+  const BestResponse greedy = greedyFor(g, profile, 0, params);
+  ASSERT_TRUE(greedy.improving);
+  EXPECT_EQ(greedy.strategyGlobal.size(), 1u);
+}
+
+TEST(GreedyMove, SwapImprovesPathEndpoint) {
+  // Path endpoint 0 owning (0,1): swapping to the center reduces
+  // eccentricity at no building-cost change.
+  const StrategyProfile profile = pathProfile(7);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(5.0, 10);
+  const BestResponse greedy = greedyFor(g, profile, 0, params);
+  ASSERT_TRUE(greedy.improving);
+  ASSERT_EQ(greedy.strategyGlobal.size(), 1u);
+  EXPECT_EQ(greedy.strategyGlobal[0], 3);  // the path center
+  EXPECT_NEAR(greedy.proposedCost, 5.0 + 1.0 + 3.0, 1e-9);
+}
+
+TEST(GreedyMove, StableWhenNoSingleMoveHelps) {
+  const StrategyProfile profile = cycleProfile(12);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(3.0, 3);
+  for (NodeId u = 0; u < 12; ++u) {
+    EXPECT_FALSE(greedyFor(g, profile, u, params).improving);
+  }
+}
+
+TEST(GreedyMove, SumRespectsFringeRule) {
+  const StrategyProfile profile = pathProfile(9);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::sum(0.5, 3);
+  for (NodeId u = 0; u < 9; ++u) {
+    const PlayerView pv = buildPlayerView(g, profile, u, params.k);
+    const BestResponse greedy = greedyMove(pv, params);
+    if (!greedy.improving) continue;
+    // Apply and verify no fringe node got pushed beyond k in the view.
+    Graph h = pv.view.graph;
+    for (NodeId v = 1; v < pv.view.size(); ++v) h.removeEdge(0, v);
+    for (NodeId f : pv.freeNeighborsLocal) h.addEdge(0, f);
+    for (NodeId globalV : greedy.strategyGlobal) {
+      h.addEdge(0, pv.view.toLocal[static_cast<std::size_t>(globalV)]);
+    }
+    const auto dist = bfsDistances(h, 0);
+    for (NodeId f : pv.fringeLocal) {
+      EXPECT_LE(dist[static_cast<std::size_t>(f)], params.k) << "u=" << u;
+    }
+  }
+}
+
+TEST(GreedyMove, IsolatedPlayerNoMove) {
+  StrategyProfile profile(3);
+  profile.setStrategy(1, {2});
+  const Graph g = profile.buildGraph();
+  const BestResponse greedy =
+      greedyFor(g, profile, 0, GameParams::max(1.0, 2));
+  EXPECT_FALSE(greedy.improving);
+}
+
+TEST(GreedyMove, SumMatchesExactOnTinyInstances) {
+  // With at most one ownership difference available, greedy and exact
+  // coincide when the exact optimum is a single-move profile.
+  Rng rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    const StrategyProfile profile =
+        StrategyProfile::randomOwnership(makeComplete(5), rng);
+    const Graph g = profile.buildGraph();
+    const GameParams params = GameParams::sum(1.5, 3);
+    for (NodeId u = 0; u < 5; ++u) {
+      const BestResponse full = bestResponseFor(g, profile, u, params);
+      const BestResponse greedy = greedyFor(g, profile, u, params);
+      EXPECT_LE(full.proposedCost, greedy.proposedCost + 1e-9);
+      EXPECT_NEAR(full.currentCost, greedy.currentCost, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,109 @@
+// Tests for strategy profiles and ownership.
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+#include "gen/classic.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Strategy, EmptyProfile) {
+  StrategyProfile profile(4);
+  EXPECT_EQ(profile.playerCount(), 4);
+  EXPECT_EQ(profile.totalBought(), 0u);
+  const Graph g = profile.buildGraph();
+  EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(Strategy, SetStrategySortsInput) {
+  StrategyProfile profile(5);
+  profile.setStrategy(0, {4, 2, 1});
+  EXPECT_EQ(profile.strategyOf(0), (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_EQ(profile.boughtCount(0), 3);
+}
+
+TEST(Strategy, RejectsSelfPurchaseAndDuplicates) {
+  StrategyProfile profile(3);
+  EXPECT_THROW(profile.setStrategy(1, {1}), Error);
+  EXPECT_THROW(profile.setStrategy(1, {0, 0}), Error);
+  EXPECT_THROW(profile.setStrategy(1, {5}), Error);
+}
+
+TEST(Strategy, BuildGraphUnionsStrategies) {
+  StrategyProfile profile(4);
+  profile.setStrategy(0, {1, 2});
+  profile.setStrategy(3, {2});
+  const Graph g = profile.buildGraph();
+  EXPECT_EQ(g.edgeCount(), 3u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(0, 2));
+  EXPECT_TRUE(g.hasEdge(2, 3));
+}
+
+TEST(Strategy, DoubleBoughtEdgeCountsTwiceInBoughtOnceInGraph) {
+  StrategyProfile profile(2);
+  profile.setStrategy(0, {1});
+  profile.setStrategy(1, {0});
+  EXPECT_EQ(profile.totalBought(), 2u);
+  EXPECT_EQ(profile.buildGraph().edgeCount(), 1u);
+}
+
+TEST(Strategy, FromBoughtListsRoundTrip) {
+  const std::vector<std::vector<NodeId>> lists = {{1}, {2}, {}, {0, 2}};
+  const StrategyProfile profile = StrategyProfile::fromBoughtLists(lists);
+  EXPECT_EQ(profile.playerCount(), 4);
+  EXPECT_EQ(profile.strategyOf(3), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Strategy, RandomOwnershipReconstructsGraph) {
+  Rng rng(8);
+  const Graph g = makeGrid(4, 4);
+  const StrategyProfile profile = StrategyProfile::randomOwnership(g, rng);
+  EXPECT_EQ(profile.buildGraph(), g);
+  EXPECT_EQ(profile.totalBought(), g.edgeCount());
+}
+
+TEST(Strategy, RandomOwnershipIsFair) {
+  Rng rng(99);
+  const Graph g = makeStar(101);  // 100 edges from the center
+  int centerOwned = 0;
+  constexpr int kTrials = 50;
+  for (int i = 0; i < kTrials; ++i) {
+    const StrategyProfile p = StrategyProfile::randomOwnership(g, rng);
+    centerOwned += p.boughtCount(0);
+  }
+  // ~50 per trial.
+  EXPECT_NEAR(centerOwned / static_cast<double>(kTrials), 50.0, 6.0);
+}
+
+TEST(Strategy, HashEqualForEqualProfiles) {
+  StrategyProfile a(5);
+  StrategyProfile b(5);
+  a.setStrategy(1, {0, 3});
+  b.setStrategy(1, {3, 0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Strategy, HashDiffersAcrossOwnership) {
+  // Same graph, different owner: profiles differ and (almost surely) so
+  // do hashes.
+  StrategyProfile a(2);
+  StrategyProfile b(2);
+  a.setStrategy(0, {1});
+  b.setStrategy(1, {0});
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Strategy, EqualityDetectsChanges) {
+  StrategyProfile a(3);
+  StrategyProfile b = a;
+  EXPECT_EQ(a, b);
+  b.setStrategy(2, {0});
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,165 @@
+// Tests for round-robin best-response dynamics and feature traces.
+#include <gtest/gtest.h>
+
+#include "core/equilibrium.hpp"
+#include "dynamics/round_robin.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+StrategyProfile cycleProfile(NodeId n) {
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+TEST(Dynamics, AlreadyStableConvergesInOneRound) {
+  const StrategyProfile profile = cycleProfile(12);
+  DynamicsConfig config;
+  config.params = GameParams::max(3.0, 3);  // α >= k−1: cycle stable
+  const DynamicsResult result = runBestResponseDynamics(profile, config);
+  EXPECT_EQ(result.outcome, DynamicsOutcome::kConverged);
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_EQ(result.totalMoves, 0u);
+  EXPECT_EQ(result.profile, profile);
+}
+
+TEST(Dynamics, ConvergedStateIsAnLke) {
+  Rng rng(314);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph tree = makeRandomTree(24, rng);
+    const StrategyProfile initial =
+        StrategyProfile::randomOwnership(tree, rng);
+    DynamicsConfig config;
+    config.params = GameParams::max(1.0, 3);
+    const DynamicsResult result = runBestResponseDynamics(initial, config);
+    ASSERT_EQ(result.outcome, DynamicsOutcome::kConverged);
+    EXPECT_TRUE(isLke(result.graph, result.profile, config.params))
+        << "trial " << trial;
+  }
+}
+
+TEST(Dynamics, FinalGraphMatchesFinalProfile) {
+  Rng rng(9);
+  const Graph tree = makeRandomTree(20, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(2.0, 4);
+  const DynamicsResult result =
+      runBestResponseDynamics(StrategyProfile::randomOwnership(tree, rng),
+                              config);
+  EXPECT_EQ(result.graph, result.profile.buildGraph());
+  EXPECT_TRUE(isConnected(result.graph));
+}
+
+TEST(Dynamics, TraceCollectsPerRoundFeatures) {
+  Rng rng(11);
+  const Graph tree = makeRandomTree(18, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(1.0, 3);
+  config.collectTrace = true;
+  const DynamicsResult result =
+      runBestResponseDynamics(StrategyProfile::randomOwnership(tree, rng),
+                              config);
+  ASSERT_EQ(result.trace.size(), static_cast<std::size_t>(result.rounds));
+  for (const NetworkFeatures& f : result.trace) {
+    EXPECT_GT(f.socialCost, 0.0);
+    EXPECT_GE(f.unfairness, 1.0);
+    EXPECT_GT(f.quality, 0.0);
+  }
+}
+
+TEST(Dynamics, RoundLimitStops) {
+  Rng rng(13);
+  const Graph g = makeConnectedErdosRenyi(24, 0.15, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(0.2, 2);
+  config.maxRounds = 1;  // too few to converge from a random graph
+  const DynamicsResult result =
+      runBestResponseDynamics(StrategyProfile::randomOwnership(g, rng),
+                              config);
+  EXPECT_TRUE(result.outcome == DynamicsOutcome::kRoundLimit ||
+              result.outcome == DynamicsOutcome::kConverged);
+  EXPECT_LE(result.rounds, 1);
+}
+
+TEST(Dynamics, DisconnectedInitialRejected) {
+  StrategyProfile profile(4);
+  profile.setStrategy(0, {1});
+  profile.setStrategy(2, {3});
+  DynamicsConfig config;
+  config.params = GameParams::max(1.0, 2);
+  EXPECT_THROW(runBestResponseDynamics(profile, config), Error);
+}
+
+TEST(Dynamics, DeterministicGivenSameStart) {
+  Rng rngA(21);
+  const Graph tree = makeRandomTree(16, rngA);
+  const StrategyProfile initial =
+      StrategyProfile::randomOwnership(tree, rngA);
+  DynamicsConfig config;
+  config.params = GameParams::max(1.5, 3);
+  const DynamicsResult a = runBestResponseDynamics(initial, config);
+  const DynamicsResult b = runBestResponseDynamics(initial, config);
+  EXPECT_EQ(a.profile, b.profile);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.totalMoves, b.totalMoves);
+}
+
+TEST(Dynamics, PaperClaimConvergenceIsFast) {
+  // §5.4: "in more than 95% of the times, at most 7 rounds are enough".
+  Rng rng(2014);
+  int slow = 0;
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Graph tree = makeRandomTree(30, rng);
+    DynamicsConfig config;
+    config.params = GameParams::max(2.0, 3);
+    config.maxRounds = 60;
+    const DynamicsResult result =
+        runBestResponseDynamics(StrategyProfile::randomOwnership(tree, rng),
+                                config);
+    if (result.outcome != DynamicsOutcome::kConverged || result.rounds > 7) {
+      ++slow;
+    }
+  }
+  EXPECT_LE(slow, 1);
+}
+
+TEST(Features, StarFeatures) {
+  std::vector<std::vector<NodeId>> lists(6);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) lists[0].push_back(leaf);
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(2.0, 2);
+  const NetworkFeatures f = computeFeatures(g, profile, params);
+  EXPECT_EQ(f.diameter, 2);
+  EXPECT_EQ(f.edges, 5u);
+  EXPECT_EQ(f.maxDegree, 5);
+  EXPECT_EQ(f.maxBought, 5);
+  EXPECT_EQ(f.minBought, 0);
+  EXPECT_EQ(f.minViewSize, 6);  // k=2 covers the whole star
+  EXPECT_DOUBLE_EQ(f.avgViewSize, 6.0);
+  // Costs: center 5α+1 = 11, leaves 2 → unfairness 5.5.
+  EXPECT_DOUBLE_EQ(f.unfairness, 5.5);
+  // Social cost = 11 + 5·2 = 21 = star optimum → quality 1.
+  EXPECT_DOUBLE_EQ(f.quality, 1.0);
+}
+
+TEST(Features, ViewSizeRespectsK) {
+  const StrategyProfile profile = cycleProfile(10);
+  const Graph g = profile.buildGraph();
+  const NetworkFeatures f =
+      computeFeatures(g, profile, GameParams::max(1.0, 2));
+  EXPECT_EQ(f.minViewSize, 5);
+  EXPECT_DOUBLE_EQ(f.avgViewSize, 5.0);
+}
+
+}  // namespace
+}  // namespace ncg

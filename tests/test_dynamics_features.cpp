@@ -1,0 +1,115 @@
+// Focused tests for the per-round feature computation (the quantities
+// every figure bench aggregates).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dynamics/features.hpp"
+#include "support/error.hpp"
+#include "gen/classic.hpp"
+#include "gen/random_tree.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Features, EmptyAndSingletonGames) {
+  const GameParams params = GameParams::max(1.0, 2);
+  const NetworkFeatures empty =
+      computeFeatures(Graph(0), StrategyProfile(0), params);
+  EXPECT_EQ(empty.edges, 0u);
+
+  const NetworkFeatures single =
+      computeFeatures(Graph(1), StrategyProfile(1), params);
+  EXPECT_EQ(single.diameter, 0);
+  EXPECT_EQ(single.minViewSize, 1);
+}
+
+TEST(Features, CycleIsPerfectlyFair) {
+  const NodeId n = 10;
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const NetworkFeatures f =
+      computeFeatures(g, profile, GameParams::max(2.0, 3));
+  // Vertex-transitive with symmetric ownership: identical costs.
+  EXPECT_DOUBLE_EQ(f.unfairness, 1.0);
+  EXPECT_EQ(f.minBought, 1);
+  EXPECT_EQ(f.maxBought, 1);
+  EXPECT_DOUBLE_EQ(f.avgBought, 1.0);
+  EXPECT_EQ(f.diameter, 5);
+  // Social cost = n(α + ecc) = 10(2+5) = 70.
+  EXPECT_DOUBLE_EQ(f.socialCost, 70.0);
+}
+
+TEST(Features, DisconnectedGraphReportsInfiniteCosts) {
+  StrategyProfile profile(4);
+  profile.setStrategy(0, {1});
+  profile.setStrategy(2, {3});
+  const Graph g = profile.buildGraph();
+  const NetworkFeatures f =
+      computeFeatures(g, profile, GameParams::max(1.0, 2));
+  EXPECT_EQ(f.diameter, kUnreachable);
+  EXPECT_TRUE(std::isinf(f.socialCost));
+}
+
+TEST(Features, SumVariantUsesStatus) {
+  const NodeId n = 4;
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back(i + 1);
+  }
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::sum(1.0, 5);
+  const NetworkFeatures f = computeFeatures(g, profile, params);
+  // Path 0-1-2-3: statuses 6,4,4,6; building 3α.
+  EXPECT_DOUBLE_EQ(f.socialCost, 3.0 + 6 + 4 + 4 + 6);
+}
+
+TEST(Features, QualityIsAtLeastOneAtTheOptimum) {
+  // The star with center ownership IS the MaxNCG optimum for α > 1.
+  const NodeId n = 12;
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId leaf = 1; leaf < n; ++leaf) lists[0].push_back(leaf);
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const NetworkFeatures f =
+      computeFeatures(g, profile, GameParams::max(3.0, 2));
+  EXPECT_DOUBLE_EQ(f.quality, 1.0);
+}
+
+TEST(Features, QualityAboveOneOffOptimum) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph tree = makeRandomTree(20, rng);
+    const StrategyProfile profile =
+        StrategyProfile::randomOwnership(tree, rng);
+    const NetworkFeatures f =
+        computeFeatures(tree, profile, GameParams::max(2.0, 3));
+    EXPECT_GE(f.quality, 1.0 - 1e-9);
+  }
+}
+
+TEST(Features, ViewSizesCapAtN) {
+  Rng rng(19);
+  const Graph tree = makeRandomTree(15, rng);
+  const StrategyProfile profile =
+      StrategyProfile::randomOwnership(tree, rng);
+  const NetworkFeatures f =
+      computeFeatures(tree, profile, GameParams::max(1.0, 1000));
+  EXPECT_EQ(f.minViewSize, 15);
+  EXPECT_DOUBLE_EQ(f.avgViewSize, 15.0);
+}
+
+TEST(Features, MismatchedSizesRejected) {
+  EXPECT_THROW(
+      computeFeatures(Graph(3), StrategyProfile(4), GameParams::max(1, 1)),
+      Error);
+}
+
+}  // namespace
+}  // namespace ncg

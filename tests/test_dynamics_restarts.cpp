@@ -1,0 +1,90 @@
+// Tests for the multi-restart empirical PoA estimator.
+#include <gtest/gtest.h>
+
+#include "bounds/max_bounds.hpp"
+#include "core/equilibrium.hpp"
+#include "dynamics/restarts.hpp"
+#include "gen/random_tree.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+InitialProfileFactory treeFactory(NodeId n) {
+  return [n](int, Rng& rng) {
+    return StrategyProfile::randomOwnership(makeRandomTree(n, rng), rng);
+  };
+}
+
+TEST(Restarts, BandIsOrderedAndProfilesAreEquilibria) {
+  ThreadPool pool(4);
+  RestartConfig config;
+  config.dynamics.params = GameParams::max(2.0, 3);
+  config.restarts = 8;
+  config.baseSeed = 77;
+  const PoaEstimate estimate =
+      estimatePoa(pool, config, treeFactory(24));
+  ASSERT_GT(estimate.converged, 0);
+  EXPECT_LE(estimate.bestQuality, estimate.meanQuality + 1e-12);
+  EXPECT_LE(estimate.meanQuality, estimate.worstQuality + 1e-12);
+  EXPECT_GE(estimate.bestQuality, 1.0 - 1e-9);  // cannot beat OPT ref
+  // The worst profile really is a stable state of the game.
+  EXPECT_TRUE(isLke(estimate.worstProfile.buildGraph(),
+                    estimate.worstProfile, config.dynamics.params));
+}
+
+TEST(Restarts, DeterministicForFixedSeed) {
+  ThreadPool pool(8);
+  RestartConfig config;
+  config.dynamics.params = GameParams::max(1.0, 3);
+  config.restarts = 6;
+  config.baseSeed = 5;
+  const PoaEstimate a = estimatePoa(pool, config, treeFactory(20));
+  const PoaEstimate b = estimatePoa(pool, config, treeFactory(20));
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_DOUBLE_EQ(a.worstQuality, b.worstQuality);
+  EXPECT_DOUBLE_EQ(a.bestQuality, b.bestQuality);
+  EXPECT_EQ(a.worstProfile, b.worstProfile);
+}
+
+TEST(Restarts, RandomizedScheduleWidensOrKeepsBand) {
+  ThreadPool pool(8);
+  RestartConfig fixed;
+  fixed.dynamics.params = GameParams::max(1.0, 3);
+  fixed.restarts = 10;
+  fixed.baseSeed = 9;
+  RestartConfig randomized = fixed;
+  randomized.randomizeSchedule = true;
+  const PoaEstimate a = estimatePoa(pool, fixed, treeFactory(20));
+  const PoaEstimate b = estimatePoa(pool, randomized, treeFactory(20));
+  // Both are valid bands; no ordering guaranteed, but both consistent.
+  EXPECT_LE(a.bestQuality, a.worstQuality + 1e-12);
+  EXPECT_LE(b.bestQuality, b.worstQuality + 1e-12);
+}
+
+TEST(Restarts, WorstQualityRespectsTheoreticalUpperBoundLoosely) {
+  // The empirical PoA estimate must not exceed the paper's upper bound
+  // by orders of magnitude (constants are 1, so allow a wide factor).
+  ThreadPool pool(8);
+  RestartConfig config;
+  config.dynamics.params = GameParams::max(2.0, 3);
+  config.restarts = 10;
+  config.baseSeed = 13;
+  const NodeId n = 30;
+  const PoaEstimate estimate = estimatePoa(pool, config, treeFactory(n));
+  ASSERT_GT(estimate.converged, 0);
+  const double ub = maxPoaUpperBound(n, 2.0, 3);
+  EXPECT_LE(estimate.worstQuality, 10.0 * ub);
+}
+
+TEST(Restarts, InvalidConfigRejected) {
+  ThreadPool pool(2);
+  RestartConfig config;
+  config.restarts = 0;
+  EXPECT_THROW(estimatePoa(pool, config, treeFactory(5)), Error);
+  config.restarts = 1;
+  EXPECT_THROW(estimatePoa(pool, config, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,64 @@
+// Tests for the deterministic classic graph generators.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Classic, Path) {
+  const Graph g = makePath(6);
+  EXPECT_EQ(g.edgeCount(), 5u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(diameter(g), 5);
+  EXPECT_EQ(g.maxDegree(), 2);
+  EXPECT_EQ(makePath(1).edgeCount(), 0u);
+  EXPECT_THROW(makePath(0), Error);
+}
+
+TEST(Classic, Cycle) {
+  const Graph g = makeCycle(8);
+  EXPECT_EQ(g.edgeCount(), 8u);
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_EQ(g.degree(u), 2);
+  }
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_THROW(makeCycle(2), Error);
+}
+
+TEST(Classic, Star) {
+  const Graph g = makeStar(9);
+  EXPECT_EQ(g.edgeCount(), 8u);
+  EXPECT_EQ(g.degree(0), 8);
+  for (NodeId u = 1; u < 9; ++u) {
+    EXPECT_EQ(g.degree(u), 1);
+  }
+  EXPECT_EQ(makeStar(1).edgeCount(), 0u);
+}
+
+TEST(Classic, Complete) {
+  const Graph g = makeComplete(7);
+  EXPECT_EQ(g.edgeCount(), 21u);
+  EXPECT_EQ(diameter(g), 1);
+  EXPECT_EQ(girth(g), 3);
+}
+
+TEST(Classic, Grid) {
+  const Graph g = makeGrid(4, 6);
+  EXPECT_EQ(g.nodeCount(), 24);
+  EXPECT_EQ(g.edgeCount(), 4u * 5u + 3u * 6u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(diameter(g), 3 + 5);
+  EXPECT_EQ(girth(g), 4);
+}
+
+TEST(Classic, DegenerateGrid) {
+  const Graph row = makeGrid(1, 5);
+  EXPECT_EQ(row, makePath(5));
+  EXPECT_THROW(makeGrid(0, 3), Error);
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,80 @@
+// Tests for G(n,p) generation.
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(ErdosRenyi, ExtremesOfP) {
+  Rng rng(1);
+  EXPECT_EQ(makeErdosRenyi(10, 0.0, rng).edgeCount(), 0u);
+  EXPECT_EQ(makeErdosRenyi(10, 1.0, rng).edgeCount(), 45u);
+}
+
+TEST(ErdosRenyi, InvalidPRejected) {
+  Rng rng(1);
+  EXPECT_THROW(makeErdosRenyi(5, -0.1, rng), Error);
+  EXPECT_THROW(makeErdosRenyi(5, 1.1, rng), Error);
+}
+
+TEST(ErdosRenyi, EdgeCountConcentrates) {
+  Rng rng(42);
+  const double p = 0.1;
+  const NodeId n = 100;
+  double totalEdges = 0.0;
+  constexpr int kTrials = 30;
+  for (int i = 0; i < kTrials; ++i) {
+    totalEdges += static_cast<double>(makeErdosRenyi(n, p, rng).edgeCount());
+  }
+  const double expected = p * n * (n - 1) / 2.0;  // 495
+  EXPECT_NEAR(totalEdges / kTrials, expected, 30.0);
+}
+
+TEST(ErdosRenyi, DeterministicGivenSeed) {
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(makeErdosRenyi(30, 0.2, a), makeErdosRenyi(30, 0.2, b));
+}
+
+TEST(ErdosRenyi, ConnectedVariantIsConnected) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = makeConnectedErdosRenyi(60, 0.08, rng);
+    EXPECT_TRUE(isConnected(g));
+  }
+}
+
+TEST(ErdosRenyi, ConnectedVariantGivesUpBelowThreshold) {
+  Rng rng(3);
+  // p = 0 can never be connected for n >= 2.
+  EXPECT_THROW(makeConnectedErdosRenyi(10, 0.0, rng, 5), Error);
+}
+
+TEST(ErdosRenyi, PaperTableIIEdgeCounts) {
+  // Table II: n=100, p=0.06 -> 301.10 ± 7.51 edges on average.
+  Rng rng(2014);
+  double total = 0.0;
+  constexpr int kTrials = 30;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(
+        makeConnectedErdosRenyi(100, 0.06, rng).edgeCount());
+  }
+  EXPECT_NEAR(total / kTrials, 297.0, 15.0);
+}
+
+TEST(ErdosRenyi, TableIIDiameterShape) {
+  // Table II: diameter 3.00 for n=100, p=0.2.
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = makeConnectedErdosRenyi(100, 0.2, rng);
+    const Dist d = diameter(g);
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 4);
+  }
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,109 @@
+// Tests for the projective-plane incidence generator (Lemma 3.2 family).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/high_girth.hpp"
+#include "graph/metrics.hpp"
+#include "graph/view.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Prime, Basics) {
+  EXPECT_FALSE(isPrime(0));
+  EXPECT_FALSE(isPrime(1));
+  EXPECT_TRUE(isPrime(2));
+  EXPECT_TRUE(isPrime(3));
+  EXPECT_FALSE(isPrime(4));
+  EXPECT_TRUE(isPrime(5));
+  EXPECT_FALSE(isPrime(9));
+  EXPECT_TRUE(isPrime(13));
+  EXPECT_FALSE(isPrime(15));
+}
+
+TEST(ProjectivePlane, PointCount) {
+  EXPECT_EQ(projectivePlanePoints(2), 7);
+  EXPECT_EQ(projectivePlanePoints(3), 13);
+  EXPECT_EQ(projectivePlanePoints(5), 31);
+}
+
+TEST(ProjectivePlane, FanoPlaneIsHeawoodGraph) {
+  // PG(2,2) incidence = Heawood graph: 14 nodes, 21 edges, 3-regular,
+  // girth 6, diameter 3.
+  const Graph g = makeProjectivePlaneIncidence(2);
+  EXPECT_EQ(g.nodeCount(), 14);
+  EXPECT_EQ(g.edgeCount(), 21u);
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    EXPECT_EQ(g.degree(v), 3);
+  }
+  EXPECT_EQ(girth(g), 6);
+  EXPECT_EQ(diameter(g), 3);
+  EXPECT_TRUE(isConnected(g));
+}
+
+class ProjectivePlaneParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectivePlaneParam, RegularGirthSixBipartite) {
+  const int q = GetParam();
+  const Graph g = makeProjectivePlaneIncidence(q);
+  const NodeId points = projectivePlanePoints(q);
+  EXPECT_EQ(g.nodeCount(), 2 * points);
+  EXPECT_EQ(g.edgeCount(),
+            static_cast<std::size_t>(points) *
+                static_cast<std::size_t>(q + 1));
+  for (NodeId v = 0; v < g.nodeCount(); ++v) {
+    ASSERT_EQ(g.degree(v), q + 1) << "node " << v;
+  }
+  EXPECT_EQ(girth(g), 6);
+  EXPECT_TRUE(isConnected(g));
+  // Bipartite: no point-point or line-line edges.
+  for (NodeId p = 0; p < points; ++p) {
+    for (NodeId v : g.neighbors(p)) {
+      EXPECT_GE(v, points);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallPrimes, ProjectivePlaneParam,
+                         ::testing::Values(2, 3, 5, 7));
+
+TEST(ProjectivePlane, DensityBeatsEdgeBound) {
+  // The Lemma 3.2 family needs Ω(n^{1+1/(g−4)}) = Ω(n^{3/2}) edges at
+  // girth 6. PG(2,q) incidence: n ≈ 2q², m ≈ q³ ≈ (n/2)^{3/2}.
+  const Graph g = makeProjectivePlaneIncidence(7);
+  const double n = static_cast<double>(g.nodeCount());
+  const double m = static_cast<double>(g.edgeCount());
+  EXPECT_GT(m, 0.3 * std::pow(n, 1.5));
+}
+
+TEST(ProjectivePlane, NonPrimeRejected) {
+  EXPECT_THROW(makeProjectivePlaneIncidence(4), Error);
+  EXPECT_THROW(makeProjectivePlaneIncidence(1), Error);
+  EXPECT_THROW(makeProjectivePlaneIncidence(9), Error);
+}
+
+TEST(ProjectivePlane, ViewsAreTrees) {
+  // Girth 6 ⇒ the radius-2 view of any vertex is a tree (Lemma 3.2's
+  // "the view of each player is a tree of height k" for k = 2).
+  const Graph g = makeProjectivePlaneIncidence(3);
+  for (NodeId v = 0; v < g.nodeCount(); v += 5) {
+    const auto ball = ballAround(g, v, 2);
+    // Tree on |ball| nodes has |ball|−1 edges; count induced edges.
+    std::size_t edges = 0;
+    for (NodeId x : ball) {
+      for (NodeId y : g.neighbors(x)) {
+        if (x < y &&
+            std::find(ball.begin(), ball.end(), y) != ball.end()) {
+          ++edges;
+        }
+      }
+    }
+    EXPECT_EQ(edges, ball.size() - 1) << "view of " << v << " has a cycle";
+  }
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,101 @@
+// Tests for uniform random trees (Prüfer decoding).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/random_tree.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Prufer, KnownSequenceDecodes) {
+  // Classic example: sequence (3,3,3,4) on n=6 yields a tree where node 3
+  // has degree 4 and node 4 degree 2.
+  const Graph g = treeFromPrufer(6, {3, 3, 3, 4});
+  EXPECT_EQ(g.edgeCount(), 5u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(g.degree(3), 4);
+  EXPECT_EQ(g.degree(4), 2);
+}
+
+TEST(Prufer, EmptySequenceGivesEdge) {
+  const Graph g = treeFromPrufer(2, {});
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(Prufer, DegreeMatchesMultiplicityPlusOne) {
+  const std::vector<NodeId> seq = {0, 0, 5, 2, 5, 5};
+  const Graph g = treeFromPrufer(8, seq);
+  std::map<NodeId, int> mult;
+  for (NodeId v : seq) ++mult[v];
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.degree(v), mult[v] + 1) << "node " << v;
+  }
+}
+
+TEST(Prufer, BadInputsRejected) {
+  EXPECT_THROW(treeFromPrufer(1, {}), Error);
+  EXPECT_THROW(treeFromPrufer(5, {0, 1}), Error);       // wrong length
+  EXPECT_THROW(treeFromPrufer(4, {0, 4}), Error);       // entry out of range
+  EXPECT_THROW(treeFromPrufer(4, {0, -1}), Error);
+}
+
+TEST(RandomTree, AlwaysATree) {
+  Rng rng(2024);
+  for (NodeId n : {1, 2, 3, 10, 50, 200}) {
+    const Graph g = makeRandomTree(n, rng);
+    EXPECT_EQ(g.nodeCount(), n);
+    EXPECT_EQ(g.edgeCount(), static_cast<std::size_t>(n - 1 > 0 ? n - 1 : 0));
+    EXPECT_TRUE(isConnected(g));
+    EXPECT_EQ(girth(g), kUnreachable);  // acyclic
+  }
+}
+
+TEST(RandomTree, DeterministicGivenSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(makeRandomTree(40, a), makeRandomTree(40, b));
+}
+
+TEST(RandomTree, DifferentSeedsUsuallyDiffer) {
+  Rng a(5);
+  Rng b(6);
+  EXPECT_FALSE(makeRandomTree(40, a) == makeRandomTree(40, b));
+}
+
+TEST(RandomTree, UniformOverSmallTrees) {
+  // n = 3: three labelled trees (the center can be 0, 1 or 2). A uniform
+  // sampler hits each about 1/3 of the time.
+  Rng rng(77);
+  std::map<NodeId, int> centerCount;
+  constexpr int kSamples = 3000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Graph g = makeRandomTree(3, rng);
+    for (NodeId u = 0; u < 3; ++u) {
+      if (g.degree(u) == 2) ++centerCount[u];
+    }
+  }
+  for (NodeId u = 0; u < 3; ++u) {
+    EXPECT_NEAR(centerCount[u], kSamples / 3, 150) << "center " << u;
+  }
+}
+
+TEST(RandomTree, PaperTableIDiametersAreInTheRightBallpark) {
+  // Table I reports mean diameter ≈ 10.65 for n=20 and ≈ 25.15 for n=100.
+  Rng rng(2014);
+  double sum20 = 0.0;
+  double sum100 = 0.0;
+  constexpr int kTrials = 40;
+  for (int i = 0; i < kTrials; ++i) {
+    sum20 += static_cast<double>(diameter(makeRandomTree(20, rng)));
+    sum100 += static_cast<double>(diameter(makeRandomTree(100, rng)));
+  }
+  EXPECT_NEAR(sum20 / kTrials, 10.65, 2.5);
+  EXPECT_NEAR(sum100 / kTrials, 25.15, 6.0);
+}
+
+}  // namespace
+}  // namespace ncg

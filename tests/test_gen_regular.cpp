@@ -1,0 +1,85 @@
+// Tests for the random regular graph generator.
+#include <gtest/gtest.h>
+
+#include "gen/regular.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+class RegularParam
+    : public ::testing::TestWithParam<std::pair<NodeId, NodeId>> {};
+
+TEST_P(RegularParam, ExactlyRegularAndSimple) {
+  const auto [n, d] = GetParam();
+  Rng rng(0x4E6 + static_cast<std::uint64_t>(n * 131 + d));
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = makeRandomRegular(n, d, rng);
+    EXPECT_EQ(g.nodeCount(), n);
+    EXPECT_EQ(g.edgeCount(),
+              static_cast<std::size_t>(n) * static_cast<std::size_t>(d) / 2);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(g.degree(v), d) << "node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RegularParam,
+    ::testing::Values(std::make_pair(10, 3), std::make_pair(20, 4),
+                      std::make_pair(30, 3), std::make_pair(16, 5),
+                      std::make_pair(50, 2), std::make_pair(12, 0)));
+
+TEST(Regular, OddProductRejected) {
+  Rng rng(1);
+  EXPECT_THROW(makeRandomRegular(5, 3, rng), Error);
+}
+
+TEST(Regular, DegreeBoundsEnforced) {
+  Rng rng(1);
+  EXPECT_THROW(makeRandomRegular(4, 4, rng), Error);
+  EXPECT_THROW(makeRandomRegular(4, -1, rng), Error);
+}
+
+TEST(Regular, ZeroDegreeIsEmpty) {
+  Rng rng(2);
+  const Graph g = makeRandomRegular(7, 0, rng);
+  EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(Regular, ConnectedVariantIsConnected) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = makeConnectedRandomRegular(24, 3, rng);
+    EXPECT_TRUE(isConnected(g));
+    for (NodeId v = 0; v < 24; ++v) {
+      ASSERT_EQ(g.degree(v), 3);
+    }
+  }
+}
+
+TEST(Regular, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(makeRandomRegular(20, 3, a), makeRandomRegular(20, 3, b));
+}
+
+TEST(Regular, TwoRegularIsDisjointCycles) {
+  Rng rng(11);
+  const Graph g = makeRandomRegular(15, 2, rng);
+  // Every component of a 2-regular simple graph is a cycle: m = n and
+  // girth is finite.
+  EXPECT_EQ(g.edgeCount(), 15u);
+  EXPECT_NE(girth(g), kUnreachable);
+}
+
+TEST(Regular, SamplesVary) {
+  Rng rng(13);
+  const Graph a = makeRandomRegular(30, 3, rng);
+  const Graph b = makeRandomRegular(30, 3, rng);
+  EXPECT_FALSE(a == b);  // astronomically unlikely to coincide
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,184 @@
+// Tests for the §3.1 torus construction (Figures 1-2, Lemmas 3.3/3.5).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/torus.hpp"
+#include "graph/bfs.hpp"
+#include "graph/metrics.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+long long expectedNodeCount(const TorusParams& p) {
+  // N = 2·Πδ_i intersections; n = N·(2^{d−1}(ℓ−1) + 1) (paper, Thm 3.12).
+  long long bigN = 2;
+  for (int d : p.delta) bigN *= d;
+  const long long pathsPerClass = 1LL << (p.dims() - 1);
+  return bigN * (pathsPerClass * (p.ell - 1) + 1);
+}
+
+TEST(Torus, ParameterValidation) {
+  EXPECT_THROW(makeTorus({0, {2, 2}}), Error);   // bad ℓ
+  EXPECT_THROW(makeTorus({1, {2}}), Error);      // d < 2
+  EXPECT_THROW(makeTorus({1, {2, 1}}), Error);   // δ < 2
+}
+
+TEST(Torus, Figure2SizesMatch) {
+  // Figure 2: d=2, δ=(3,4), ℓ=2.
+  const TorusGraph tg = makeTorus({2, {3, 4}});
+  EXPECT_EQ(tg.intersectionCount(), 2 * 3 * 4);
+  EXPECT_EQ(static_cast<long long>(tg.graph.nodeCount()),
+            expectedNodeCount(tg.params));
+  EXPECT_TRUE(isConnected(tg.graph));
+}
+
+TEST(Torus, Figure1SizesMatch) {
+  // Figure 1: d=2, δ=(15,5), ℓ=2.
+  const TorusGraph tg = makeTorus({2, {15, 5}});
+  EXPECT_EQ(tg.intersectionCount(), 2 * 15 * 5);
+  EXPECT_EQ(static_cast<long long>(tg.graph.nodeCount()),
+            expectedNodeCount(tg.params));
+  EXPECT_TRUE(isConnected(tg.graph));
+}
+
+TEST(Torus, ThreeDimensionalSizes) {
+  const TorusGraph tg = makeTorus({2, {2, 2, 3}});
+  EXPECT_EQ(tg.intersectionCount(), 2 * 2 * 2 * 3);
+  EXPECT_EQ(static_cast<long long>(tg.graph.nodeCount()),
+            expectedNodeCount(tg.params));
+  EXPECT_TRUE(isConnected(tg.graph));
+}
+
+TEST(Torus, IntersectionDegreeIs2ToTheD) {
+  const TorusGraph tg = makeTorus({2, {3, 3}});
+  for (NodeId v = 0; v < tg.graph.nodeCount(); ++v) {
+    if (tg.isIntersection[static_cast<std::size_t>(v)]) {
+      EXPECT_EQ(tg.graph.degree(v), 4);  // 2^d = 4
+    } else {
+      EXPECT_EQ(tg.graph.degree(v), 2);  // interior path vertex
+    }
+  }
+}
+
+TEST(Torus, UnstretchedHasOnlyIntersections) {
+  const TorusGraph tg = makeTorus({1, {2, 3}});
+  EXPECT_EQ(tg.intersectionCount(), tg.graph.nodeCount());
+  EXPECT_EQ(static_cast<long long>(tg.graph.nodeCount()),
+            expectedNodeCount(tg.params));
+}
+
+TEST(Torus, OwnershipCoversEveryEdgeOnce) {
+  const std::vector<TorusParams> paramSets = {
+      {2, {3, 4}}, {3, {2, 2}}, {1, {3, 3}}};
+  for (const TorusParams& params : paramSets) {
+    const TorusGraph tg = makeTorus(params);
+    std::size_t owned = 0;
+    for (NodeId u = 0; u < tg.graph.nodeCount(); ++u) {
+      for (NodeId v : tg.bought[static_cast<std::size_t>(u)]) {
+        EXPECT_TRUE(tg.graph.hasEdge(u, v))
+            << "bought edge (" << u << "," << v << ") not in graph";
+        ++owned;
+      }
+    }
+    EXPECT_EQ(owned, tg.graph.edgeCount());
+  }
+}
+
+TEST(Torus, IntersectionVerticesBuyNothingWhenStretched) {
+  const TorusGraph tg = makeTorus({3, {2, 3}});
+  for (NodeId v = 0; v < tg.graph.nodeCount(); ++v) {
+    if (tg.isIntersection[static_cast<std::size_t>(v)]) {
+      EXPECT_TRUE(tg.bought[static_cast<std::size_t>(v)].empty());
+    } else {
+      const auto count = tg.bought[static_cast<std::size_t>(v)].size();
+      EXPECT_GE(count, 1u);
+      EXPECT_LE(count, 2u);
+    }
+  }
+}
+
+TEST(Torus, Lemma33DistanceLowerBoundHolds) {
+  const TorusGraph tg = makeTorus({2, {3, 4}});
+  BfsEngine engine;
+  for (NodeId u = 0; u < tg.graph.nodeCount(); u += 5) {
+    const auto& dist = engine.run(tg.graph, u);
+    for (NodeId v = 0; v < tg.graph.nodeCount(); ++v) {
+      const Dist lower = torusDistanceLowerBound(
+          tg.params, tg.coords[static_cast<std::size_t>(u)],
+          tg.coords[static_cast<std::size_t>(v)]);
+      const Dist actual = dist[static_cast<std::size_t>(v)];
+      ASSERT_NE(actual, kUnreachable);
+      EXPECT_GE(actual, lower) << "u=" << u << " v=" << v;
+      // Strict when one endpoint is an intersection vertex and u != v.
+      if (u != v && lower > 0 &&
+          (tg.isIntersection[static_cast<std::size_t>(u)] ||
+           tg.isIntersection[static_cast<std::size_t>(v)])) {
+        EXPECT_GT(actual, lower - 1);
+      }
+    }
+  }
+}
+
+TEST(Torus, Corollary34DiameterAtLeastEllDeltaD) {
+  const TorusParams params{2, {3, 6}};
+  const TorusGraph tg = makeTorus(params);
+  EXPECT_GE(diameter(tg.graph), params.ell * params.delta.back());
+}
+
+TEST(OpenTorus, NoWraparound) {
+  const TorusGraph open = makeOpenTorus({2, {3, 3}});
+  const TorusGraph closed = makeTorus({2, {3, 3}});
+  EXPECT_LT(open.graph.edgeCount(), closed.graph.edgeCount());
+  EXPECT_TRUE(isConnected(open.graph));
+}
+
+TEST(OpenTorus, Lemma35DistanceLowerBoundHolds) {
+  const TorusGraph tg = makeOpenTorus({2, {3, 4}});
+  BfsEngine engine;
+  for (NodeId u = 0; u < tg.graph.nodeCount(); u += 3) {
+    const auto& dist = engine.run(tg.graph, u);
+    for (NodeId v = 0; v < tg.graph.nodeCount(); ++v) {
+      const Dist actual = dist[static_cast<std::size_t>(v)];
+      if (actual == kUnreachable) continue;
+      EXPECT_GE(actual,
+                openDistanceLowerBound(
+                    tg.coords[static_cast<std::size_t>(u)],
+                    tg.coords[static_cast<std::size_t>(v)]))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Torus, NodeAtFindsCoordinates) {
+  const TorusGraph tg = makeTorus({2, {3, 3}});
+  for (NodeId v = 0; v < tg.graph.nodeCount(); ++v) {
+    EXPECT_EQ(tg.nodeAt(tg.coords[static_cast<std::size_t>(v)]), v);
+  }
+  EXPECT_EQ(tg.nodeAt({-1, -1}), -1);
+}
+
+TEST(Torus, Theorem312ParamsShape) {
+  const TorusParams p = theorem312Params(/*alpha=*/2.0, /*k=*/8, 10);
+  EXPECT_EQ(p.ell, 2);  // ⌈α⌉
+  EXPECT_GE(p.dims(), 2);
+  // δ_1..δ_{d−1} = ⌈k/ℓ⌉ + 1 = 5.
+  for (int i = 0; i + 1 < p.dims(); ++i) {
+    EXPECT_EQ(p.delta[static_cast<std::size_t>(i)], 5);
+  }
+  EXPECT_GE(p.delta.back(), 10);
+  EXPECT_THROW(theorem312Params(0.5, 8, 10), Error);
+  EXPECT_THROW(theorem312Params(9.0, 8, 10), Error);
+}
+
+TEST(Torus, Lemma41ParamsShape) {
+  const TorusParams p = lemma41Params(/*k=*/4, 20);
+  EXPECT_EQ(p.ell, 2);
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_EQ(p.delta[0], 3);  // ⌈4/2⌉+1
+  EXPECT_EQ(p.delta[1], 20);
+}
+
+}  // namespace
+}  // namespace ncg

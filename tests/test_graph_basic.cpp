@@ -1,0 +1,132 @@
+// Tests for the core Graph container.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.nodeCount(), 0);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_EQ(g.maxDegree(), 0);
+  EXPECT_EQ(g.averageDegree(), 0.0);
+}
+
+TEST(Graph, IsolatedNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.nodeCount(), 5);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(g.degree(u), 0);
+    EXPECT_TRUE(g.neighbors(u).empty());
+  }
+}
+
+TEST(Graph, NegativeNodeCountRejected) {
+  EXPECT_THROW(Graph(-1), Error);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.addEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_EQ(g.edgeCount(), 1u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+}
+
+TEST(Graph, DuplicateEdgeIgnored) {
+  Graph g(3);
+  EXPECT_TRUE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(1, 0));
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.addEdge(2, 2), Error);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.addEdge(0, 3), Error);
+  EXPECT_THROW(g.addEdge(-1, 0), Error);
+  EXPECT_THROW(g.degree(5), Error);
+  EXPECT_THROW(g.neighbors(-2), Error);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(g.removeEdge(1, 2));
+  EXPECT_FALSE(g.hasEdge(1, 2));
+  EXPECT_EQ(g.edgeCount(), 2u);
+  EXPECT_FALSE(g.removeEdge(1, 2));  // already gone
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 1);
+}
+
+TEST(Graph, RemoveNonexistentReturnsFalse) {
+  Graph g(3);
+  EXPECT_FALSE(g.removeEdge(0, 1));
+  EXPECT_FALSE(g.removeEdge(0, 0));
+}
+
+TEST(Graph, EdgesAreSortedCanonical) {
+  Graph g(5);
+  g.addEdge(4, 0);
+  g.addEdge(2, 1);
+  g.addEdge(3, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 4}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+  EXPECT_EQ(edges[2], (Edge{2, 3}));
+}
+
+TEST(Graph, ConstructorWithEdges) {
+  Graph g(4, {{0, 1}, {1, 2}, {0, 1}});  // duplicate collapses
+  EXPECT_EQ(g.edgeCount(), 2u);
+}
+
+TEST(Graph, DegreeStatistics) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.maxDegree(), 3);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 6.0 / 4.0);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a(3, {{0, 1}, {1, 2}});
+  Graph b(3);
+  b.addEdge(1, 2);
+  b.addEdge(1, 0);
+  EXPECT_EQ(a, b);
+  b.removeEdge(1, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Graph, AddRemoveChurnKeepsConsistency) {
+  Graph g(10);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) {
+      g.addEdge(u, v);
+    }
+  }
+  EXPECT_EQ(g.edgeCount(), 45u);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; v += 2) {
+      g.removeEdge(u, v);
+    }
+  }
+  // Every remaining adjacency must be symmetric.
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_TRUE(g.hasEdge(v, u));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncg

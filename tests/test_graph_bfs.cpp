@@ -1,0 +1,133 @@
+// Tests for the BFS engine.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/bfs.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  const Graph g = makePath(5);
+  const auto dist = bfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Bfs, CycleDistances) {
+  const Graph g = makeCycle(6);
+  const auto dist = bfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], 2);
+  EXPECT_EQ(dist[5], 1);
+}
+
+TEST(Bfs, DisconnectedMarksUnreachable) {
+  Graph g(4, {{0, 1}});
+  const auto dist = bfsDistances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, MaxDepthCutsOff) {
+  const Graph g = makePath(10);
+  const auto dist = bfsDistances(g, 0, 3);
+  EXPECT_EQ(dist[3], 3);
+  EXPECT_EQ(dist[4], kUnreachable);
+}
+
+TEST(Bfs, MaxDepthZeroSeesOnlySource) {
+  const Graph g = makePath(4);
+  const auto dist = bfsDistances(g, 1, 0);
+  EXPECT_EQ(dist[1], 0);
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Bfs, VisitedOrderIsNonDecreasingDistance) {
+  const Graph g = makeStar(8);
+  BfsEngine engine;
+  engine.run(g, 3);  // a leaf
+  const auto& order = engine.visited();
+  const auto& dist = engine.distances();
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0], 3);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(dist[static_cast<std::size_t>(order[i])],
+              dist[static_cast<std::size_t>(order[i - 1])]);
+  }
+}
+
+TEST(Bfs, MultiSourceTakesNearest) {
+  const Graph g = makePath(9);
+  BfsEngine engine;
+  const NodeId sources[2] = {0, 8};
+  const auto& dist = engine.runMulti(g, sources);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[8], 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[6], 2);
+}
+
+TEST(Bfs, MultiSourceDuplicateSourcesHandled) {
+  const Graph g = makePath(3);
+  BfsEngine engine;
+  const NodeId sources[3] = {1, 1, 1};
+  const auto& dist = engine.runMulti(g, sources);
+  EXPECT_EQ(dist[1], 0);
+  EXPECT_EQ(dist[0], 1);
+}
+
+TEST(Bfs, EmptySourcesRejected) {
+  const Graph g = makePath(3);
+  BfsEngine engine;
+  EXPECT_THROW(engine.runMulti(g, {}), Error);
+}
+
+TEST(Bfs, SourceOutOfRangeRejected) {
+  const Graph g = makePath(3);
+  BfsEngine engine;
+  EXPECT_THROW(engine.run(g, 3), Error);
+}
+
+TEST(Bfs, EccentricityOfLastRun) {
+  const Graph g = makePath(7);
+  BfsEngine engine;
+  engine.run(g, 0);
+  EXPECT_EQ(engine.eccentricityOfLastRun(g), 6);
+  engine.run(g, 3);
+  EXPECT_EQ(engine.eccentricityOfLastRun(g), 3);
+}
+
+TEST(Bfs, EccentricityUnreachableWhenDisconnected) {
+  Graph g(3, {{0, 1}});
+  BfsEngine engine;
+  engine.run(g, 0);
+  EXPECT_EQ(engine.eccentricityOfLastRun(g), kUnreachable);
+}
+
+TEST(Bfs, EngineIsReusableAcrossGraphSizes) {
+  BfsEngine engine;
+  const Graph small = makePath(3);
+  const Graph large = makeCycle(50);
+  engine.run(small, 0);
+  EXPECT_EQ(engine.distances().size(), 3u);
+  engine.run(large, 0);
+  EXPECT_EQ(engine.distances().size(), 50u);
+  EXPECT_EQ(engine.eccentricityOfLastRun(large), 25);
+}
+
+TEST(Bfs, SingleNodeGraph) {
+  Graph g(1);
+  const auto dist = bfsDistances(g, 0);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist[0], 0);
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,117 @@
+// Randomized differential test: the adjacency-list Graph is driven
+// through long random add/remove sequences and compared against a naive
+// adjacency-matrix reference after every operation batch. Catches
+// symmetry/bookkeeping bugs that unit tests on fixed shapes miss.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+/// Minimal trusted reference: O(n²) adjacency matrix.
+class MatrixGraph {
+ public:
+  explicit MatrixGraph(NodeId n)
+      : n_(n), cells_(static_cast<std::size_t>(n) * n, false) {}
+
+  bool addEdge(NodeId u, NodeId v) {
+    if (u == v || at(u, v)) return false;
+    set(u, v, true);
+    ++edges_;
+    return true;
+  }
+
+  bool removeEdge(NodeId u, NodeId v) {
+    if (u == v || !at(u, v)) return false;
+    set(u, v, false);
+    --edges_;
+    return true;
+  }
+
+  bool hasEdge(NodeId u, NodeId v) const { return u != v && at(u, v); }
+
+  NodeId degree(NodeId u) const {
+    NodeId d = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (at(u, v)) ++d;
+    }
+    return d;
+  }
+
+  std::size_t edgeCount() const { return edges_; }
+
+ private:
+  bool at(NodeId u, NodeId v) const {
+    return cells_[static_cast<std::size_t>(u) * n_ +
+                  static_cast<std::size_t>(v)];
+  }
+  void set(NodeId u, NodeId v, bool value) {
+    cells_[static_cast<std::size_t>(u) * n_ + static_cast<std::size_t>(v)] =
+        value;
+    cells_[static_cast<std::size_t>(v) * n_ + static_cast<std::size_t>(u)] =
+        value;
+  }
+
+  NodeId n_;
+  std::vector<bool> cells_;
+  std::size_t edges_ = 0;
+};
+
+class GraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzz, MatchesMatrixReferenceUnderChurn) {
+  Rng rng(GetParam());
+  const NodeId n = static_cast<NodeId>(8 + rng.nextBounded(25));
+  Graph graph(n);
+  MatrixGraph reference(n);
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto u = static_cast<NodeId>(rng.nextBounded(n));
+    const auto v = static_cast<NodeId>(rng.nextBounded(n));
+    if (u == v) continue;
+    if (rng.nextBernoulli(0.6)) {
+      ASSERT_EQ(graph.addEdge(u, v), reference.addEdge(u, v))
+          << "add (" << u << "," << v << ") at step " << step;
+    } else {
+      ASSERT_EQ(graph.removeEdge(u, v), reference.removeEdge(u, v))
+          << "remove (" << u << "," << v << ") at step " << step;
+    }
+    if (step % 250 == 0) {
+      ASSERT_EQ(graph.edgeCount(), reference.edgeCount());
+      for (NodeId x = 0; x < n; ++x) {
+        ASSERT_EQ(graph.degree(x), reference.degree(x)) << "node " << x;
+      }
+    }
+  }
+
+  // Full final audit.
+  ASSERT_EQ(graph.edgeCount(), reference.edgeCount());
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y = 0; y < n; ++y) {
+      ASSERT_EQ(graph.hasEdge(x, y), reference.hasEdge(x, y))
+          << "(" << x << "," << y << ")";
+    }
+  }
+  // Adjacency symmetry through neighbors().
+  for (NodeId x = 0; x < n; ++x) {
+    for (NodeId y : graph.neighbors(x)) {
+      ASSERT_TRUE(graph.hasEdge(y, x));
+    }
+  }
+  // edges() canonical form is consistent with hasEdge.
+  for (const Edge& e : graph.edges()) {
+    ASSERT_LT(e.u, e.v);
+    ASSERT_TRUE(graph.hasEdge(e.u, e.v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,59 @@
+// Tests for graph serialization.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/io.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = makeGrid(3, 3);
+  const Graph back = fromEdgeListString(toEdgeListString(g));
+  EXPECT_EQ(g, back);
+}
+
+TEST(Io, EmptyGraphRoundTrip) {
+  const Graph g(0);
+  EXPECT_EQ(fromEdgeListString(toEdgeListString(g)), g);
+}
+
+TEST(Io, IsolatedNodesRoundTrip) {
+  const Graph g(7);
+  const Graph back = fromEdgeListString(toEdgeListString(g));
+  EXPECT_EQ(back.nodeCount(), 7);
+  EXPECT_EQ(back.edgeCount(), 0u);
+}
+
+TEST(Io, FormatIsStable) {
+  Graph g(3, {{2, 0}, {0, 1}});
+  EXPECT_EQ(toEdgeListString(g), "3 2\n0 1\n0 2\n");
+}
+
+TEST(Io, MalformedHeaderThrows) {
+  EXPECT_THROW(fromEdgeListString(""), Error);
+  EXPECT_THROW(fromEdgeListString("3"), Error);
+  EXPECT_THROW(fromEdgeListString("x y"), Error);
+}
+
+TEST(Io, MissingEdgesThrow) {
+  EXPECT_THROW(fromEdgeListString("3 2\n0 1\n"), Error);
+}
+
+TEST(Io, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(fromEdgeListString("3 1\n0 3\n"), Error);
+  EXPECT_THROW(fromEdgeListString("-1 0\n"), Error);
+}
+
+TEST(Io, DotContainsAllEdges) {
+  const Graph g = makeCycle(3);
+  const std::string dot = toDot(g, "C3");
+  EXPECT_NE(dot.find("graph C3 {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncg

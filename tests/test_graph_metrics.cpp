@@ -1,0 +1,104 @@
+// Tests for whole-graph metrics.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/metrics.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Metrics, PathEccentricities) {
+  const Graph g = makePath(5);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+  EXPECT_EQ(eccentricity(g, 2), 2);
+  const auto all = allEccentricities(g);
+  EXPECT_EQ(all, (std::vector<Dist>{4, 3, 2, 3, 4}));
+}
+
+TEST(Metrics, DiameterAndRadius) {
+  EXPECT_EQ(diameter(makePath(10)), 9);
+  EXPECT_EQ(radius(makePath(10)), 5);
+  EXPECT_EQ(diameter(makeCycle(10)), 5);
+  EXPECT_EQ(radius(makeCycle(10)), 5);
+  EXPECT_EQ(diameter(makeStar(10)), 2);
+  EXPECT_EQ(radius(makeStar(10)), 1);
+  EXPECT_EQ(diameter(makeComplete(10)), 1);
+}
+
+TEST(Metrics, TrivialGraphs) {
+  EXPECT_EQ(diameter(Graph(0)), 0);
+  EXPECT_EQ(diameter(Graph(1)), 0);
+  EXPECT_EQ(radius(Graph(1)), 0);
+}
+
+TEST(Metrics, DisconnectedDiameterUnreachable) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(diameter(g), kUnreachable);
+  EXPECT_EQ(eccentricity(g, 0), kUnreachable);
+}
+
+TEST(Metrics, StatusSum) {
+  const Graph star = makeStar(5);
+  EXPECT_EQ(statusSum(star, 0), 4);        // center: 4 at distance 1
+  EXPECT_EQ(statusSum(star, 1), 1 + 3 * 2);  // leaf
+  Graph disconnected(3, {{0, 1}});
+  EXPECT_EQ(statusSum(disconnected, 0), kUnreachable);
+}
+
+TEST(Metrics, GridDiameter) {
+  EXPECT_EQ(diameter(makeGrid(3, 4)), 2 + 3);
+}
+
+TEST(Metrics, Connectivity) {
+  EXPECT_TRUE(isConnected(makePath(7)));
+  EXPECT_TRUE(isConnected(Graph(1)));
+  EXPECT_TRUE(isConnected(Graph(0)));
+  Graph g(5, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(isConnected(g));
+}
+
+TEST(Metrics, ConnectedComponents) {
+  Graph g(6, {{0, 1}, {2, 3}, {3, 4}});
+  const auto labels = connectedComponents(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[2]);
+  EXPECT_EQ(componentCount(g), 3);
+  EXPECT_EQ(componentCount(makeCycle(4)), 1);
+  EXPECT_EQ(componentCount(Graph(0)), 0);
+}
+
+TEST(Metrics, GirthOfForestsIsUnreachable) {
+  EXPECT_EQ(girth(makePath(10)), kUnreachable);
+  EXPECT_EQ(girth(makeStar(10)), kUnreachable);
+  EXPECT_EQ(girth(Graph(3)), kUnreachable);
+}
+
+TEST(Metrics, GirthOfCycles) {
+  for (NodeId n : {3, 4, 5, 10, 17}) {
+    EXPECT_EQ(girth(makeCycle(n)), n) << "cycle length " << n;
+  }
+}
+
+TEST(Metrics, GirthOfCompleteAndGrid) {
+  EXPECT_EQ(girth(makeComplete(5)), 3);
+  EXPECT_EQ(girth(makeGrid(3, 3)), 4);
+}
+
+TEST(Metrics, GirthDetectsShortCycleInLargeStructure) {
+  // Long cycle with one chord creating a triangle.
+  Graph g = makeCycle(20);
+  g.addEdge(0, 2);
+  EXPECT_EQ(girth(g), 3);
+}
+
+TEST(Metrics, GirthTwoTriangleSharingEdge) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 2}});
+  EXPECT_EQ(girth(g), 3);
+}
+
+}  // namespace
+}  // namespace ncg

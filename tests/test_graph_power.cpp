@@ -1,0 +1,112 @@
+// Tests for graph powers, ball masks and all-pairs distances.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/metrics.hpp"
+#include "graph/bfs.hpp"
+#include "graph/power.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Power, ZeroPowerIsEmpty) {
+  const Graph g = makeCycle(5);
+  const Graph p = powerGraph(g, 0);
+  EXPECT_EQ(p.nodeCount(), 5);
+  EXPECT_EQ(p.edgeCount(), 0u);
+}
+
+TEST(Power, FirstPowerIsIdentity) {
+  const Graph g = makeGrid(3, 3);
+  EXPECT_EQ(powerGraph(g, 1), g);
+}
+
+TEST(Power, PathSquared) {
+  const Graph g = makePath(5);
+  const Graph p = powerGraph(g, 2);
+  EXPECT_TRUE(p.hasEdge(0, 2));
+  EXPECT_TRUE(p.hasEdge(0, 1));
+  EXPECT_FALSE(p.hasEdge(0, 3));
+  EXPECT_EQ(p.edgeCount(), 4u + 3u);  // dist-1 plus dist-2 pairs
+}
+
+TEST(Power, LargeRadiusGivesCompleteOnComponent) {
+  const Graph g = makePath(6);
+  const Graph p = powerGraph(g, 5);
+  EXPECT_EQ(p.edgeCount(), 15u);
+}
+
+TEST(Power, DisconnectedComponentsStaySeparate) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  const Graph p = powerGraph(g, 10);
+  EXPECT_TRUE(p.hasEdge(0, 1));
+  EXPECT_TRUE(p.hasEdge(2, 3));
+  EXPECT_FALSE(p.hasEdge(1, 2));
+}
+
+TEST(Power, NegativeRadiusRejected) {
+  EXPECT_THROW(powerGraph(makePath(3), -1), Error);
+}
+
+TEST(BallMasks, MatchDistances) {
+  const Graph g = makeGrid(3, 4);
+  for (Dist r : {0, 1, 2, 3}) {
+    const auto masks = ballMasks(g, r);
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+      const auto dist = bfsDistances(g, u);
+      for (NodeId v = 0; v < g.nodeCount(); ++v) {
+        const bool inBall = dist[static_cast<std::size_t>(v)] <= r;
+        EXPECT_EQ(masks[static_cast<std::size_t>(u)].test(
+                      static_cast<std::size_t>(v)),
+                  inBall)
+            << "r=" << r << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(BallMasks, RadiusZeroIsSelfOnly) {
+  const auto masks = ballMasks(makeCycle(4), 0);
+  for (std::size_t u = 0; u < 4; ++u) {
+    EXPECT_EQ(masks[u].count(), 1u);
+    EXPECT_TRUE(masks[u].test(u));
+  }
+}
+
+TEST(AllPairs, MatchesPerSourceBfs) {
+  const Graph g = makeGrid(4, 4);
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  const auto matrix = allPairsDistances(g);
+  ASSERT_EQ(matrix.size(), n * n);
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    const auto dist = bfsDistances(g, u);
+    for (NodeId v = 0; v < g.nodeCount(); ++v) {
+      EXPECT_EQ(matrix[static_cast<std::size_t>(u) * n +
+                       static_cast<std::size_t>(v)],
+                dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(AllPairs, SymmetricAndZeroDiagonal) {
+  const Graph g = makeCycle(7);
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  const auto matrix = allPairsDistances(g);
+  for (std::size_t u = 0; u < n; ++u) {
+    EXPECT_EQ(matrix[u * n + u], 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_EQ(matrix[u * n + v], matrix[v * n + u]);
+    }
+  }
+}
+
+TEST(AllPairs, DisconnectedPairsUnreachable) {
+  Graph g(3, {{0, 1}});
+  const auto matrix = allPairsDistances(g);
+  EXPECT_EQ(matrix[0 * 3 + 2], kUnreachable);
+  EXPECT_EQ(matrix[2 * 3 + 0], kUnreachable);
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,116 @@
+// Tests for k-neighborhood view extraction.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/metrics.hpp"
+#include "graph/view.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Ball, PathBall) {
+  const Graph g = makePath(10);
+  const auto ball = ballAround(g, 5, 2);
+  EXPECT_EQ(ball.size(), 5u);  // 3,4,5,6,7
+  EXPECT_EQ(ball[0], 5);       // center first
+}
+
+TEST(Ball, RadiusZeroIsJustCenter) {
+  const Graph g = makeCycle(5);
+  const auto ball = ballAround(g, 2, 0);
+  ASSERT_EQ(ball.size(), 1u);
+  EXPECT_EQ(ball[0], 2);
+}
+
+TEST(Ball, NegativeRadiusRejected) {
+  const Graph g = makePath(3);
+  EXPECT_THROW(ballAround(g, 0, -1), Error);
+}
+
+TEST(View, CenterIsLocalZero) {
+  const Graph g = makeCycle(12);
+  const LocalView view = buildView(g, 7, 3);
+  EXPECT_EQ(view.center, 0);
+  EXPECT_EQ(view.toGlobal[0], 7);
+  EXPECT_EQ(view.radius, 3);
+}
+
+TEST(View, CycleViewIsPath) {
+  const Graph g = makeCycle(20);
+  const LocalView view = buildView(g, 0, 4);
+  // View of a cycle at radius 4: a path of 9 nodes centered at 0.
+  EXPECT_EQ(view.size(), 9);
+  EXPECT_EQ(view.graph.edgeCount(), 8u);
+  EXPECT_EQ(diameter(view.graph), 8);
+  EXPECT_EQ(eccentricity(view.graph, view.center), 4);
+}
+
+TEST(View, WholeGraphWhenRadiusLarge) {
+  const Graph g = makeStar(6);
+  const LocalView view = buildView(g, 3, 100);
+  EXPECT_EQ(view.size(), 6);
+  EXPECT_EQ(view.graph.edgeCount(), g.edgeCount());
+}
+
+TEST(View, MappingsAreInverse) {
+  const Graph g = makeGrid(4, 5);
+  const LocalView view = buildView(g, 7, 2);
+  for (NodeId local = 0; local < view.size(); ++local) {
+    const NodeId global = view.toGlobal[static_cast<std::size_t>(local)];
+    EXPECT_EQ(view.toLocal[static_cast<std::size_t>(global)], local);
+    EXPECT_TRUE(view.contains(global));
+  }
+  // Nodes outside map to -1.
+  int outside = 0;
+  for (NodeId global = 0; global < g.nodeCount(); ++global) {
+    if (!view.contains(global)) ++outside;
+  }
+  EXPECT_EQ(outside + view.size(), g.nodeCount());
+}
+
+TEST(View, ContainsRejectsOutOfRangeGracefully) {
+  const Graph g = makePath(4);
+  const LocalView view = buildView(g, 0, 1);
+  EXPECT_FALSE(view.contains(-1));
+  EXPECT_FALSE(view.contains(99));
+}
+
+TEST(View, InducedSubgraphKeepsInternalEdges) {
+  // Grid: the view must contain edges between non-center members.
+  const Graph g = makeGrid(3, 3);
+  const LocalView view = buildView(g, 4, 1);  // center of the grid
+  EXPECT_EQ(view.size(), 5);
+  // center + 4 neighbors; the 4 neighbors are pairwise non-adjacent in a
+  // grid, so exactly 4 edges.
+  EXPECT_EQ(view.graph.edgeCount(), 4u);
+
+  const LocalView wide = buildView(g, 4, 2);
+  EXPECT_EQ(wide.size(), 9);
+  EXPECT_EQ(wide.graph.edgeCount(), g.edgeCount());
+}
+
+TEST(View, DistancesFromCenterArePreserved) {
+  // Distances from the center inside the view equal distances in G for
+  // all nodes within the radius (shortest paths stay in the ball).
+  const Graph g = makeGrid(5, 5);
+  const NodeId center = 12;
+  const Dist k = 3;
+  const LocalView view = buildView(g, center, k);
+  const auto globalDist = bfsDistances(g, center);
+  const auto localDist = bfsDistances(view.graph, view.center);
+  for (NodeId local = 0; local < view.size(); ++local) {
+    const NodeId global = view.toGlobal[static_cast<std::size_t>(local)];
+    EXPECT_EQ(localDist[static_cast<std::size_t>(local)],
+              globalDist[static_cast<std::size_t>(global)]);
+  }
+}
+
+TEST(View, DisconnectedRestOfGraphIgnored) {
+  Graph g(6, {{0, 1}, {1, 2}, {3, 4}});
+  const LocalView view = buildView(g, 0, 5);
+  EXPECT_EQ(view.size(), 3);  // only 0's component
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,154 @@
+// Integration tests exercising whole-paper claims end to end:
+// constructions + equilibrium checks + dynamics + PoA accounting.
+#include <gtest/gtest.h>
+
+#include "bounds/max_bounds.hpp"
+#include "core/cost.hpp"
+#include "core/equilibrium.hpp"
+#include "dynamics/round_robin.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "gen/torus.hpp"
+#include "graph/metrics.hpp"
+
+namespace ncg {
+namespace {
+
+StrategyProfile cycleProfile(NodeId n) {
+  std::vector<std::vector<NodeId>> lists(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    lists[static_cast<std::size_t>(i)].push_back((i + 1) % n);
+  }
+  return StrategyProfile::fromBoughtLists(lists);
+}
+
+TEST(PaperIntegration, Lemma31CyclePoAScalesLinearly) {
+  // The stable cycle realizes social cost Θ(αn + n²) in MaxNCG, so its
+  // PoA against the star optimum grows like n/(1+α).
+  const double alpha = 3.0;
+  const Dist k = 3;
+  double previousRatio = 0.0;
+  for (NodeId n : {16, 32, 64}) {
+    const StrategyProfile profile = cycleProfile(n);
+    const Graph g = profile.buildGraph();
+    const GameParams params = GameParams::max(alpha, k);
+    ASSERT_TRUE(isLke(g, profile, params)) << "n=" << n;
+    const double ratio = socialCost(params, profile, g) /
+                         socialOptimumReference(params, n);
+    EXPECT_GT(ratio, 1.6 * previousRatio) << "n=" << n;  // ~doubles
+    previousRatio = ratio;
+  }
+}
+
+TEST(PaperIntegration, Theorem312TorusIsLkeAndHasLargeDiameter) {
+  // α = 2, k = 4 ⇒ ℓ = 2, d = ⌈log2(4/2+2)⌉ = 2, δ_1 = 3.
+  const double alpha = 2.0;
+  const int k = 4;
+  const TorusParams params = theorem312Params(alpha, k, /*deltaLast=*/6);
+  const TorusGraph tg = makeTorus(params);
+  const auto profile = StrategyProfile::fromBoughtLists(tg.bought);
+  const Graph g = profile.buildGraph();
+  ASSERT_EQ(g, tg.graph);
+
+  // Diameter >= ℓ·δ_d (Corollary 3.4).
+  EXPECT_GE(diameter(g), params.ell * params.delta.back());
+
+  const GameParams game = GameParams::max(alpha, k);
+  EXPECT_TRUE(isLke(g, profile, game));
+}
+
+TEST(PaperIntegration, TorusCeasesToBeStableWhenViewGrows) {
+  // The same torus stops being an equilibrium once players see far
+  // enough to recognize the toroidal shortcuts (k large ⇒ chords pay).
+  const TorusParams params = theorem312Params(2.0, 4, 6);
+  const TorusGraph tg = makeTorus(params);
+  const auto profile = StrategyProfile::fromBoughtLists(tg.bought);
+  const Graph g = profile.buildGraph();
+  const GameParams farSighted = GameParams::max(2.0, 40);
+  EXPECT_FALSE(isLke(g, profile, farSighted));
+}
+
+TEST(PaperIntegration, DynamicsFromTreeReachesLkeAndQualityTracksK) {
+  // Fig. 6 shape: with α = 10, small k yields worse equilibria than
+  // large k on the same starting trees.
+  Rng rng(606);
+  double qualitySmallK = 0.0;
+  double qualityLargeK = 0.0;
+  constexpr int kTrials = 4;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Graph tree = makeRandomTree(40, rng);
+    const StrategyProfile initial =
+        StrategyProfile::randomOwnership(tree, rng);
+    for (const Dist k : {2, 1000}) {
+      DynamicsConfig config;
+      config.params = GameParams::max(10.0, k);
+      config.maxRounds = 50;
+      const DynamicsResult result = runBestResponseDynamics(initial, config);
+      ASSERT_EQ(result.outcome, DynamicsOutcome::kConverged);
+      const double quality =
+          socialCost(config.params, result.profile, result.graph) /
+          socialOptimumReference(config.params, 40);
+      if (k == 2) {
+        qualitySmallK += quality;
+      } else {
+        qualityLargeK += quality;
+      }
+    }
+  }
+  EXPECT_GE(qualitySmallK, qualityLargeK);
+}
+
+TEST(PaperIntegration, FullViewDynamicsOnDenseGraphShrinksDiameter) {
+  // Fig. 8 context: dense ER graphs under full knowledge converge to
+  // low-diameter, star-like networks.
+  Rng rng(707);
+  const Graph g = makeConnectedErdosRenyi(30, 0.15, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(1.0, 1000);
+  config.maxRounds = 60;
+  const DynamicsResult result =
+      runBestResponseDynamics(StrategyProfile::randomOwnership(g, rng),
+                              config);
+  ASSERT_EQ(result.outcome, DynamicsOutcome::kConverged);
+  EXPECT_LE(diameter(result.graph), 4);
+}
+
+TEST(PaperIntegration, MeasuredCyclePoAIsWithinTheoreticalBand) {
+  // Measured PoA of the stable cycle should be Ω(n/(1+α)) — compare
+  // against the closed-form bound evaluator.
+  const NodeId n = 48;
+  const double alpha = 4.0;
+  const Dist k = 4;
+  const StrategyProfile profile = cycleProfile(n);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(alpha, k);
+  ASSERT_TRUE(isLke(g, profile, params));
+  const double measured = socialCost(params, profile, g) /
+                          socialOptimumReference(params, n);
+  // Ω-bound: measured must be within a constant factor of n/(1+α).
+  const double predicted = lbCyclePoA(n, alpha);
+  EXPECT_GE(measured, 0.4 * predicted);
+  EXPECT_LE(measured, 4.0 * predicted);
+}
+
+TEST(PaperIntegration, Section2NpHardnessGadgetSmokeTest) {
+  // §2 reduces best response to MINIMUM DOMINATING SET: on a star plus a
+  // fresh player who sees everything, the best response is to buy the
+  // dominating set (the center). Checks the reduction plumbing end-to-end.
+  std::vector<std::vector<NodeId>> lists(7);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) lists[0].push_back(leaf);
+  // Player 6 starts connected to a leaf (model: initially connected).
+  lists[6].push_back(1);
+  const auto profile = StrategyProfile::fromBoughtLists(lists);
+  const Graph g = profile.buildGraph();
+  const GameParams params = GameParams::max(0.9, 10);
+  const BestResponse br = bestResponseFor(g, profile, 6, params);
+  ASSERT_TRUE(br.improving);
+  // Optimal: buy only the center (ecc 2, cost α·1+2) — beats staying on
+  // the leaf (ecc 3) and beats buying more.
+  EXPECT_EQ(br.strategyGlobal, (std::vector<NodeId>{0}));
+}
+
+}  // namespace
+}  // namespace ncg

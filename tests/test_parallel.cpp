@@ -1,0 +1,124 @@
+// Tests for the thread pool and parallel_for substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+#include "stats/experiment.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+TEST(ThreadPool, MultipleWaitCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), (cycle + 1) * 10);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  parallelFor(pool, touched.size(),
+              [&touched](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallelFor(pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  ThreadPool pool(8);
+  std::vector<long long> values(5000);
+  parallelFor(pool, values.size(), [&values](std::size_t i) {
+    values[i] = static_cast<long long>(i) * 3 + 1;
+  });
+  long long expected = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    expected += static_cast<long long>(i) * 3 + 1;
+  }
+  EXPECT_EQ(std::accumulate(values.begin(), values.end(), 0LL), expected);
+}
+
+TEST(ParallelFor, ExplicitGrain) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  parallelFor(pool, 97, [&counter](std::size_t) { counter.fetch_add(1); },
+              /*grain=*/10);
+  EXPECT_EQ(counter.load(), 97);
+}
+
+TEST(SerialFor, RunsInOrder) {
+  std::vector<std::size_t> order;
+  serialFor(5, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunTrials, DeterministicAcrossPoolSizes) {
+  const std::function<std::uint64_t(int, Rng&)> trial =
+      [](int index, Rng& rng) {
+        return rng.next() + static_cast<std::uint64_t>(index);
+      };
+  ThreadPool poolA(1);
+  ThreadPool poolB(8);
+  const auto a = runTrials<std::uint64_t>(poolA, 64, 777, trial);
+  const auto b = runTrials<std::uint64_t>(poolB, 64, 777, trial);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunTrials, SeedChangesResults) {
+  const std::function<std::uint64_t(int, Rng&)> trial =
+      [](int, Rng& rng) { return rng.next(); };
+  ThreadPool pool(4);
+  const auto a = runTrials<std::uint64_t>(pool, 16, 1, trial);
+  const auto b = runTrials<std::uint64_t>(pool, 16, 2, trial);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ncg

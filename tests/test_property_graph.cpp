@@ -1,0 +1,126 @@
+// Randomized structural invariants of the graph substrate:
+//
+//   G1. Handshake lemma: Σ deg = 2m.
+//   G2. BFS distance symmetry on undirected graphs: d(u,v) = d(v,u).
+//   G3. Triangle inequality: d(u,w) <= d(u,v) + d(v,w).
+//   G4. radius <= diameter <= 2·radius (connected graphs).
+//   G5. Power-graph consistency: (u,v) in g^r iff 1 <= d(u,v) <= r.
+//   G6. Ball monotonicity: β_r(u) ⊆ β_{r+1}(u).
+//   G7. View equals induced ball for every center/radius.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "graph/metrics.hpp"
+#include "graph/power.hpp"
+#include "graph/view.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+class GraphProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+Graph sampleGraph(std::uint64_t seed) {
+  Rng rng(seed);
+  if (seed % 2 == 0) {
+    return makeRandomTree(20 + static_cast<NodeId>(seed % 17), rng);
+  }
+  return makeConnectedErdosRenyi(
+      18 + static_cast<NodeId>(seed % 13), 0.18, rng);
+}
+
+TEST_P(GraphProperty, HandshakeLemma) {
+  const Graph g = sampleGraph(GetParam());
+  std::size_t degreeSum = 0;
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    degreeSum += static_cast<std::size_t>(g.degree(u));
+  }
+  EXPECT_EQ(degreeSum, 2 * g.edgeCount());
+}
+
+TEST_P(GraphProperty, DistanceSymmetryAndTriangle) {
+  const Graph g = sampleGraph(GetParam());
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  const auto d = allPairsDistances(g);
+  for (std::size_t u = 0; u < n; u += 3) {
+    for (std::size_t v = 0; v < n; v += 2) {
+      EXPECT_EQ(d[u * n + v], d[v * n + u]);  // G2
+      for (std::size_t w = 0; w < n; w += 4) {
+        if (d[u * n + v] == kUnreachable || d[v * n + w] == kUnreachable) {
+          continue;
+        }
+        EXPECT_LE(d[u * n + w], d[u * n + v] + d[v * n + w]);  // G3
+      }
+    }
+  }
+}
+
+TEST_P(GraphProperty, RadiusDiameterSandwich) {
+  const Graph g = sampleGraph(GetParam());
+  const Dist r = radius(g);
+  const Dist d = diameter(g);
+  ASSERT_NE(d, kUnreachable);
+  EXPECT_LE(r, d);      // G4
+  EXPECT_LE(d, 2 * r);  // G4
+}
+
+TEST_P(GraphProperty, PowerGraphConsistency) {
+  const Graph g = sampleGraph(GetParam());
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  const auto d = allPairsDistances(g);
+  for (Dist r : {1, 2, 3}) {
+    const Graph p = powerGraph(g, r);
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < g.nodeCount(); ++v) {
+        const Dist duv =
+            d[static_cast<std::size_t>(u) * n + static_cast<std::size_t>(v)];
+        EXPECT_EQ(p.hasEdge(u, v), duv >= 1 && duv <= r)
+            << "r=" << r << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(GraphProperty, BallMonotonicityAndViewConsistency) {
+  const Graph g = sampleGraph(GetParam());
+  const NodeId center = g.nodeCount() / 2;
+  std::size_t previous = 0;
+  for (Dist r = 0; r <= 4; ++r) {
+    const auto ball = ballAround(g, center, r);
+    EXPECT_GE(ball.size(), previous);  // G6
+    previous = ball.size();
+
+    const LocalView view = buildView(g, center, r);
+    EXPECT_EQ(static_cast<std::size_t>(view.size()), ball.size());  // G7
+    // Every intra-ball edge of g appears in the view and vice versa.
+    std::size_t inducedEdges = 0;
+    for (NodeId u : ball) {
+      for (NodeId v : g.neighbors(u)) {
+        if (u < v && view.contains(v)) ++inducedEdges;
+      }
+    }
+    EXPECT_EQ(view.graph.edgeCount(), inducedEdges);
+  }
+}
+
+TEST_P(GraphProperty, GirthNeverBelowThree) {
+  const Graph g = sampleGraph(GetParam());
+  const Dist girthValue = girth(g);
+  if (girthValue != kUnreachable) {
+    EXPECT_GE(girthValue, 3);
+    EXPECT_LE(girthValue, g.nodeCount());
+  } else {
+    // Acyclic iff m = n − components.
+    EXPECT_EQ(g.edgeCount(),
+              static_cast<std::size_t>(g.nodeCount() - componentCount(g)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,141 @@
+// Tests for constrained distance-r domination.
+#include <gtest/gtest.h>
+
+#include "gen/classic.hpp"
+#include "graph/bfs.hpp"
+#include "solver/dominating_set.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+/// Checks that free ∪ chosen dominates g at radius r.
+bool dominates(const Graph& g, Dist r, const std::vector<NodeId>& free,
+               const std::vector<NodeId>& chosen) {
+  std::vector<NodeId> sources = free;
+  sources.insert(sources.end(), chosen.begin(), chosen.end());
+  if (sources.empty()) return g.nodeCount() == 0;
+  BfsEngine engine;
+  const auto& dist = engine.runMulti(g, sources, r);
+  for (Dist d : dist) {
+    if (d == kUnreachable) return false;
+  }
+  return true;
+}
+
+TEST(Domination, StarCenterDominatesAtRadiusOne) {
+  const Graph g = makeStar(10);
+  const auto result = minDominatingSet(g, 1);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.chosen.size(), 1u);
+  EXPECT_EQ(result.chosen[0], 0);
+}
+
+TEST(Domination, PathRadiusOneNeedsCeilNOver3) {
+  const Graph g = makePath(9);
+  const auto result = minDominatingSet(g, 1);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.chosen.size(), 3u);
+  EXPECT_TRUE(dominates(g, 1, {}, result.chosen));
+}
+
+TEST(Domination, CycleRadiusTwo) {
+  const Graph g = makeCycle(10);
+  const auto result = minDominatingSet(g, 2);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.chosen.size(), 2u);  // each center covers 5 nodes
+  EXPECT_TRUE(dominates(g, 2, {}, result.chosen));
+}
+
+TEST(Domination, RadiusZeroNeedsEveryNonFreeVertex) {
+  const Graph g = makePath(5);
+  const auto result = minDominatingSet(g, 0);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.chosen.size(), 5u);
+}
+
+TEST(Domination, FreeVerticesReduceTheProblem) {
+  const Graph g = makePath(9);
+  // Node 4 free: it covers 3..5 at radius 1; rest needs 2 more.
+  const auto result = minDominatingSet(g, 1, /*free=*/{4});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.chosen.size(), 2u);
+  EXPECT_TRUE(dominates(g, 1, {4}, result.chosen));
+  // Free vertices never re-chosen.
+  for (NodeId v : result.chosen) {
+    EXPECT_NE(v, 4);
+  }
+}
+
+TEST(Domination, FreeCoversEverythingNeedsNothing) {
+  const Graph g = makeStar(6);
+  const auto result = minDominatingSet(g, 1, /*free=*/{0});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.chosen.empty());
+}
+
+TEST(Domination, ExcludedVerticesAreNotUsed) {
+  const Graph g = makeStar(6);
+  // The center is the unique size-1 dominating set; excluding it forces
+  // all leaves (each leaf only covers itself and the center at radius 1).
+  const auto result = minDominatingSet(g, 1, {}, /*excluded=*/{0});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.chosen.size(), 5u);
+  for (NodeId v : result.chosen) {
+    EXPECT_NE(v, 0);
+  }
+}
+
+TEST(Domination, DisconnectedNeedsOnePerComponent) {
+  Graph g(6, {{0, 1}, {2, 3}, {4, 5}});
+  const auto result = minDominatingSet(g, 1);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.chosen.size(), 3u);
+}
+
+TEST(Domination, EmptyGraphTriviallyFeasible) {
+  const auto result = minDominatingSet(Graph(0), 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_TRUE(result.chosen.empty());
+}
+
+TEST(Domination, GridDominationIsValidAndMinimalish) {
+  const Graph g = makeGrid(4, 4);
+  const auto result = minDominatingSet(g, 1);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.chosen.size(), 4u);  // γ(P4□P4) = 4
+  EXPECT_TRUE(dominates(g, 1, {}, result.chosen));
+}
+
+TEST(Domination, NegativeRadiusRejected) {
+  EXPECT_THROW(minDominatingSet(makePath(3), -1), Error);
+}
+
+TEST(Domination, OutOfRangeFreeRejected) {
+  EXPECT_THROW(minDominatingSet(makePath(3), 1, {5}), Error);
+  EXPECT_THROW(minDominatingSet(makePath(3), 1, {}, {-1}), Error);
+}
+
+class DominationRadius : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(DominationRadius, PathCoverageInvariant) {
+  // Property: on P_n at radius r the optimum is ⌈n / (2r+1)⌉.
+  const Dist r = GetParam();
+  for (NodeId n : {5, 9, 12, 20}) {
+    const Graph g = makePath(n);
+    const auto result = minDominatingSet(g, r);
+    ASSERT_TRUE(result.feasible);
+    const auto expected = static_cast<std::size_t>(
+        (n + 2 * r) / (2 * r + 1));
+    EXPECT_EQ(result.chosen.size(), expected) << "n=" << n << " r=" << r;
+    EXPECT_TRUE(dominates(g, r, {}, result.chosen));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, DominationRadius,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,109 @@
+// Tests for streaming statistics and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/accumulator.hpp"
+#include "stats/table.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95HalfWidth(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.push(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, Ci95MatchesHandComputation) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.push(v);
+  // sd = sqrt(2.5), t(4) = 2.776, ci = t·sd/√5.
+  const double expected = 2.776 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(s.ci95HalfWidth(), expected, 1e-9);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat whole;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    whole.push(v);
+    (i % 2 == 0 ? left : right).push(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.push(1.0);
+  a.push(3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TQuantile, TableValues) {
+  EXPECT_NEAR(tQuantile975(1), 12.706, 1e-9);
+  EXPECT_NEAR(tQuantile975(19), 2.093, 1e-9);  // df for 20 samples
+  EXPECT_NEAR(tQuantile975(30), 2.042, 1e-9);
+  EXPECT_NEAR(tQuantile975(500), 1.96, 1e-9);
+  EXPECT_EQ(tQuantile975(0), 0.0);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable table({"n", "value"});
+  table.addRow({"20", "1.5"});
+  table.addRow({"200", "10.25"});
+  const std::string out = table.toString();
+  EXPECT_NE(out.find("n    value"), std::string::npos);
+  EXPECT_NE(out.find("20   1.5"), std::string::npos);
+  EXPECT_NE(out.find("200  10.25"), std::string::npos);
+  EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.addRow({"1", "2"});
+  EXPECT_EQ(table.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.addRow({"1"}), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+}  // namespace
+}  // namespace ncg

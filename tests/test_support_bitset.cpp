@@ -1,0 +1,128 @@
+// Tests for the dynamic bitset underlying the set-cover solver.
+#include <gtest/gtest.h>
+
+#include "support/bitset.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  EXPECT_FALSE(b.all());
+}
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynBitset, SetAllRespectsSize) {
+  DynBitset b(70);
+  b.setAll();
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+  b.resetAll();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynBitset, SetAllOnWordBoundary) {
+  DynBitset b(128);
+  b.setAll();
+  EXPECT_EQ(b.count(), 128u);
+}
+
+TEST(DynBitset, OrAndAndNot) {
+  DynBitset a(80);
+  DynBitset b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(2);
+
+  DynBitset orSet = a;
+  orSet |= b;
+  EXPECT_EQ(orSet.count(), 3u);
+
+  DynBitset andSet = a;
+  andSet &= b;
+  EXPECT_EQ(andSet.count(), 1u);
+  EXPECT_TRUE(andSet.test(70));
+
+  DynBitset diff = a;
+  diff.andNot(b);
+  EXPECT_EQ(diff.count(), 1u);
+  EXPECT_TRUE(diff.test(1));
+}
+
+TEST(DynBitset, CountAndCombinations) {
+  DynBitset a(200);
+  DynBitset b(200);
+  for (std::size_t i = 0; i < 200; i += 2) a.set(i);   // evens
+  for (std::size_t i = 0; i < 200; i += 3) b.set(i);   // multiples of 3
+  EXPECT_EQ(a.countAnd(b), 34u);     // multiples of 6 in [0,200): 34
+  EXPECT_EQ(a.countAndNot(b), 100u - 34u);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(DynBitset, IntersectsDisjoint) {
+  DynBitset a(64);
+  DynBitset b(64);
+  a.set(0);
+  b.set(1);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DynBitset, FindFirst) {
+  DynBitset b(150);
+  EXPECT_EQ(b.findFirst(), 150u);
+  b.set(149);
+  EXPECT_EQ(b.findFirst(), 149u);
+  b.set(64);
+  EXPECT_EQ(b.findFirst(), 64u);
+  b.set(3);
+  EXPECT_EQ(b.findFirst(), 3u);
+}
+
+TEST(DynBitset, ToIndicesRoundTrip) {
+  DynBitset b(130);
+  const std::vector<std::size_t> expected = {0, 5, 63, 64, 65, 129};
+  for (std::size_t i : expected) b.set(i);
+  EXPECT_EQ(b.toIndices(), expected);
+}
+
+TEST(DynBitset, EqualityComparesContent) {
+  DynBitset a(10);
+  DynBitset b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_FALSE(a == b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynBitset, EmptyBitset) {
+  DynBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.findFirst(), 0u);
+  EXPECT_TRUE(b.toIndices().empty());
+}
+
+}  // namespace
+}  // namespace ncg

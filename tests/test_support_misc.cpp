@@ -1,0 +1,86 @@
+// Tests for error handling, timing, logging and string helpers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/string_util.hpp"
+#include "support/timer.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(Require, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(NCG_REQUIRE(1 + 1 == 2, "math"));
+}
+
+TEST(Require, FailureThrowsWithContext) {
+  try {
+    NCG_REQUIRE(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+    EXPECT_NE(what.find("test_support_misc"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_GE(timer.millis(), 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = logLevel();
+  setLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(logLevel(), LogLevel::kDebug);
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  // Suppressed message must not crash.
+  NCG_LOG_DEBUG("dropped " << 1);
+  setLogLevel(original);
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+  EXPECT_EQ(formatFixed(-1.5, 1), "-1.5");
+}
+
+TEST(StringUtil, FormatWithCi) {
+  EXPECT_EQ(formatWithCi(10.654, 0.761, 2), "10.65 ± 0.76");
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+  EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(StringUtil, EnvIntFallbacks) {
+  ::unsetenv("NCG_TEST_ENV_INT");
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT", "12", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 12);
+  ::setenv("NCG_TEST_ENV_INT", "garbage", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  ::unsetenv("NCG_TEST_ENV_INT");
+}
+
+}  // namespace
+}  // namespace ncg

@@ -1,0 +1,180 @@
+// Tests for the deterministic RNG substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+TEST(SplitMix64, IsDeterministicForSameSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(DeriveSeed, StreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(deriveSeed(12345, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, IsDeterministic) {
+  EXPECT_EQ(deriveSeed(7, 3), deriveSeed(7, 3));
+  EXPECT_NE(deriveSeed(7, 3), deriveSeed(7, 4));
+  EXPECT_NE(deriveSeed(7, 3), deriveSeed(8, 3));
+}
+
+TEST(Rng, ReproducibleSequence) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, ZeroSeedStillWorks) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(rng.next());
+  EXPECT_GT(values.size(), 45u);  // no stuck state
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.nextBounded(7), 7u);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+  }
+}
+
+TEST(Rng, BoundedZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.nextBounded(0), Error);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(1234);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.nextBounded(kBuckets)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(77);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.nextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo = sawLo || v == -3;
+    sawHi = sawHi || v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RangeRejectsInverted) {
+  Rng rng(1);
+  EXPECT_THROW(rng.nextInRange(5, 4), Error);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.nextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.nextBernoulli(0.0));
+    EXPECT_TRUE(rng.nextBernoulli(1.0));
+    EXPECT_FALSE(rng.nextBernoulli(-0.5));
+    EXPECT_TRUE(rng.nextBernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.nextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(21);
+  const auto perm = rng.permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(22);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, PermutationShuffles) {
+  // Over many draws, position 0 should see many distinct values.
+  Rng rng(23);
+  std::set<std::size_t> firsts;
+  for (int i = 0; i < 100; ++i) {
+    firsts.insert(rng.permutation(10)[0]);
+  }
+  EXPECT_GE(firsts.size(), 5u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ncg
