@@ -35,8 +35,12 @@ struct Sweep {
 std::string sweepName(const ::testing::TestParamInfo<Sweep>& info) {
   const auto& s = info.param;
   std::string name = s.kind == GameKind::kMax ? "max" : "sum";
-  name += "_a" + std::to_string(static_cast<int>(s.alpha * 100));
-  name += "_k" + std::to_string(s.k);
+  // Built with += throughout: operator+(const char*, std::string&&)
+  // trips GCC 12's -Wrestrict false positive (PR 105329) at -O3.
+  name += "_a";
+  name += std::to_string(static_cast<int>(s.alpha * 100));
+  name += "_k";
+  name += std::to_string(s.k);
   return name;
 }
 

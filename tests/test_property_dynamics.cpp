@@ -27,8 +27,12 @@ struct DynSweep {
 
 std::string dynSweepName(const ::testing::TestParamInfo<DynSweep>& info) {
   const auto& s = info.param;
-  std::string name = "a" + std::to_string(static_cast<int>(s.alpha * 10));
-  name += "_k" + std::to_string(s.k);
+  // Built with += throughout: operator+(const char*, std::string&&)
+  // trips GCC 12's -Wrestrict false positive (PR 105329) at -O3.
+  std::string name = "a";
+  name += std::to_string(static_cast<int>(s.alpha * 10));
+  name += "_k";
+  name += std::to_string(s.k);
   name += s.rule == MoveRule::kBestResponse ? "_exact" : "_greedy";
   name += s.schedule == Schedule::kRoundRobin ? "_rr" : "_perm";
   return name;
