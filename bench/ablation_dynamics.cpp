@@ -69,7 +69,7 @@ AblationOutcome measure(ThreadPool& pool, const bench::TrialSpec& spec,
 int main() {
   bench::printHeader("Ablation — move rule and best-response cache",
                      "design choices called out in DESIGN.md §5");
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
 
   std::printf("--- move rule: exact best response vs greedy single-edge "

@@ -37,13 +37,19 @@ TrialOutcome runTrial(const TrialSpec& spec, Rng& rng) {
 }
 
 std::vector<TrialOutcome> runTrials(ThreadPool& pool, const TrialSpec& spec,
-                                    int trials, std::uint64_t baseSeed) {
+                                    int trials, std::uint64_t baseSeed,
+                                    std::size_t shardSize) {
   return ::ncg::runTrials<TrialOutcome>(
       pool, trials, baseSeed,
-      [&spec](int, Rng& rng) { return runTrial(spec, rng); });
+      [&spec](int, Rng& rng) { return runTrial(spec, rng); }, shardSize);
 }
 
 int trialsFromEnv() { return envInt("NCG_TRIALS", 8); }
+
+std::size_t threadsFromEnv() {
+  const int threads = envInt("NCG_THREADS", 0);
+  return threads > 0 ? static_cast<std::size_t>(threads) : 0;
+}
 
 bool fullScale() { return envInt("NCG_SCALE", 0) == 1; }
 

@@ -1,12 +1,15 @@
 // Shared machinery for the table/figure reproduction harnesses.
 //
 // Every harness runs seeded best-response-dynamics trials over a
-// parameter grid and prints paper-style rows (mean ± 95% CI). Two env
-// knobs trade fidelity for wall time:
-//   NCG_TRIALS — trials per grid point (default 8; the paper used 20)
-//   NCG_SCALE  — 1 enables the paper's full grids (default: reduced)
+// parameter grid and prints paper-style rows (mean ± 95% CI). Trials are
+// sharded over a ThreadPool with one RNG stream per trial, so the printed
+// numbers are bitwise identical for any thread count. Three env knobs:
+//   NCG_TRIALS  — trials per grid point (default 8; the paper used 20)
+//   NCG_SCALE   — 1 enables the paper's full grids (default: reduced)
+//   NCG_THREADS — worker threads (default 0 = one per hardware thread)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,10 +52,12 @@ Graph makeInitialGraph(const TrialSpec& spec, Rng& rng);
 /// dynamics, final-state features.
 TrialOutcome runTrial(const TrialSpec& spec, Rng& rng);
 
-/// Runs `trials` seeded trials of a spec in parallel; results in trial
-/// order (deterministic for a given baseSeed).
+/// Runs `trials` seeded trials of a spec, sharded over the pool; results
+/// in trial order (bitwise deterministic for a given baseSeed, whatever
+/// the pool size or shard size).
 std::vector<TrialOutcome> runTrials(ThreadPool& pool, const TrialSpec& spec,
-                                    int trials, std::uint64_t baseSeed);
+                                    int trials, std::uint64_t baseSeed,
+                                    std::size_t shardSize = 0);
 
 /// Accumulates f(outcome) over converged trials.
 template <typename F>
@@ -66,6 +71,10 @@ RunningStat statOver(const std::vector<TrialOutcome>& outcomes, F&& f) {
 
 /// NCG_TRIALS (default 8, paper used 20).
 int trialsFromEnv();
+
+/// NCG_THREADS (default 0 = one worker per hardware thread); pass the
+/// result to the ThreadPool constructor.
+std::size_t threadsFromEnv();
 
 /// True when NCG_SCALE=1 requests the paper's full grids.
 bool fullScale();

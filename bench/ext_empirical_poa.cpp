@@ -18,7 +18,7 @@ using namespace ncg;
 int main() {
   bench::printHeader("Extension — empirical PoA bands vs Fig. 3 bounds",
                      "multi-restart worst/best equilibrium search");
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int restarts = std::max(bench::trialsFromEnv() * 3, 12);
   const NodeId n = 60;
 

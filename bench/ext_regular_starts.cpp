@@ -20,7 +20,7 @@ int main() {
   bench::printHeader("Extension — dynamics from random d-regular starts",
                      "complements Fig. 8 (degree statistics of stable "
                      "networks)");
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   const NodeId n = 60;
 

@@ -20,7 +20,7 @@ int main() {
                      "the experiment §5 skips for feasibility reasons; "
                      "our exact solver covers n<=24");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   const NodeId n = 20;
 

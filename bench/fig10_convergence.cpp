@@ -14,7 +14,7 @@ int main() {
   bench::printHeader("Figure 10 — convergence time (trees)",
                      "Bilò et al., Locality-based NCGs, Fig. 10");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   int cycles = 0;
   int nonConverged = 0;

@@ -15,7 +15,7 @@ int main() {
       "Figure 5 — view size at equilibrium vs α (trees, n=100)",
       "Bilò et al., Locality-based NCGs, Fig. 5");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   const NodeId n = 100;
 

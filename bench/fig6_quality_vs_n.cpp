@@ -14,7 +14,7 @@ int main() {
   bench::printHeader("Figure 6 — quality of equilibrium vs n (trees)",
                      "Bilò et al., Locality-based NCGs, Fig. 6");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   const std::vector<NodeId> ns =
       bench::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}

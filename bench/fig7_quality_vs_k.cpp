@@ -27,7 +27,7 @@ int main() {
   bench::printHeader("Figure 7 — quality of equilibrium vs k (α=2)",
                      "Bilò et al., Locality-based NCGs, Fig. 7");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   const double alpha = 2.0;
   const std::vector<Dist> ks = {2, 3, 4, 5, 6, 7};

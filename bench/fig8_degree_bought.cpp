@@ -14,7 +14,7 @@ int main() {
       "Figure 8 — max degree & max bought edges vs α (G(100,0.1))",
       "Bilò et al., Locality-based NCGs, Fig. 8");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
 
   TextTable table({"k", "alpha", "max degree", "max bought", "converged"});

@@ -13,7 +13,7 @@ int main() {
   bench::printHeader("Figure 9 — unfairness ratio vs α (G(100,0.1))",
                      "Bilò et al., Locality-based NCGs, Fig. 9");
 
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
 
   TextTable table({"k", "alpha", "unfairness", "converged"});

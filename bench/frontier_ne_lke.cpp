@@ -63,7 +63,7 @@ int main() {
   bench::printHeader("NE ≡ LKE frontier — empirical check",
                      "Bilò et al., Corollary 3.14 (Fig. 3 gray region) "
                      "and Theorem 4.4 (Fig. 4 gray region)");
-  ThreadPool pool;
+  ThreadPool pool(bench::threadsFromEnv());
   const int trials = bench::trialsFromEnv();
   const NodeId n = 40;
 

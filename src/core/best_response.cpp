@@ -15,18 +15,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// H₀ = view graph minus its center. The view builder guarantees the
-/// center has local id 0, so H₀ node i corresponds to view node i+1.
-Graph removeCenter(const Graph& h, NodeId center) {
-  NCG_REQUIRE(center == 0, "view center must have local id 0");
-  Graph out(h.nodeCount() - 1);
-  for (const Edge& e : h.edges()) {
-    if (e.u == center || e.v == center) continue;
-    out.addEdge(e.u - 1, e.v - 1);
-  }
-  return out;
-}
-
 /// Maps a strategy given as H₀ ids back to global node ids, sorted.
 std::vector<NodeId> toGlobalStrategy(const PlayerView& pv,
                                      const std::vector<NodeId>& h0Nodes) {
@@ -51,8 +39,7 @@ std::vector<NodeId> currentGlobalStrategy(const PlayerView& pv) {
 }
 
 /// Status sum of the center inside the view (finite by construction).
-double centerStatusSum(const PlayerView& pv) {
-  BfsEngine engine;
+double centerStatusSum(const PlayerView& pv, BfsEngine& engine) {
   const auto& dist = engine.run(pv.view.graph, pv.view.center);
   double sum = 0.0;
   for (Dist d : dist) {
@@ -67,7 +54,8 @@ double centerStatusSum(const PlayerView& pv) {
 // ---------------------------------------------------------------------------
 
 BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
-                             const BestResponseOptions& options) {
+                             const BestResponseOptions& options,
+                             BestResponseScratch& scratch) {
   BestResponse res;
   res.strategyGlobal = currentGlobalStrategy(pv);
   res.currentCost = params.alpha * pv.alphaBought +
@@ -77,15 +65,9 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
   const NodeId m = pv.view.size();
   if (m <= 1) return res;  // nobody visible: no move possible
 
-  const Graph h0 = removeCenter(pv.view.graph, pv.view.center);
+  removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
+  const Graph& h0 = scratch.h0;
   const auto n0 = static_cast<std::size_t>(h0.nodeCount());
-  const std::vector<Dist> apd = allPairsDistances(h0);
-
-  // Largest finite pairwise distance bounds the useful cover radius.
-  Dist maxFinite = 0;
-  for (Dist d : apd) {
-    if (d != kUnreachable) maxFinite = std::max(maxFinite, d);
-  }
 
   DynBitset freeMask(n0);
   for (NodeId f : pv.freeNeighborsLocal) {
@@ -98,35 +80,74 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
 
   // Per-radius instance: coverage masks of the non-free candidates plus
   // the residual universe once free neighbors have covered their balls.
-  struct RadiusInstance {
-    std::vector<DynBitset> sets;
-    std::vector<NodeId> setVertex;
-    DynBitset universe;
-    std::size_t maxBall = 1;
-  };
-  const auto buildInstance = [&](Dist r) {
-    RadiusInstance inst;
-    inst.universe = DynBitset(n0);
-    inst.universe.setAll();
-    std::vector<DynBitset> masks(n0, DynBitset(n0));
-    for (std::size_t v = 0; v < n0; ++v) {
-      const std::size_t row = v * n0;
-      for (std::size_t w = 0; w < n0; ++w) {
-        if (apd[row + w] <= r) masks[v].set(w);
+  // Instances are built lazily in radius order — the radius-r balls come
+  // from the radius-(r−1) balls by one closed-neighborhood union sweep —
+  // and cached in the scratch so (a) the greedy and the exact pass below
+  // share them and (b) their bitset storage is recycled across calls.
+  // Lazy building also bounds the radius range for free: the first sweep
+  // that leaves every ball unchanged has passed the largest finite
+  // pairwise distance (instanceAt returns nullptr from there on), so no
+  // all-pairs distance computation is needed up front.
+  using RadiusInstance = BestResponseScratch::CoverInstance;
+  std::size_t builtInstances = 0;  // radii filled during THIS call
+  bool ballsSaturated = false;
+  const auto instanceAt = [&](Dist r) -> const RadiusInstance* {
+    while (!ballsSaturated &&
+           static_cast<Dist>(builtInstances) <= r) {
+      if (builtInstances == 0) {
+        scratch.balls.resize(n0);
+        for (std::size_t v = 0; v < n0; ++v) {
+          scratch.balls[v].reassign(n0);
+          scratch.balls[v].set(v);
+        }
+      } else {
+        // ball_{r}(v) = ∪_{w ∈ N[v]} ball_{r−1}(w).
+        scratch.ballsNext.resize(n0);
+        bool changed = false;
+        for (std::size_t v = 0; v < n0; ++v) {
+          DynBitset& ball = scratch.ballsNext[v];
+          ball = scratch.balls[v];
+          for (NodeId w : h0.neighbors(static_cast<NodeId>(v))) {
+            ball |= scratch.balls[static_cast<std::size_t>(w)];
+          }
+          changed = changed || !(ball == scratch.balls[v]);
+        }
+        if (!changed) {
+          ballsSaturated = true;  // the previous radius reached everything
+          break;
+        }
+        std::swap(scratch.balls, scratch.ballsNext);
       }
-    }
-    for (NodeId f : pv.freeNeighborsLocal) {
-      inst.universe.andNot(masks[static_cast<std::size_t>(f - 1)]);
-    }
-    inst.sets.reserve(n0);
-    for (std::size_t v = 0; v < n0; ++v) {
-      if (!freeMask.test(v)) {
-        inst.maxBall = std::max(inst.maxBall, masks[v].count());
-        inst.sets.push_back(std::move(masks[v]));
-        inst.setVertex.push_back(static_cast<NodeId>(v));
+      if (scratch.cover.size() <= builtInstances) {
+        scratch.cover.emplace_back();
       }
+      RadiusInstance& inst = scratch.cover[builtInstances];
+      inst.universe.reassign(n0);
+      inst.universe.setAll();
+      for (NodeId f : pv.freeNeighborsLocal) {
+        inst.universe.andNot(scratch.balls[static_cast<std::size_t>(f - 1)]);
+      }
+      inst.maxBall = 1;
+      std::size_t count = 0;
+      for (std::size_t v = 0; v < n0; ++v) {
+        if (!freeMask.test(v)) {
+          inst.maxBall = std::max(inst.maxBall, scratch.balls[v].count());
+          if (inst.sets.size() <= count) {
+            inst.sets.push_back(scratch.balls[v]);
+            inst.setVertex.push_back(static_cast<NodeId>(v));
+          } else {
+            inst.sets[count] = scratch.balls[v];
+            inst.setVertex[count] = static_cast<NodeId>(v);
+          }
+          ++count;
+        }
+      }
+      inst.sets.resize(count);
+      inst.setVertex.resize(count);
+      ++builtInstances;
     }
-    return inst;
+    if (static_cast<Dist>(builtInstances) <= r) return nullptr;
+    return &scratch.cover[static_cast<std::size_t>(r)];
   };
 
   const auto acceptCover = [&](const RadiusInstance& inst,
@@ -146,27 +167,38 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
 
   // Pass A (cheap): greedy covers at every radius seed a strong cost
   // incumbent, so the exact pass below can skip most radii outright.
-  for (Dist r = 0; r <= maxFinite; ++r) {
+  // Radii where even an optimal cover provably cannot beat the incumbent
+  // (cardinality lower bound) skip the greedy as well — its cover is at
+  // least as large, so acceptCover would reject it anyway.
+  for (Dist r = 0;; ++r) {
     const double h = static_cast<double>(r) + 1.0;
     if (h >= bestCost - kCostEpsilon) break;
-    const RadiusInstance inst = buildInstance(r);
-    if (inst.universe.none()) {
-      acceptCover(inst, {}, h);
+    const RadiusInstance* inst = instanceAt(r);
+    if (inst == nullptr) break;  // past the largest finite distance
+    if (inst->universe.none()) {
+      acceptCover(*inst, {}, h);
       continue;
     }
-    const SetCoverResult greedy = greedySetCover(inst.universe, inst.sets);
-    if (greedy.feasible) acceptCover(inst, greedy.chosen, h);
+    const double capDouble = (bestCost - kCostEpsilon - h) / params.alpha;
+    if (capDouble < 1.0) continue;
+    const std::size_t lower =
+        (inst->universe.count() + inst->maxBall - 1) / inst->maxBall;
+    if (lower > static_cast<std::size_t>(capDouble)) continue;
+    const SetCoverResult greedy = greedySetCover(inst->universe, inst->sets);
+    if (greedy.feasible) acceptCover(*inst, greedy.chosen, h);
   }
 
   // Pass B (exact): per radius, prove optimality or skip radii whose
-  // cardinality lower bound already rules them out.
-  for (Dist r = 0; r <= maxFinite; ++r) {
+  // cardinality lower bound already rules them out. bestCost only shrank
+  // since pass A, so every instance this pass needs is already cached.
+  for (Dist r = 0;; ++r) {
     const double h = static_cast<double>(r) + 1.0;
     // Even a zero-purchase strategy at this radius costs h; larger radii
     // only cost more, so stop once h alone can no longer win.
     if (h >= bestCost - kCostEpsilon) break;
-    const RadiusInstance inst = buildInstance(r);
-    if (inst.universe.none()) continue;  // handled in pass A
+    const RadiusInstance* inst = instanceAt(r);
+    if (inst == nullptr) break;  // past the largest finite distance
+    if (inst->universe.none()) continue;  // handled in pass A
 
     // To strictly beat bestCost at this radius, |S'| must be <= cap.
     const double capDouble = (bestCost - kCostEpsilon - h) / params.alpha;
@@ -175,14 +207,14 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
 
     // Cardinality lower bound rules out hopeless radii for free.
     const std::size_t lower =
-        (inst.universe.count() + inst.maxBall - 1) / inst.maxBall;
+        (inst->universe.count() + inst->maxBall - 1) / inst->maxBall;
     if (lower > cap) continue;
 
     const SetCoverResult cover =
-        minSetCover(inst.universe, inst.sets, options.coverNodeBudget, cap);
+        minSetCover(inst->universe, inst->sets, options.coverNodeBudget, cap);
     if (!cover.feasible) continue;
     res.exact = res.exact && cover.optimal;
-    if (cover.withinCap) acceptCover(inst, cover.chosen, h);
+    if (cover.withinCap) acceptCover(*inst, cover.chosen, h);
   }
 
   if (haveBetter) {
@@ -200,40 +232,39 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
 
 struct SumSearch {
   double alpha = 1.0;
-  Dist k = 1;                       // view radius (fringe constraint bound)
   std::size_t n0 = 0;               // |H₀|
   const std::vector<Dist>* apd = nullptr;
   std::vector<NodeId> candidates;   // H₀ ids, search order
-  std::vector<std::vector<Dist>> suffixMin;  // [idx][v]
-  std::vector<bool> isFringe;       // H₀ id -> on the distance-k horizon?
+  std::vector<std::vector<Dist>>* suffixMin = nullptr;  // [idx][v]
+  std::vector<std::vector<Dist>>* depthDist = nullptr;  // include buffers
+  /// Largest admissible distance per node: k−1 for fringe nodes
+  /// (Proposition 2.2), kUnreachable−1 otherwise (any finite distance).
+  /// Encoding both rules as one cap keeps the bound loops branch-free.
+  std::vector<Dist> distCap;
   double bestCost = kInf;
   std::vector<NodeId> bestChosen;   // H₀ ids
   std::uint64_t nodes = 0;
   std::uint64_t budget = 0;
   bool budgetHit = false;
 
-  Dist distOf(NodeId v, NodeId w) const {
-    return (*apd)[static_cast<std::size_t>(v) * n0 +
-                  static_cast<std::size_t>(w)];
-  }
-
   /// Sum cost of a fully decided neighbor set with per-node nearest
   /// distances `minDist`; kInf if infeasible (unreachable node or a
   /// fringe node pushed beyond distance k).
   double evaluate(const std::vector<Dist>& minDist,
                   std::size_t chosenCount) const {
-    double sum = 0.0;
+    std::int64_t sum = 0;
+    bool feasible = true;
     for (std::size_t v = 0; v < n0; ++v) {
       const Dist d = minDist[v];
-      if (d == kUnreachable) return kInf;
-      if (isFringe[v] && d > k - 1) return kInf;  // Prop. 2.2
-      sum += static_cast<double>(d);
+      feasible = feasible && d <= distCap[v];
+      sum += d;
     }
+    if (!feasible) return kInf;
     return alpha * static_cast<double>(chosenCount) +
-           static_cast<double>(n0) + sum;
+           static_cast<double>(n0) + static_cast<double>(sum);
   }
 
-  void search(std::size_t idx, std::vector<Dist>& minDist,
+  void search(std::size_t idx, const std::vector<Dist>& minDist,
               std::vector<NodeId>& chosen) {
     if (++nodes > budget) {
       budgetHit = true;
@@ -247,65 +278,92 @@ struct SumSearch {
       }
       return;
     }
-    // Optimistic completion: every node ends at the best distance any
-    // not-yet-decided candidate (or the current set) could give it, and
-    // no further α is paid. Also detects unavoidable infeasibility.
-    double optimistic = alpha * static_cast<double>(chosen.size()) +
-                        static_cast<double>(n0);
+    // Admissible completion bound, the minimum over the two ways any
+    // completion can end: buy nothing more (distances stay at minDist,
+    // feasibility permitting), or buy at least one more candidate (pay
+    // >= one extra α, distances no better than the suffix minima).
+    // Distances are summed as integers so the loop vectorizes; totals
+    // are exact (well below 2^53), so the double compares are unchanged.
+    std::int64_t sumStar = 0;   // Σ min(minDist, suffix)
+    std::int64_t sumZero = 0;   // Σ minDist
     bool feasiblySolvable = true;
+    bool zeroFeasible = true;
+    const std::vector<Dist>& suffix = (*suffixMin)[idx];
     for (std::size_t v = 0; v < n0; ++v) {
-      const Dist d = std::min(minDist[v], suffixMin[idx][v]);
-      if (d == kUnreachable || (isFringe[v] && d > k - 1)) {
-        feasiblySolvable = false;
-        break;
-      }
-      optimistic += static_cast<double>(d);
+      const Dist dm = minDist[v];
+      const Dist d = std::min(dm, suffix[v]);
+      feasiblySolvable = feasiblySolvable && d <= distCap[v];
+      zeroFeasible = zeroFeasible && dm <= distCap[v];
+      sumStar += d;
+      sumZero += dm;
     }
-    if (!feasiblySolvable || optimistic >= bestCost - kCostEpsilon) {
+    if (!feasiblySolvable) return;
+    const double base = alpha * static_cast<double>(chosen.size()) +
+                        static_cast<double>(n0);
+    const double withMore = base + alpha + static_cast<double>(sumStar);
+    const double optimistic =
+        zeroFeasible
+            ? std::min(base + static_cast<double>(sumZero), withMore)
+            : withMore;
+    if (optimistic >= bestCost - kCostEpsilon) {
       return;
     }
 
     const NodeId c = candidates[idx];
     // Include branch first: with small α the optimum buys many links, so
-    // diving on inclusions reaches strong incumbents quickly.
-    std::vector<Dist> included(minDist);
+    // diving on inclusions reaches strong incumbents quickly. The depth-
+    // indexed include buffer is safe to reuse: only ancestors' buffers
+    // are live while a node runs, and a node writes only its own depth.
+    // A candidate that improves no distance is skipped outright: dropping
+    // it from any completion keeps every distance and saves α > 0, so no
+    // minimum-cost strategy contains it.
+    std::vector<Dist>& included = (*depthDist)[idx];
+    included.resize(n0);
     const std::size_t row = static_cast<std::size_t>(c) * n0;
+    bool improvesAny = false;
     for (std::size_t v = 0; v < n0; ++v) {
-      included[v] = std::min(included[v], (*apd)[row + v]);
+      const Dist dc = (*apd)[row + v];
+      improvesAny = improvesAny || dc < minDist[v];
+      included[v] = std::min(minDist[v], dc);
     }
-    chosen.push_back(c);
-    search(idx + 1, included, chosen);
-    chosen.pop_back();
-    if (budgetHit) return;
+    if (improvesAny || alpha <= kCostEpsilon) {  // skip only when α is real
+      chosen.push_back(c);
+      search(idx + 1, included, chosen);
+      chosen.pop_back();
+      if (budgetHit) return;
+    }
 
     search(idx + 1, minDist, chosen);
   }
 };
 
 BestResponse sumBestResponse(const PlayerView& pv, const GameParams& params,
-                             const BestResponseOptions& options) {
+                             const BestResponseOptions& options,
+                             BestResponseScratch& scratch) {
   BestResponse res;
   res.strategyGlobal = currentGlobalStrategy(pv);
-  res.currentCost = params.alpha * pv.alphaBought + centerStatusSum(pv);
+  res.currentCost =
+      params.alpha * pv.alphaBought + centerStatusSum(pv, scratch.bfs);
   res.proposedCost = res.currentCost;
 
   const NodeId m = pv.view.size();
   if (m <= 1) return res;
 
-  const Graph h0 = removeCenter(pv.view.graph, pv.view.center);
+  removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
+  const Graph& h0 = scratch.h0;
   const auto n0 = static_cast<std::size_t>(h0.nodeCount());
-  const std::vector<Dist> apd = allPairsDistances(h0);
+  allPairsDistances(h0, scratch.bfs, scratch.apd);
+  const std::vector<Dist>& apd = scratch.apd;
 
   SumSearch search;
   search.alpha = params.alpha;
-  search.k = pv.view.radius;
   search.n0 = n0;
   search.apd = &apd;
   search.budget = options.sumNodeBudget == 0 ? 4'000'000
                                              : options.sumNodeBudget;
-  search.isFringe.assign(n0, false);
+  search.distCap.assign(n0, kUnreachable - 1);
   for (NodeId f : pv.fringeLocal) {
-    search.isFringe[static_cast<std::size_t>(f - 1)] = true;
+    search.distCap[static_cast<std::size_t>(f - 1)] = pv.view.radius - 1;
   }
 
   std::vector<bool> isFree(n0, false);
@@ -334,29 +392,38 @@ BestResponse sumBestResponse(const PlayerView& pv, const GameParams& params,
 
   // suffixMin[idx][v] = best distance to v over candidates idx..end.
   const std::size_t cCount = search.candidates.size();
-  search.suffixMin.assign(cCount + 1,
-                          std::vector<Dist>(n0, kUnreachable));
+  if (scratch.sumSuffixMin.size() < cCount + 1) {
+    scratch.sumSuffixMin.resize(cCount + 1);
+  }
+  if (scratch.sumDepth.size() < cCount + 1) {
+    scratch.sumDepth.resize(cCount + 1);
+  }
+  scratch.sumSuffixMin[cCount].assign(n0, kUnreachable);
   for (std::size_t idx = cCount; idx-- > 0;) {
     const NodeId c = search.candidates[idx];
     const std::size_t row = static_cast<std::size_t>(c) * n0;
+    std::vector<Dist>& suffix = scratch.sumSuffixMin[idx];
+    const std::vector<Dist>& below = scratch.sumSuffixMin[idx + 1];
+    suffix.resize(n0);
     for (std::size_t v = 0; v < n0; ++v) {
-      search.suffixMin[idx][v] =
-          std::min(search.suffixMin[idx + 1][v], apd[row + v]);
+      suffix[v] = std::min(below[v], apd[row + v]);
     }
   }
+  search.suffixMin = &scratch.sumSuffixMin;
+  search.depthDist = &scratch.sumDepth;
 
   // Baseline distances: the free neighbors dominate at no cost.
-  std::vector<Dist> minDist(n0, kUnreachable);
+  scratch.sumBaseline.assign(n0, kUnreachable);
   for (NodeId f : pv.freeNeighborsLocal) {
     const std::size_t row = static_cast<std::size_t>(f - 1) * n0;
     for (std::size_t v = 0; v < n0; ++v) {
-      minDist[v] = std::min(minDist[v], apd[row + v]);
+      scratch.sumBaseline[v] = std::min(scratch.sumBaseline[v], apd[row + v]);
     }
   }
 
   search.bestCost = res.currentCost;  // only strictly better proposals win
   std::vector<NodeId> chosen;
-  search.search(0, minDist, chosen);
+  search.search(0, scratch.sumBaseline, chosen);
 
   res.exact = !search.budgetHit;
   if (search.bestCost < res.currentCost - kCostEpsilon) {
@@ -371,10 +438,17 @@ BestResponse sumBestResponse(const PlayerView& pv, const GameParams& params,
 
 BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
                           const BestResponseOptions& options) {
+  BestResponseScratch scratch;
+  return bestResponse(pv, params, options, scratch);
+}
+
+BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
+                          const BestResponseOptions& options,
+                          BestResponseScratch& scratch) {
   NCG_REQUIRE(params.alpha > 0.0, "α must be positive, got " << params.alpha);
   return params.kind == GameKind::kMax
-             ? maxBestResponse(pv, params, options)
-             : sumBestResponse(pv, params, options);
+             ? maxBestResponse(pv, params, options, scratch)
+             : sumBestResponse(pv, params, options, scratch);
 }
 
 }  // namespace ncg

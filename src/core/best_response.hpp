@@ -20,6 +20,9 @@
 
 #include "core/game.hpp"
 #include "core/player_view.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "support/bitset.hpp"
 
 namespace ncg {
 
@@ -46,8 +49,42 @@ struct BestResponse {
   bool exact = true;
 };
 
+/// Reusable buffers for repeated best-response solves. Keep one instance
+/// per thread (the incremental dynamics engine keeps one for the whole
+/// run); buffers grow to the largest view solved and are reused
+/// afterwards, eliminating the per-call allocation of distance matrices,
+/// coverage masks and branch-and-bound search stacks. Default-constructed
+/// state is valid; the struct carries no results between calls.
+struct BestResponseScratch {
+  /// One radius of the MaxNCG cover reduction: coverage masks of the
+  /// non-free candidates plus the residual universe. Contents are
+  /// per-call; the storage is recycled across calls.
+  struct CoverInstance {
+    std::vector<DynBitset> sets;
+    std::vector<NodeId> setVertex;
+    DynBitset universe;
+    std::size_t maxBall = 1;
+  };
+
+  BfsEngine bfs;
+  Graph h0{0};                       ///< the view graph minus its center
+  std::vector<Dist> apd;             ///< |H₀|² distance matrix (SumNCG)
+  std::vector<DynBitset> balls;      ///< radius-r coverage masks (MaxNCG)
+  std::vector<DynBitset> ballsNext;  ///< ping-pong buffer for radius r+1
+  std::vector<CoverInstance> cover;  ///< per-radius instances (MaxNCG)
+  std::vector<std::vector<Dist>> sumDepth;      ///< per-depth include buffers
+  std::vector<std::vector<Dist>> sumSuffixMin;  ///< suffix distance bounds
+  std::vector<Dist> sumBaseline;     ///< free-neighbor baseline distances
+};
+
 /// Best response for either game variant, per GameParams::kind.
 BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
                           const BestResponseOptions& options = {});
+
+/// As above, reusing caller-owned scratch buffers (dynamics hot path).
+/// Produces bit-identical results to the allocating overload.
+BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
+                          const BestResponseOptions& options,
+                          BestResponseScratch& scratch);
 
 }  // namespace ncg

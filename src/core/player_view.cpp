@@ -14,46 +14,54 @@ PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
 
 PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
                            NodeId u, Dist k, BfsEngine& engine) {
+  PlayerView pv;
+  buildPlayerView(g, profile, u, k, engine, pv);
+  return pv;
+}
+
+void buildPlayerView(const Graph& g, const StrategyProfile& profile,
+                     NodeId u, Dist k, BfsEngine& engine, PlayerView& out) {
   NCG_REQUIRE(g.nodeCount() == profile.playerCount(),
               "graph/profile size mismatch");
   NCG_REQUIRE(k >= 1, "view radius k must be >= 1, got " << k);
 
-  PlayerView pv;
-  pv.globalPlayer = u;
-  pv.view = buildView(g, u, k, engine);
+  out.globalPlayer = u;
+  out.eccInView = 0;
+  out.ownBoughtLocal.clear();
+  out.freeNeighborsLocal.clear();
+  out.fringeLocal.clear();
+  buildView(g, u, k, engine, out.view);
 
   // Distances from the center inside the induced ball coincide with
   // distances in G (shortest paths to nodes at distance <= k stay inside
   // the ball), so the fringe and the in-view eccentricity come from one
-  // BFS on the view graph.
-  BfsEngine local;
-  const auto& dist = local.run(pv.view.graph, pv.view.center);
-  for (NodeId v = 0; v < pv.view.graph.nodeCount(); ++v) {
+  // BFS on the view graph (the ball run is done, so the engine is free).
+  const auto& dist = engine.run(out.view.graph, out.view.center);
+  for (NodeId v = 0; v < out.view.graph.nodeCount(); ++v) {
     const Dist d = dist[static_cast<std::size_t>(v)];
     NCG_ASSERT(d != kUnreachable, "view must be connected to its center");
-    pv.eccInView = std::max(pv.eccInView, d);
-    if (d == k) pv.fringeLocal.push_back(v);
+    out.eccInView = std::max(out.eccInView, d);
+    if (d == k) out.fringeLocal.push_back(v);
   }
 
-  pv.alphaBought = static_cast<double>(profile.boughtCount(u));
+  out.alphaBought = static_cast<double>(profile.boughtCount(u));
   for (NodeId v : profile.strategyOf(u)) {
-    NCG_REQUIRE(pv.view.contains(v),
+    NCG_REQUIRE(out.view.contains(v),
                 "strategy endpoint " << v << " of player " << u
                                      << " escaped the view — corrupt state");
-    pv.ownBoughtLocal.push_back(
-        pv.view.toLocal[static_cast<std::size_t>(v)]);
+    out.ownBoughtLocal.push_back(
+        out.view.toLocal[static_cast<std::size_t>(v)]);
   }
-  std::sort(pv.ownBoughtLocal.begin(), pv.ownBoughtLocal.end());
+  std::sort(out.ownBoughtLocal.begin(), out.ownBoughtLocal.end());
 
   for (NodeId v : g.neighbors(u)) {
     const auto& sigmaV = profile.strategyOf(v);
     if (std::binary_search(sigmaV.begin(), sigmaV.end(), u)) {
-      pv.freeNeighborsLocal.push_back(
-          pv.view.toLocal[static_cast<std::size_t>(v)]);
+      out.freeNeighborsLocal.push_back(
+          out.view.toLocal[static_cast<std::size_t>(v)]);
     }
   }
-  std::sort(pv.freeNeighborsLocal.begin(), pv.freeNeighborsLocal.end());
-  return pv;
+  std::sort(out.freeNeighborsLocal.begin(), out.freeNeighborsLocal.end());
 }
 
 std::uint64_t viewFingerprint(const PlayerView& pv) {

@@ -47,6 +47,12 @@ PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
 PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
                            NodeId u, Dist k, BfsEngine& engine);
 
+/// As above, rebuilding into a caller-owned view so all member vectors
+/// reuse their storage (incremental dynamics cache; zero allocations in
+/// steady state).
+void buildPlayerView(const Graph& g, const StrategyProfile& profile,
+                     NodeId u, Dist k, BfsEngine& engine, PlayerView& out);
+
 /// Deterministic fingerprint of everything a best response depends on:
 /// the radius, the view's membership and induced edges (in global ids),
 /// the free-neighbor set and the player's own strategy. Two views with

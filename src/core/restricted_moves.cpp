@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/bfs.hpp"
+#include "graph/view.hpp"
 #include "support/error.hpp"
 
 namespace ncg {
@@ -46,6 +47,12 @@ double usageOf(const Graph& h0, std::span<const NodeId> sources,
 }  // namespace
 
 BestResponse greedyMove(const PlayerView& pv, const GameParams& params) {
+  BestResponseScratch scratch;
+  return greedyMove(pv, params, scratch);
+}
+
+BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
+                        BestResponseScratch& scratch) {
   NCG_REQUIRE(params.alpha > 0.0, "α must be positive");
   NCG_REQUIRE(pv.view.center == 0, "view center must have local id 0");
 
@@ -64,11 +71,10 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params) {
     return res;
   }
 
-  // H₀ = view minus center, ids shifted by -1.
-  Graph h0(m - 1);
-  for (const Edge& e : pv.view.graph.edges()) {
-    if (e.u != 0 && e.v != 0) h0.addEdge(e.u - 1, e.v - 1);
-  }
+  // H₀ = view minus center, ids shifted by -1, rebuilt into the
+  // reusable scratch slot.
+  Graph& h0 = scratch.h0;
+  removeCenterInto(pv.view.graph, pv.view.center, h0);
   std::vector<bool> isFringe(static_cast<std::size_t>(m - 1), false);
   for (NodeId f : pv.fringeLocal) {
     isFringe[static_cast<std::size_t>(f - 1)] = true;
@@ -82,66 +88,91 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params) {
     isOwn[static_cast<std::size_t>(o - 1)] = true;
   }
 
-  BfsEngine engine;
-  // Neighbor set of a candidate strategy = free ∪ own', as H₀ ids.
-  const auto evaluate = [&](const std::vector<NodeId>& own) {
-    std::vector<NodeId> sources;
-    sources.reserve(own.size() + pv.freeNeighborsLocal.size());
-    for (NodeId f : pv.freeNeighborsLocal) sources.push_back(f - 1);
-    for (NodeId o : own) {
-      if (!isFree[static_cast<std::size_t>(o)]) sources.push_back(o);
-    }
-    std::sort(sources.begin(), sources.end());
-    sources.erase(std::unique(sources.begin(), sources.end()),
-                  sources.end());
-    return params.alpha * static_cast<double>(own.size()) +
-           usageOf(h0, sources, params, isFringe, engine);
-  };
-
-  // H₀-id form of the current strategy.
+  BfsEngine& engine = scratch.bfs;
+  // H₀-id form of the current strategy and its BFS source set
+  // free ∪ (own \ free). Candidate moves perturb this set by at most one
+  // removal and one insertion, so each is derived in O(|sources|) instead
+  // of being re-sorted from scratch (usage only depends on the set).
   std::vector<NodeId> currentOwn;
   for (NodeId o : pv.ownBoughtLocal) currentOwn.push_back(o - 1);
-  res.currentCost = evaluate(currentOwn);
+  std::vector<NodeId> currentSources;
+  for (NodeId f : pv.freeNeighborsLocal) currentSources.push_back(f - 1);
+  for (NodeId o : currentOwn) {
+    if (!isFree[static_cast<std::size_t>(o)]) currentSources.push_back(o);
+  }
+
+  res.currentCost =
+      params.alpha * static_cast<double>(currentOwn.size()) +
+      usageOf(h0, currentSources, params, isFringe, engine);
   res.proposedCost = res.currentCost;
 
   double bestCost = res.currentCost;
   std::vector<NodeId> bestOwn = currentOwn;
 
-  const auto consider = [&](std::vector<NodeId> own) {
-    const double cost = evaluate(own);
+  std::vector<NodeId> sources;
+  // Evaluates the current source set with `ownCount` purchases; on strict
+  // improvement, records the own-list produced by `makeOwn`.
+  const auto consider = [&](std::size_t ownCount, const auto& makeOwn) {
+    const double cost = params.alpha * static_cast<double>(ownCount) +
+                        usageOf(h0, sources, params, isFringe, engine);
     if (cost < bestCost - kCostEpsilon) {
       bestCost = cost;
-      bestOwn = std::move(own);
+      bestOwn = makeOwn();
     }
   };
 
   // Buy one new edge (to any view node not already adjacent-for-free or
-  // already bought).
+  // already bought): push/pop the candidate on the shared source list.
+  sources = currentSources;
   for (NodeId v = 0; v < m - 1; ++v) {
     if (isOwn[static_cast<std::size_t>(v)] ||
         isFree[static_cast<std::size_t>(v)]) {
       continue;
     }
-    std::vector<NodeId> own = currentOwn;
-    own.push_back(v);
-    consider(std::move(own));
+    sources.push_back(v);
+    consider(currentOwn.size() + 1, [&] {
+      std::vector<NodeId> own = currentOwn;
+      own.push_back(v);
+      return own;
+    });
+    sources.pop_back();
   }
-  // Delete one owned edge.
+  // Delete one owned edge (a free link stays a BFS source when dropped).
+  // Deletes are all evaluated before any swap — among equal-cost
+  // improvements the first evaluated wins, so the move order is part of
+  // the semantics.
   for (std::size_t i = 0; i < currentOwn.size(); ++i) {
-    std::vector<NodeId> own = currentOwn;
-    own.erase(own.begin() + static_cast<std::ptrdiff_t>(i));
-    consider(std::move(own));
+    const NodeId dropped = currentOwn[i];
+    sources = currentSources;
+    if (!isFree[static_cast<std::size_t>(dropped)]) {
+      sources.erase(std::find(sources.begin(), sources.end(), dropped));
+    }
+    consider(currentOwn.size() - 1, [&] {
+      std::vector<NodeId> own = currentOwn;
+      own.erase(own.begin() + static_cast<std::ptrdiff_t>(i));
+      return own;
+    });
   }
-  // Swap: delete one owned, buy one elsewhere.
+  // Swap: delete one owned, buy one elsewhere. The dropped-edge source
+  // list is built once per i and shared by the whole inner loop.
   for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    const NodeId dropped = currentOwn[i];
+    sources = currentSources;
+    if (!isFree[static_cast<std::size_t>(dropped)]) {
+      sources.erase(std::find(sources.begin(), sources.end(), dropped));
+    }
     for (NodeId v = 0; v < m - 1; ++v) {
-      if (v == currentOwn[i] || isOwn[static_cast<std::size_t>(v)] ||
+      if (v == dropped || isOwn[static_cast<std::size_t>(v)] ||
           isFree[static_cast<std::size_t>(v)]) {
         continue;
       }
-      std::vector<NodeId> own = currentOwn;
-      own[i] = v;
-      consider(std::move(own));
+      sources.push_back(v);
+      consider(currentOwn.size(), [&] {
+        std::vector<NodeId> own = currentOwn;
+        own[i] = v;
+        return own;
+      });
+      sources.pop_back();
     }
   }
 

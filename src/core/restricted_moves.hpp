@@ -25,4 +25,9 @@ namespace ncg {
 /// player's in-view cost. Always exact (the move space is enumerated).
 BestResponse greedyMove(const PlayerView& pv, const GameParams& params);
 
+/// As above, reusing caller-owned scratch buffers (dynamics hot path).
+/// Produces bit-identical results to the allocating overload.
+BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
+                        BestResponseScratch& scratch);
+
 }  // namespace ncg

@@ -1,0 +1,109 @@
+#include "dynamics/cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+DynamicsCache::DynamicsCache(NodeId players, Dist k)
+    : k_(k),
+      views_(static_cast<std::size_t>(players)),
+      valid_(static_cast<std::size_t>(players), false),
+      settled_(static_cast<std::size_t>(players), false) {
+  NCG_REQUIRE(players >= 0, "player count must be non-negative");
+  NCG_REQUIRE(k >= 1, "view radius must be >= 1, got " << k);
+}
+
+const PlayerView& DynamicsCache::viewOf(const Graph& g,
+                                        const StrategyProfile& profile,
+                                        NodeId u) {
+  const auto slot = static_cast<std::size_t>(u);
+  if (!valid_[slot]) {
+    buildPlayerView(g, profile, u, k_, engine_, views_[slot]);
+    valid_[slot] = true;
+    ++rebuilds_;
+  }
+  return views_[slot];
+}
+
+void DynamicsCache::invalidateBall(const Graph& g, NodeId u) {
+  engine_.run(g, u, k_);
+  for (NodeId w : engine_.visited()) {
+    const auto slot = static_cast<std::size_t>(w);
+    valid_[slot] = false;
+    settled_[slot] = false;
+  }
+}
+
+namespace {
+
+/// Canonical insertion event of the edge {x,y} in a from-scratch
+/// StrategyProfile::buildGraph(): the (owner, endpoint) pair at which the
+/// rebuild loop would first insert it — (min,max) when the lower-id
+/// endpoint buys the link, (max,min) otherwise. Neighbor lists of a
+/// rebuilt graph are exactly in ascending event order.
+std::pair<NodeId, NodeId> insertionEvent(const StrategyProfile& profile,
+                                         NodeId x, NodeId y) {
+  const NodeId a = std::min(x, y);
+  const NodeId b = std::max(x, y);
+  const std::vector<NodeId>& sigmaA = profile.strategyOf(a);
+  return std::binary_search(sigmaA.begin(), sigmaA.end(), b)
+             ? std::pair<NodeId, NodeId>{a, b}
+             : std::pair<NodeId, NodeId>{b, a};
+}
+
+/// Restores x's neighbor list to canonical (rebuild) order.
+void canonicalizeNeighbors(Graph& g, const StrategyProfile& profile,
+                           NodeId x) {
+  g.reorderNeighbors(x, [&](NodeId y1, NodeId y2) {
+    return insertionEvent(profile, x, y1) < insertionEvent(profile, x, y2);
+  });
+}
+
+}  // namespace
+
+void DynamicsCache::applyMove(Graph& g, StrategyProfile& profile, NodeId u,
+                              const std::vector<NodeId>& newStrategy) {
+  // Pre-move ball: players that could see a removed edge or a distance
+  // that is about to grow.
+  invalidateBall(g, u);
+
+  // Edge diff against the current strategy. Every changed edge is
+  // incident to u; an edge to a dropped endpoint survives only when the
+  // endpoint buys it too.
+  std::vector<NodeId> touched(profile.strategyOf(u));  // σ_u before the move
+  for (NodeId v : touched) {
+    if (std::binary_search(newStrategy.begin(), newStrategy.end(), v)) {
+      continue;
+    }
+    const std::vector<NodeId>& sigmaV = profile.strategyOf(v);
+    if (!std::binary_search(sigmaV.begin(), sigmaV.end(), u)) {
+      g.removeEdge(u, v);
+    }
+  }
+  for (NodeId v : newStrategy) {
+    g.addEdge(u, v);  // no-op when the edge already exists
+  }
+  profile.setStrategy(u, newStrategy);
+
+  // The diff preserves the edge set but not the neighbor order a full
+  // rebuild would produce (removeEdge swap-erases, addEdge appends), and
+  // BFS-based view extraction — hence best-response tie-breaking — is
+  // order-sensitive. Restore canonical order for every list the move
+  // could have perturbed: u's own, and those of all endpoints u bought
+  // before or buys now (ownership changes can reorder even surviving
+  // double-bought links). All other lists are untouched and their edges
+  // keep their insertion events, so they stay canonical by induction.
+  touched.insert(touched.end(), newStrategy.begin(), newStrategy.end());
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  canonicalizeNeighbors(g, profile, u);
+  for (NodeId v : touched) canonicalizeNeighbors(g, profile, v);
+
+  // Post-move ball: players that can now see an added edge or a distance
+  // that just shrank.
+  invalidateBall(g, u);
+}
+
+}  // namespace ncg

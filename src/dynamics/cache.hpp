@@ -1,0 +1,78 @@
+// Incremental state for best-response dynamics.
+//
+// The naive dynamics loop rebuilds every player's k-view (and, after each
+// accepted move, the whole network) from scratch. This cache exploits the
+// locality of the game instead: a move by player u only changes edges
+// incident to u, so the k-view of a player w can differ from its cached
+// copy only if w lies within distance <= k of u in the pre- or the
+// post-move network — any shortest path of length <= k that gains or
+// loses a changed edge passes through u within the first k hops. Views of
+// all other players are provably byte-identical, so they are neither
+// re-extracted nor re-solved ("settled" players), which makes quiet
+// rounds near-free.
+//
+// The cache is an optimization layer only: runBestResponseDynamics with
+// EngineMode::kIncremental produces exactly the move sequence of
+// EngineMode::kReference (the retained naive path), and the differential
+// test suite (`ctest -L differential`) holds it to that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/player_view.hpp"
+#include "core/strategy.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// Memoized per-player views with distance-<=k dirty tracking.
+/// Not thread-safe; one cache per dynamics run.
+class DynamicsCache {
+ public:
+  /// Cache for `players` players at view radius `k`.
+  DynamicsCache(NodeId players, Dist k);
+
+  /// The view of u for the current state. `g` and `profile` must be the
+  /// state every prior applyMove() call produced; the cached copy is
+  /// returned when still valid, otherwise it is rebuilt in place.
+  /// The reference stays valid until the next applyMove().
+  const PlayerView& viewOf(const Graph& g, const StrategyProfile& profile,
+                           NodeId u);
+
+  /// True when u's cached view is valid and recorded non-improving: the
+  /// solve can be skipped because an identical view yields an identical
+  /// (non-improving) best response.
+  bool isSettled(NodeId u) const {
+    const auto slot = static_cast<std::size_t>(u);
+    return valid_[slot] && settled_[slot];
+  }
+
+  /// Records that u's current (valid) view admits no improving move.
+  void markSettled(NodeId u) { settled_[static_cast<std::size_t>(u)] = true; }
+
+  /// Applies u's accepted strategy change in place: edits only the edges
+  /// that actually differ (respecting double-bought links) instead of
+  /// rebuilding G(σ), and invalidates every cached view within distance
+  /// <= k of u in the pre- or post-move network. `newStrategy` must be
+  /// sorted (bestResponse/greedyMove proposals are).
+  void applyMove(Graph& g, StrategyProfile& profile, NodeId u,
+                 const std::vector<NodeId>& newStrategy);
+
+  /// View rebuilds performed so far (diagnostics for benches/tests).
+  std::size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void invalidateBall(const Graph& g, NodeId u);
+
+  Dist k_ = 1;
+  std::vector<PlayerView> views_;
+  std::vector<bool> valid_;
+  std::vector<bool> settled_;
+  BfsEngine engine_;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace ncg

@@ -6,6 +6,7 @@
 
 #include "core/player_view.hpp"
 #include "core/restricted_moves.hpp"
+#include "dynamics/cache.hpp"
 #include "graph/metrics.hpp"
 #include "support/error.hpp"
 #include "support/random.hpp"
@@ -24,7 +25,10 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
               "the model assumes players start on a connected network");
 
   const NodeId n = result.profile.playerCount();
+  const bool incremental = config.engine == EngineMode::kIncremental;
   BfsEngine engine;
+  BestResponseScratch scratch;
+  DynamicsCache cache(incremental ? n : 0, config.params.k);
   Rng scheduleRng(config.scheduleSeed);
 
   // Cycle detection is only sound under a deterministic schedule: the
@@ -37,16 +41,34 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
     seen[result.profile.hash()].push_back(result.profile);
   }
 
-  // Best-response memoization: a player whose view fingerprint is
-  // unchanged since her last non-improving check cannot have gained an
-  // improving move (moves depend only on the view), so the expensive
-  // solve is skipped. This makes quiet rounds near-free.
+  // Reference-mode best-response memoization: a player whose view
+  // fingerprint is unchanged since her last non-improving check cannot
+  // have gained an improving move (moves depend only on the view), so the
+  // expensive solve is skipped. The incremental engine reaches the same
+  // conclusion for free from the cache's dirty tracking — an untouched
+  // cached view IS an unchanged view — without hashing anything.
   std::vector<std::uint64_t> settledFingerprint(
       static_cast<std::size_t>(n), 0);
   std::vector<bool> hasSettled(static_cast<std::size_t>(n), false);
 
   std::vector<NodeId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), NodeId{0});
+
+  const auto solve = [&](const PlayerView& pv) {
+    return config.moveRule == MoveRule::kBestResponse
+               ? bestResponse(pv, config.params, config.br, scratch)
+               : greedyMove(pv, config.params, scratch);
+  };
+  const auto recordMove = [&](int round, NodeId u, const BestResponse& br) {
+    if (!config.collectMoves) return;
+    MoveRecord record;
+    record.round = round;
+    record.player = u;
+    record.strategy = br.strategyGlobal;
+    record.costBefore = br.currentCost;
+    record.costAfter = br.proposedCost;
+    result.moves.push_back(std::move(record));
+  };
 
   for (int round = 1; round <= config.maxRounds; ++round) {
     if (config.schedule == Schedule::kRandomPermutation) {
@@ -56,6 +78,27 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
     }
     bool moved = false;
     for (NodeId u : order) {
+      if (incremental) {
+        if (config.useBestResponseCache && cache.isSettled(u)) {
+          continue;  // view untouched since a non-improving check
+        }
+        const BestResponse br =
+            solve(cache.viewOf(result.graph, result.profile, u));
+        result.exact = result.exact && br.exact;
+        if (br.improving) {
+          recordMove(round, u, br);
+          cache.applyMove(result.graph, result.profile, u,
+                          br.strategyGlobal);
+          moved = true;
+          ++result.totalMoves;
+        } else if (config.useBestResponseCache) {
+          cache.markSettled(u);
+        }
+        continue;
+      }
+
+      // Reference path: re-extract the view and rebuild the network from
+      // scratch, exactly as the seed implementation did.
       const PlayerView pv =
           buildPlayerView(result.graph, result.profile, u, config.params.k,
                           engine);
@@ -73,6 +116,7 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
               : greedyMove(pv, config.params);
       result.exact = result.exact && br.exact;
       if (br.improving) {
+        recordMove(round, u, br);
         result.profile.setStrategy(u, br.strategyGlobal);
         result.graph = result.profile.buildGraph();
         moved = true;

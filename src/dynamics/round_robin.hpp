@@ -40,6 +40,31 @@ enum class Schedule {
   kRandomPermutation,  ///< a fresh uniform order each round
 };
 
+/// Which implementation executes the dynamics. Both produce identical
+/// move sequences, profiles and costs (enforced by the differential test
+/// suite, `ctest -L differential`); they differ only in speed.
+enum class EngineMode {
+  kIncremental,  ///< DynamicsCache: memoized k-views with distance-<=k
+                 ///< dirty tracking, in-place graph diffs, reusable
+                 ///< solver scratch (the default)
+  kReference,    ///< the naive seed path: every view re-extracted, the
+                 ///< network rebuilt after every move (oracle for
+                 ///< differential testing)
+};
+
+/// One accepted strategy change, in activation order (recorded when
+/// DynamicsConfig::collectMoves is set; the differential suite compares
+/// these across engine modes).
+struct MoveRecord {
+  int round = 0;
+  NodeId player = -1;
+  std::vector<NodeId> strategy;  ///< the new σ_u (sorted global ids)
+  double costBefore = 0.0;       ///< in-view cost of the replaced strategy
+  double costAfter = 0.0;        ///< in-view cost of the accepted one
+
+  friend bool operator==(const MoveRecord&, const MoveRecord&) = default;
+};
+
 /// Configuration of a dynamics run.
 struct DynamicsConfig {
   GameParams params;
@@ -50,8 +75,11 @@ struct DynamicsConfig {
   MoveRule moveRule = MoveRule::kBestResponse;
   Schedule schedule = Schedule::kRoundRobin;
   std::uint64_t scheduleSeed = 0;  ///< for kRandomPermutation
-  /// Skip re-solving players whose view fingerprint is unchanged since
-  /// their last non-improving check (sound; see viewFingerprint).
+  EngineMode engine = EngineMode::kIncremental;
+  bool collectMoves = false;  ///< record every accepted move in `moves`
+  /// Skip re-solving players whose situation is provably unchanged since
+  /// their last non-improving check (sound). kReference detects this via
+  /// view fingerprints, kIncremental via cache validity.
   bool useBestResponseCache = true;
 };
 
@@ -65,6 +93,7 @@ struct DynamicsResult {
   StrategyProfile profile;     ///< final profile
   Graph graph;                 ///< final network G(σ)
   std::vector<NetworkFeatures> trace;  ///< per-round features if enabled
+  std::vector<MoveRecord> moves;       ///< accepted moves if enabled
 };
 
 /// Runs the dynamics from `initial` (whose graph must be connected, per

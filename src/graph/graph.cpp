@@ -17,6 +17,15 @@ Graph::Graph(NodeId n, const std::vector<Edge>& edges) : Graph(n) {
   }
 }
 
+void Graph::reset(NodeId n) {
+  NCG_REQUIRE(n >= 0, "node count must be non-negative, got " << n);
+  const auto count = static_cast<std::size_t>(n);
+  if (adjacency_.size() > count) adjacency_.resize(count);
+  for (auto& list : adjacency_) list.clear();
+  adjacency_.resize(count);
+  edgeCount_ = 0;
+}
+
 void Graph::checkNode(NodeId u) const {
   NCG_REQUIRE(u >= 0 && u < nodeCount(),
               "node " << u << " out of range [0," << nodeCount() << ")");

@@ -7,6 +7,7 @@
 // shorter endpoint list (O(min deg)).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -23,6 +24,11 @@ class Graph {
 
   /// Graph on `n` nodes with the given initial edges (duplicates ignored).
   Graph(NodeId n, const std::vector<Edge>& edges);
+
+  /// Reinitializes to `n` isolated nodes, keeping the adjacency storage of
+  /// surviving nodes so repeated rebuilds of similarly-sized graphs (view
+  /// extraction, solver scratch) allocate nothing in steady state.
+  void reset(NodeId n);
 
   /// Number of nodes.
   NodeId nodeCount() const { return static_cast<NodeId>(adjacency_.size()); }
@@ -44,7 +50,19 @@ class Graph {
   bool addEdge(NodeId u, NodeId v);
 
   /// Removes edge (u,v). Returns true if the edge was present.
+  /// Leaves both neighbor lists in unspecified order (swap-erase).
   bool removeEdge(NodeId u, NodeId v);
+
+  /// Re-sorts u's neighbor list with a strict weak order on neighbor ids.
+  /// Structure is unchanged; used by incremental graph maintenance to
+  /// reproduce the neighbor order a from-scratch rebuild would yield
+  /// (BFS-based view extraction is sensitive to it).
+  template <typename Less>
+  void reorderNeighbors(NodeId u, Less&& less) {
+    checkNode(u);
+    auto& list = adjacency_[static_cast<std::size_t>(u)];
+    std::sort(list.begin(), list.end(), std::forward<Less>(less));
+  }
 
   /// All edges, each reported once with u < v, sorted lexicographically.
   std::vector<Edge> edges() const;

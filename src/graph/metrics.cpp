@@ -9,18 +9,28 @@ namespace ncg {
 
 Dist eccentricity(const Graph& g, NodeId u) {
   BfsEngine engine;
+  return eccentricity(g, u, engine);
+}
+
+Dist eccentricity(const Graph& g, NodeId u, BfsEngine& engine) {
   engine.run(g, u);
   return engine.eccentricityOfLastRun(g);
 }
 
 std::vector<Dist> allEccentricities(const Graph& g) {
-  std::vector<Dist> ecc(static_cast<std::size_t>(g.nodeCount()));
+  std::vector<Dist> ecc;
   BfsEngine engine;
+  allEccentricities(g, engine, ecc);
+  return ecc;
+}
+
+void allEccentricities(const Graph& g, BfsEngine& engine,
+                       std::vector<Dist>& out) {
+  out.assign(static_cast<std::size_t>(g.nodeCount()), 0);
   for (NodeId u = 0; u < g.nodeCount(); ++u) {
     engine.run(g, u);
-    ecc[static_cast<std::size_t>(u)] = engine.eccentricityOfLastRun(g);
+    out[static_cast<std::size_t>(u)] = engine.eccentricityOfLastRun(g);
   }
-  return ecc;
 }
 
 Dist diameter(const Graph& g) {
@@ -44,6 +54,10 @@ Dist radius(const Graph& g) {
 
 std::int64_t statusSum(const Graph& g, NodeId u) {
   BfsEngine engine;
+  return statusSum(g, u, engine);
+}
+
+std::int64_t statusSum(const Graph& g, NodeId u, BfsEngine& engine) {
   const auto& dist = engine.run(g, u);
   std::int64_t sum = 0;
   for (Dist d : dist) {
@@ -54,8 +68,12 @@ std::int64_t statusSum(const Graph& g, NodeId u) {
 }
 
 bool isConnected(const Graph& g) {
-  if (g.nodeCount() <= 1) return true;
   BfsEngine engine;
+  return isConnected(g, engine);
+}
+
+bool isConnected(const Graph& g, BfsEngine& engine) {
+  if (g.nodeCount() <= 1) return true;
   const auto& dist = engine.run(g, 0);
   return std::none_of(dist.begin(), dist.end(),
                       [](Dist d) { return d == kUnreachable; });
@@ -95,6 +113,11 @@ Dist girth(const Graph& g) {
   std::vector<NodeId> queue;
   queue.reserve(n);
   for (NodeId s = 0; s < g.nodeCount(); ++s) {
+    // Source-level analogue of the in-BFS cutoff below: a cycle detected
+    // from any source closes at depth du with length >= 2·du + 1 and a
+    // non-tree edge, i.e. >= 3 even at du = 0, so once a triangle is on
+    // record no further source can improve it.
+    if (best <= 3) break;
     std::fill(dist.begin(), dist.end(), kUnreachable);
     std::fill(parent.begin(), parent.end(), NodeId{-1});
     queue.clear();

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "graph/bfs.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -14,8 +15,16 @@ namespace ncg {
 /// disconnected (some node unreachable from u).
 Dist eccentricity(const Graph& g, NodeId u);
 
+/// As above, reusing a caller-owned BFS engine (dynamics hot path).
+Dist eccentricity(const Graph& g, NodeId u, BfsEngine& engine);
+
 /// Eccentricities of every node (n BFS runs).
 std::vector<Dist> allEccentricities(const Graph& g);
+
+/// As above, reusing a caller-owned engine and writing into `out`
+/// (resized to g's node count; zero allocations in steady state).
+void allEccentricities(const Graph& g, BfsEngine& engine,
+                       std::vector<Dist>& out);
 
 /// Diameter: max eccentricity. kUnreachable if disconnected;
 /// 0 for graphs with fewer than 2 nodes.
@@ -28,8 +37,14 @@ Dist radius(const Graph& g);
 /// kUnreachable if some node is unreachable.
 std::int64_t statusSum(const Graph& g, NodeId u);
 
+/// As above, reusing a caller-owned BFS engine.
+std::int64_t statusSum(const Graph& g, NodeId u, BfsEngine& engine);
+
 /// True iff g is connected (vacuously true for n <= 1).
 bool isConnected(const Graph& g);
+
+/// As above, reusing a caller-owned BFS engine.
+bool isConnected(const Graph& g, BfsEngine& engine);
 
 /// Component label per node (labels are 0..c-1 in first-seen order).
 std::vector<int> connectedComponents(const Graph& g);

@@ -35,16 +35,22 @@ std::vector<DynBitset> ballMasks(const Graph& g, Dist r) {
 }
 
 std::vector<Dist> allPairsDistances(const Graph& g) {
-  const auto n = static_cast<std::size_t>(g.nodeCount());
-  std::vector<Dist> matrix(n * n, kUnreachable);
+  std::vector<Dist> matrix;
   BfsEngine engine;
+  allPairsDistances(g, engine, matrix);
+  return matrix;
+}
+
+void allPairsDistances(const Graph& g, BfsEngine& engine,
+                       std::vector<Dist>& matrix) {
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  matrix.assign(n * n, kUnreachable);
   for (NodeId u = 0; u < g.nodeCount(); ++u) {
     const auto& dist = engine.run(g, u);
     std::copy(dist.begin(), dist.end(),
               matrix.begin() + static_cast<std::ptrdiff_t>(
                                    static_cast<std::size_t>(u) * n));
   }
-  return matrix;
 }
 
 }  // namespace ncg

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/bfs.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 #include "support/bitset.hpp"
@@ -25,5 +26,10 @@ std::vector<DynBitset> ballMasks(const Graph& g, Dist r);
 /// (entry [u * n + v] = d(u,v), kUnreachable if disconnected).
 /// O(n·m) time, O(n²) space — intended for view-sized graphs.
 std::vector<Dist> allPairsDistances(const Graph& g);
+
+/// As above, writing into a caller-owned matrix and reusing a BFS engine
+/// (solver hot path; zero allocations in steady state).
+void allPairsDistances(const Graph& g, BfsEngine& engine,
+                       std::vector<Dist>& matrix);
 
 }  // namespace ncg

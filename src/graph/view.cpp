@@ -18,32 +18,47 @@ LocalView buildView(const Graph& g, NodeId center, Dist radius) {
 
 LocalView buildView(const Graph& g, NodeId center, Dist radius,
                     BfsEngine& engine) {
+  LocalView view;
+  buildView(g, center, radius, engine, view);
+  return view;
+}
+
+void removeCenterInto(const Graph& viewGraph, NodeId center, Graph& out) {
+  NCG_REQUIRE(center == 0, "view center must have local id 0");
+  out.reset(viewGraph.nodeCount() - 1);
+  for (NodeId u = 1; u < viewGraph.nodeCount(); ++u) {
+    for (NodeId v : viewGraph.neighbors(u)) {
+      if (v > u) out.addEdge(u - 1, v - 1);
+    }
+  }
+}
+
+void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
+               LocalView& out) {
   NCG_REQUIRE(radius >= 0, "view radius must be non-negative");
   engine.run(g, center, radius);
   const std::vector<NodeId>& members = engine.visited();
 
-  LocalView view;
-  view.radius = radius;
-  view.toGlobal = members;
-  view.toLocal.assign(static_cast<std::size_t>(g.nodeCount()), NodeId{-1});
+  out.radius = radius;
+  out.toGlobal = members;
+  out.toLocal.assign(static_cast<std::size_t>(g.nodeCount()), NodeId{-1});
   for (std::size_t i = 0; i < members.size(); ++i) {
-    view.toLocal[static_cast<std::size_t>(members[i])] =
+    out.toLocal[static_cast<std::size_t>(members[i])] =
         static_cast<NodeId>(i);
   }
-  view.center = view.toLocal[static_cast<std::size_t>(center)];
-  NCG_ASSERT(view.center == 0, "BFS order must place the center first");
+  out.center = out.toLocal[static_cast<std::size_t>(center)];
+  NCG_ASSERT(out.center == 0, "BFS order must place the center first");
 
-  view.graph = Graph(static_cast<NodeId>(members.size()));
+  out.graph.reset(static_cast<NodeId>(members.size()));
   for (std::size_t i = 0; i < members.size(); ++i) {
     const NodeId globalU = members[i];
     for (NodeId globalV : g.neighbors(globalU)) {
-      const NodeId localV = view.toLocal[static_cast<std::size_t>(globalV)];
+      const NodeId localV = out.toLocal[static_cast<std::size_t>(globalV)];
       if (localV >= 0 && static_cast<NodeId>(i) < localV) {
-        view.graph.addEdge(static_cast<NodeId>(i), localV);
+        out.graph.addEdge(static_cast<NodeId>(i), localV);
       }
     }
   }
-  return view;
 }
 
 }  // namespace ncg

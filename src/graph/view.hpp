@@ -45,4 +45,15 @@ LocalView buildView(const Graph& g, NodeId center, Dist radius);
 LocalView buildView(const Graph& g, NodeId center, Dist radius,
                     BfsEngine& engine);
 
+/// As above, rebuilding into a caller-owned view so the id maps and the
+/// induced graph reuse their storage (incremental dynamics cache).
+void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
+               LocalView& out);
+
+/// Rebuilds `out` as the view graph minus its center — the "H₀" both
+/// best-response solvers work on (Propositions 2.1/2.2): node i of `out`
+/// corresponds to view node i+1. The center must have local id 0
+/// (buildView guarantees it). `out`'s storage is reused.
+void removeCenterInto(const Graph& viewGraph, NodeId center, Graph& out);
+
 }  // namespace ncg

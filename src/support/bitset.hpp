@@ -25,6 +25,13 @@ class DynBitset {
 
   std::size_t size() const { return bits_; }
 
+  /// Reinitializes to `bits` all-zero positions, reusing the word storage
+  /// (no allocation when the new size fits the existing capacity).
+  void reassign(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
   void set(std::size_t i) {
     NCG_ASSERT(i < bits_, "bit index " << i << " out of range " << bits_);
     words_[i >> 6] |= (std::uint64_t{1} << (i & 63));

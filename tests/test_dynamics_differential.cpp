@@ -1,0 +1,186 @@
+// Differential tests: EngineMode::kIncremental must replay the reference
+// (naive) dynamics engine exactly — identical move sequences, profiles,
+// networks and costs — across randomized instances of both game variants,
+// both initial-network families and a spread of (k, α) settings.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "dynamics/round_robin.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "graph/metrics.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+struct Scenario {
+  GameKind kind = GameKind::kMax;
+  bool erdosRenyi = false;
+  NodeId n = 20;
+  double p = 0.2;
+  double alpha = 1.0;
+  Dist k = 2;
+  MoveRule moveRule = MoveRule::kBestResponse;
+  std::uint64_t seed = 0;
+};
+
+std::string describe(const Scenario& s) {
+  return std::string(s.kind == GameKind::kMax ? "max" : "sum") + "/" +
+         (s.erdosRenyi ? "er" : "tree") + "/n=" + std::to_string(s.n) +
+         "/k=" + std::to_string(s.k) + "/alpha=" + std::to_string(s.alpha) +
+         "/seed=" + std::to_string(s.seed);
+}
+
+DynamicsResult runScenario(const Scenario& s, EngineMode mode) {
+  Rng rng(s.seed);
+  const Graph initial =
+      s.erdosRenyi ? makeConnectedErdosRenyi(s.n, s.p, rng)
+                   : makeRandomTree(s.n, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(initial, rng);
+  DynamicsConfig config;
+  config.params = {s.kind, s.alpha, s.k};
+  config.maxRounds = 40;
+  config.moveRule = s.moveRule;
+  config.engine = mode;
+  config.collectMoves = true;
+  return runBestResponseDynamics(start, config);
+}
+
+void expectIdentical(const Scenario& s) {
+  SCOPED_TRACE(describe(s));
+  const DynamicsResult reference = runScenario(s, EngineMode::kReference);
+  const DynamicsResult incremental = runScenario(s, EngineMode::kIncremental);
+
+  EXPECT_EQ(reference.outcome, incremental.outcome);
+  EXPECT_EQ(reference.rounds, incremental.rounds);
+  EXPECT_EQ(reference.totalMoves, incremental.totalMoves);
+
+  // The whole trajectory, not just the endpoint: every accepted move must
+  // match in activation order, player, proposal and both in-view costs.
+  ASSERT_EQ(reference.moves.size(), incremental.moves.size());
+  for (std::size_t i = 0; i < reference.moves.size(); ++i) {
+    EXPECT_EQ(reference.moves[i], incremental.moves[i]) << "move " << i;
+  }
+
+  EXPECT_EQ(reference.profile, incremental.profile);
+  EXPECT_EQ(reference.graph, incremental.graph);
+  // The incrementally maintained network must also agree with a from-
+  // scratch materialization of the final profile.
+  EXPECT_EQ(incremental.graph, incremental.profile.buildGraph());
+
+  const GameParams params{s.kind, s.alpha, s.k};
+  EXPECT_EQ(socialCost(params, reference.profile, reference.graph),
+            socialCost(params, incremental.profile, incremental.graph));
+}
+
+TEST(DynamicsDifferential, MaxVariantAcrossInstances) {
+  std::uint64_t seed = 0xD1FF0000;
+  std::vector<Scenario> scenarios;
+  for (const bool er : {false, true}) {
+    for (const Dist k : {2, 3, 1000}) {
+      for (const double alpha : {0.5, 2.0, 6.0}) {
+        for (int trial = 0; trial < 2; ++trial) {
+          Scenario s;
+          s.kind = GameKind::kMax;
+          s.erdosRenyi = er;
+          s.n = er ? 18 : 22;
+          s.alpha = alpha;
+          s.k = k;
+          s.seed = ++seed;
+          scenarios.push_back(s);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(scenarios.size(), 36u);
+  for (const Scenario& s : scenarios) expectIdentical(s);
+}
+
+TEST(DynamicsDifferential, SumVariantAcrossInstances) {
+  std::uint64_t seed = 0xD1FF5000;
+  std::vector<Scenario> scenarios;
+  for (const bool er : {false, true}) {
+    for (const Dist k : {2, 3}) {
+      for (const double alpha : {0.5, 1.5, 4.0}) {
+        Scenario s;
+        s.kind = GameKind::kSum;
+        s.erdosRenyi = er;
+        s.n = er ? 10 : 12;
+        s.alpha = alpha;
+        s.k = k;
+        s.seed = ++seed;
+        scenarios.push_back(s);
+      }
+    }
+  }
+  ASSERT_EQ(scenarios.size(), 12u);
+  for (const Scenario& s : scenarios) expectIdentical(s);
+}
+
+TEST(DynamicsDifferential, GreedyMoveRuleAcrossInstances) {
+  std::uint64_t seed = 0xD1FFA000;
+  for (const bool er : {false, true}) {
+    for (const double alpha : {0.5, 2.0}) {
+      Scenario s;
+      s.kind = GameKind::kMax;
+      s.erdosRenyi = er;
+      s.n = 20;
+      s.alpha = alpha;
+      s.k = 3;
+      s.moveRule = MoveRule::kGreedy;
+      s.seed = ++seed;
+      expectIdentical(s);
+    }
+  }
+}
+
+TEST(DynamicsDifferential, CacheDisabledStillIdentical) {
+  // useBestResponseCache=false forces every player to re-solve each
+  // round in both modes; the incremental engine must still agree.
+  Rng rng(0xD1FFC001);
+  const Graph tree = makeRandomTree(16, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  for (const GameKind kind : {GameKind::kMax, GameKind::kSum}) {
+    DynamicsConfig config;
+    config.params = {kind, 1.5, 3};
+    config.maxRounds = 30;
+    config.useBestResponseCache = false;
+    config.collectMoves = true;
+    config.engine = EngineMode::kReference;
+    const DynamicsResult reference = runBestResponseDynamics(start, config);
+    config.engine = EngineMode::kIncremental;
+    const DynamicsResult incremental = runBestResponseDynamics(start, config);
+    EXPECT_EQ(reference.profile, incremental.profile);
+    EXPECT_EQ(reference.moves.size(), incremental.moves.size());
+    EXPECT_EQ(reference.rounds, incremental.rounds);
+  }
+}
+
+TEST(DynamicsDifferential, RandomPermutationScheduleIdentical) {
+  Rng rng(0xD1FFC002);
+  const Graph tree = makeRandomTree(18, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(1.0, 3);
+  config.maxRounds = 40;
+  config.schedule = Schedule::kRandomPermutation;
+  config.scheduleSeed = 77;
+  config.collectMoves = true;
+  config.engine = EngineMode::kReference;
+  const DynamicsResult reference = runBestResponseDynamics(start, config);
+  config.engine = EngineMode::kIncremental;
+  const DynamicsResult incremental = runBestResponseDynamics(start, config);
+  EXPECT_EQ(reference.profile, incremental.profile);
+  EXPECT_EQ(reference.graph, incremental.graph);
+  ASSERT_EQ(reference.moves.size(), incremental.moves.size());
+  for (std::size_t i = 0; i < reference.moves.size(); ++i) {
+    EXPECT_EQ(reference.moves[i], incremental.moves[i]) << "move " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ncg

@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include "gen/classic.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/high_girth.hpp"
+#include "graph/bfs.hpp"
 #include "graph/metrics.hpp"
+#include "support/random.hpp"
 
 namespace ncg {
 namespace {
@@ -98,6 +102,107 @@ TEST(Metrics, GirthDetectsShortCycleInLargeStructure) {
 TEST(Metrics, GirthTwoTriangleSharingEdge) {
   Graph g(4, {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {3, 2}});
   EXPECT_EQ(girth(g), 3);
+}
+
+// --- girth on known cages (pins the source-level early-exit) ------------
+
+Graph makePetersen() {
+  // (3,5)-cage: outer C5 (0..4), inner pentagram (5..9), spokes.
+  Graph g(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    g.addEdge(i, (i + 1) % 5);          // outer cycle
+    g.addEdge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.addEdge(i, 5 + i);                // spoke
+  }
+  return g;
+}
+
+TEST(Metrics, GirthOfPetersenCage) {
+  const Graph petersen = makePetersen();
+  EXPECT_EQ(petersen.edgeCount(), 15u);
+  EXPECT_EQ(girth(petersen), 5);
+}
+
+TEST(Metrics, GirthOfIncidenceGraphCages) {
+  // The incidence graph of PG(2,q) is the bipartite (q+1,6)-cage family:
+  // girth exactly 6 for every prime order.
+  for (const int q : {2, 3, 5}) {
+    EXPECT_EQ(girth(makeProjectivePlaneIncidence(q)), 6) << "q = " << q;
+  }
+  // q = 2 is the Heawood graph, the (3,6)-cage on 14 vertices.
+  EXPECT_EQ(makeProjectivePlaneIncidence(2).nodeCount(), 14);
+}
+
+TEST(Metrics, GirthTriangleFarFromFirstSources) {
+  // The only triangle involves the highest node ids, so every earlier
+  // source must keep scanning (the best == 3 cutoff must not fire early)
+  // and the final answer still has to see it.
+  Graph g = makePath(12);
+  g.addEdge(10, 8);  // path 8-9-10 plus chord -> triangle {8,9,10}
+  EXPECT_EQ(girth(g), 3);
+  // And with a longer cycle found first from node 0's side.
+  Graph h = makeCycle(16);
+  h.addEdge(12, 14);
+  EXPECT_EQ(girth(h), 3);
+}
+
+// --- engine/buffer reuse regressions ------------------------------------
+
+TEST(Metrics, EngineReuseAcrossMutatedGraphsMatchesFreshEngines) {
+  // Repeated calls through one shared BfsEngine on a graph that mutates
+  // (and changes size) between calls must match fresh-engine results —
+  // guards stale scratch state (distances, queue, sizing) leaking over.
+  BfsEngine shared;
+  Graph g = makePath(6);
+  EXPECT_EQ(eccentricity(g, 0, shared), eccentricity(g, 0));
+  EXPECT_EQ(statusSum(g, 2, shared), statusSum(g, 2));
+
+  g.addEdge(0, 5);  // close the cycle
+  EXPECT_EQ(eccentricity(g, 0, shared), eccentricity(g, 0));
+  EXPECT_EQ(statusSum(g, 0, shared), statusSum(g, 0));
+  EXPECT_TRUE(isConnected(g, shared));
+
+  g.removeEdge(2, 3);
+  g.removeEdge(0, 5);  // split into two paths
+  EXPECT_EQ(eccentricity(g, 0, shared), kUnreachable);
+  EXPECT_EQ(statusSum(g, 0, shared), kUnreachable);
+  EXPECT_FALSE(isConnected(g, shared));
+
+  // Smaller graph after a larger one: buffers must shrink correctly.
+  const Graph tiny = makeStar(3);
+  EXPECT_EQ(eccentricity(tiny, 1, shared), 2);
+  EXPECT_EQ(statusSum(tiny, 0, shared), 2);
+}
+
+TEST(Metrics, AllEccentricitiesBufferReuseMatchesFresh) {
+  BfsEngine shared;
+  std::vector<Dist> buffer;
+  Rng rng(417);
+  // A sequence of differently sized and differently shaped graphs
+  // through the same engine + output buffer.
+  const Graph graphs[] = {makePath(9), makeCycle(5),
+                          makeConnectedErdosRenyi(20, 0.2, rng),
+                          makeStar(4)};
+  for (const Graph& g : graphs) {
+    allEccentricities(g, shared, buffer);
+    EXPECT_EQ(buffer, allEccentricities(g));
+    EXPECT_EQ(buffer.size(), static_cast<std::size_t>(g.nodeCount()));
+  }
+}
+
+TEST(Metrics, RepeatedCallsOnMutatingGraphAreStateless) {
+  BfsEngine shared;
+  std::vector<Dist> buffer;
+  Graph g = makeCycle(8);
+  const auto fresh = allEccentricities(g);
+  allEccentricities(g, shared, buffer);
+  const std::vector<Dist> first = buffer;
+  g.addEdge(0, 4);
+  allEccentricities(g, shared, buffer);  // mutated graph, reused buffers
+  g.removeEdge(0, 4);
+  allEccentricities(g, shared, buffer);  // back to the original graph
+  EXPECT_EQ(buffer, fresh);
+  EXPECT_EQ(buffer, first);
 }
 
 }  // namespace

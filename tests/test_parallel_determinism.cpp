@@ -1,0 +1,110 @@
+// The sharded trial runner must produce bitwise-identical results for any
+// thread count and any shard size: every trial owns the RNG stream
+// deriveSeed(baseSeed, i) and its own result slot, so scheduling cannot
+// leak into the numbers (the property every bench harness relies on for
+// reproducible tables).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamics/round_robin.hpp"
+#include "gen/random_tree.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/experiment.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+/// One small dynamics run per trial — the same unit of work the bench
+/// harnesses shard — summarized by everything their tables aggregate.
+struct TrialStats {
+  int rounds = 0;
+  std::size_t totalMoves = 0;
+  double socialCost = 0.0;
+  std::uint64_t profileHash = 0;
+
+  friend bool operator==(const TrialStats&, const TrialStats&) = default;
+};
+
+TrialStats dynamicsTrial(int /*index*/, Rng& rng) {
+  const Graph tree = makeRandomTree(14, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  DynamicsConfig config;
+  config.params = GameParams::max(1.5, 2);
+  config.maxRounds = 30;
+  const DynamicsResult result = runBestResponseDynamics(start, config);
+  TrialStats stats;
+  stats.rounds = result.rounds;
+  stats.totalMoves = result.totalMoves;
+  stats.socialCost = computeFeatures(result.graph, result.profile,
+                                     config.params)
+                         .socialCost;
+  stats.profileHash = result.profile.hash();
+  return stats;
+}
+
+std::vector<TrialStats> runWith(std::size_t threads, std::size_t shardSize) {
+  ThreadPool pool(threads);
+  return runTrials<TrialStats>(pool, 12, 0xDE7E12, dynamicsTrial, shardSize);
+}
+
+TEST(ParallelDeterminism, ThreadCountDoesNotChangeResults) {
+  const std::vector<TrialStats> one = runWith(1, 0);
+  const std::vector<TrialStats> two = runWith(2, 0);
+  const std::vector<TrialStats> eight = runWith(8, 0);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ParallelDeterminism, ShardSizeDoesNotChangeResults) {
+  const std::vector<TrialStats> reference = runWith(1, 1);
+  for (const std::size_t shardSize : {0UL, 2UL, 5UL, 64UL}) {
+    for (const std::size_t threads : {2UL, 8UL}) {
+      EXPECT_EQ(reference, runWith(threads, shardSize))
+          << "threads=" << threads << " shardSize=" << shardSize;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, AggregateStatsBitwiseEqualAcrossPools) {
+  // The exact aggregation the bench tables perform: RunningStat over the
+  // trial vector. Equal inputs in equal order give equal doubles.
+  const auto aggregate = [](const std::vector<TrialStats>& stats) {
+    RunningStat rounds;
+    RunningStat cost;
+    for (const TrialStats& s : stats) {
+      rounds.push(static_cast<double>(s.rounds));
+      cost.push(s.socialCost);
+    }
+    return std::pair{rounds.mean(), cost.mean()};
+  };
+  const auto one = aggregate(runWith(1, 0));
+  const auto two = aggregate(runWith(2, 3));
+  const auto eight = aggregate(runWith(8, 1));
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ParallelDeterminism, RerunOnSamePoolIsIdentical) {
+  ThreadPool pool(4);
+  const auto a = runTrials<TrialStats>(pool, 10, 42, dynamicsTrial);
+  const auto b = runTrials<TrialStats>(pool, 10, 42, dynamicsTrial);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelDeterminism, PerTrialStreamsAreIsolated) {
+  // Trial i's result depends only on (baseSeed, i): prepending trials
+  // (larger count) must not change the existing ones.
+  ThreadPool pool(4);
+  const auto few = runTrials<TrialStats>(pool, 4, 7, dynamicsTrial);
+  const auto many = runTrials<TrialStats>(pool, 12, 7, dynamicsTrial);
+  for (std::size_t i = 0; i < few.size(); ++i) {
+    EXPECT_EQ(few[i], many[i]) << "trial " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ncg
