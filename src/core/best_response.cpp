@@ -39,10 +39,10 @@ std::vector<NodeId> currentGlobalStrategy(const PlayerView& pv) {
 }
 
 /// Status sum of the center inside the view (finite by construction).
-double centerStatusSum(const PlayerView& pv, BfsEngine& engine) {
-  const auto& dist = engine.run(pv.view.graph, pv.view.center);
+/// The extraction BFS already recorded per-node center distances.
+double centerStatusSum(const PlayerView& pv) {
   double sum = 0.0;
-  for (Dist d : dist) {
+  for (Dist d : pv.view.centerDist) {
     NCG_ASSERT(d != kUnreachable, "view disconnected from center");
     sum += static_cast<double>(d);
   }
@@ -66,7 +66,7 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
   if (m <= 1) return res;  // nobody visible: no move possible
 
   removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
-  const Graph& h0 = scratch.h0;
+  const CsrGraph& h0 = scratch.h0;
   const auto n0 = static_cast<std::size_t>(h0.nodeCount());
 
   DynBitset freeMask(n0);
@@ -169,12 +169,20 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
   // incumbent, so the exact pass below can skip most radii outright.
   // Radii where even an optimal cover provably cannot beat the incumbent
   // (cardinality lower bound) skip the greedy as well — its cover is at
-  // least as large, so acceptCover would reject it anyway.
+  // least as large, so acceptCover would reject it anyway. Greedy sizes
+  // are remembered per radius: whenever the greedy already meets the
+  // cardinality lower bound it is provably optimal, and pass B can skip
+  // the exact solve for that radius outright (nothing strictly smaller
+  // exists, and acceptCover ignores equal-cost covers).
+  constexpr std::size_t kNoGreedy = SIZE_MAX;
+  std::vector<std::size_t>& greedySizeAt = scratch.coverGreedySize;
+  greedySizeAt.clear();
   for (Dist r = 0;; ++r) {
     const double h = static_cast<double>(r) + 1.0;
     if (h >= bestCost - kCostEpsilon) break;
     const RadiusInstance* inst = instanceAt(r);
     if (inst == nullptr) break;  // past the largest finite distance
+    greedySizeAt.push_back(kNoGreedy);
     if (inst->universe.none()) {
       acceptCover(*inst, {}, h);
       continue;
@@ -184,8 +192,12 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
     const std::size_t lower =
         (inst->universe.count() + inst->maxBall - 1) / inst->maxBall;
     if (lower > static_cast<std::size_t>(capDouble)) continue;
-    const SetCoverResult greedy = greedySetCover(inst->universe, inst->sets);
-    if (greedy.feasible) acceptCover(*inst, greedy.chosen, h);
+    const SetCoverResult greedy =
+        greedySetCover(inst->universe, inst->sets, scratch.coverSolver);
+    if (greedy.feasible) {
+      greedySizeAt.back() = greedy.chosen.size();
+      acceptCover(*inst, greedy.chosen, h);
+    }
   }
 
   // Pass B (exact): per radius, prove optimality or skip radii whose
@@ -210,8 +222,18 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
         (inst->universe.count() + inst->maxBall - 1) / inst->maxBall;
     if (lower > cap) continue;
 
+    // Pass A's greedy cover met the lower bound: it is optimal, so no
+    // strictly smaller cover (the only kind pass B could accept) exists.
+    // bestCost only shrank since pass A, so every radius reaching this
+    // point also ran (or deliberately skipped) the pass-A greedy.
+    if (static_cast<std::size_t>(r) < greedySizeAt.size() &&
+        greedySizeAt[static_cast<std::size_t>(r)] == lower) {
+      continue;
+    }
+
     const SetCoverResult cover =
-        minSetCover(inst->universe, inst->sets, options.coverNodeBudget, cap);
+        minSetCover(inst->universe, inst->sets, options.coverNodeBudget, cap,
+                    scratch.coverSolver);
     if (!cover.feasible) continue;
     res.exact = res.exact && cover.optimal;
     if (cover.withinCap) acceptCover(*inst, cover.chosen, h);
@@ -237,6 +259,16 @@ struct SumSearch {
   std::vector<NodeId> candidates;   // H₀ ids, search order
   std::vector<std::vector<Dist>>* suffixMin = nullptr;  // [idx][v]
   std::vector<std::vector<Dist>>* depthDist = nullptr;  // include buffers
+  /// Per-include-depth net-gain bound arrays (see sumBestResponse): any
+  /// completion that buys j >= 1 of candidates idx..end improves the
+  /// distance sum by at most bound[idx] beyond what its α charges, where
+  /// `bound` is valid for every node whose minDist is pointwise <= the
+  /// distance vector the array was computed against. Each include within
+  /// the first kDynamicGainDepth purchases recomputes the array against
+  /// its (smaller) distances, which tightens the bound exactly where the
+  /// biggest subtrees hang.
+  std::vector<std::vector<double>>* depthGainBound = nullptr;
+  static constexpr std::size_t kDynamicGainDepth = 6;
   /// Largest admissible distance per node: k−1 for fringe nodes
   /// (Proposition 2.2), kUnreachable−1 otherwise (any finite distance).
   /// Encoding both rules as one cap keeps the bound loops branch-free.
@@ -247,64 +279,93 @@ struct SumSearch {
   std::uint64_t budget = 0;
   bool budgetHit = false;
 
-  /// Sum cost of a fully decided neighbor set with per-node nearest
-  /// distances `minDist`; kInf if infeasible (unreachable node or a
-  /// fringe node pushed beyond distance k).
-  double evaluate(const std::vector<Dist>& minDist,
-                  std::size_t chosenCount) const {
-    std::int64_t sum = 0;
-    bool feasible = true;
-    for (std::size_t v = 0; v < n0; ++v) {
-      const Dist d = minDist[v];
-      feasible = feasible && d <= distCap[v];
-      sum += d;
+  /// Recomputes the net-gain bound array for suffixes of `idx` against
+  /// the distance vector `minDist` into the depth-`level` slot:
+  /// bound[j] = max over j' >= 1 of (sum of j' largest gains among
+  /// candidates j..end − j'·α), where gain(c) = Σ_v max(0, minDist[v] −
+  /// d(c,v)). Admissible for every descendant (distances only shrink).
+  const std::vector<double>& refreshGainBound(std::size_t level,
+                                              std::size_t idx,
+                                              const std::vector<Dist>&
+                                                  minDist) {
+    std::vector<double>& bound = (*depthGainBound)[level];
+    const std::size_t cCount = candidates.size();
+    bound.resize(cCount + 1);
+    bound[cCount] = 0.0;
+    double positiveMass = 0.0;
+    double bestSingle = -kInf;
+    for (std::size_t j = cCount; j-- > idx;) {
+      const std::size_t row =
+          static_cast<std::size_t>(candidates[j]) * n0;
+      std::int64_t gain = 0;
+      for (std::size_t v = 0; v < n0; ++v) {
+        const auto improvement =
+            static_cast<std::int64_t>(minDist[v]) -
+            static_cast<std::int64_t>((*apd)[row + v]);
+        if (improvement > 0) gain += improvement;
+      }
+      const double net = static_cast<double>(gain) - alpha;
+      positiveMass += std::max(0.0, net);
+      bestSingle = std::max(bestSingle, net);
+      bound[j] = positiveMass > 0.0 ? positiveMass : bestSingle;
     }
-    if (!feasible) return kInf;
-    return alpha * static_cast<double>(chosenCount) +
-           static_cast<double>(n0) + static_cast<double>(sum);
+    return bound;
   }
 
+  /// `sumZero` / `zeroFeasible` carry Σ minDist and its cap-feasibility
+  /// down the tree (the include loop computes them for its child as a
+  /// byproduct), so leaves evaluate in O(1) and internal nodes scan the
+  /// distance arrays exactly once. `gainBound` is the innermost
+  /// refreshed bound array valid for this node's minDist.
   void search(std::size_t idx, const std::vector<Dist>& minDist,
-              std::vector<NodeId>& chosen) {
+              std::vector<NodeId>& chosen, std::int64_t sumZero,
+              bool zeroFeasible, const std::vector<double>& gainBound) {
     if (++nodes > budget) {
       budgetHit = true;
       return;
     }
+    const double base = alpha * static_cast<double>(chosen.size()) +
+                        static_cast<double>(n0);
+    const double zeroCost = base + static_cast<double>(sumZero);
     if (idx == candidates.size()) {
-      const double cost = evaluate(minDist, chosen.size());
-      if (cost < bestCost - kCostEpsilon) {
-        bestCost = cost;
+      if (!zeroFeasible) return;  // unreachable or fringe-capped node
+      if (zeroCost < bestCost - kCostEpsilon) {
+        bestCost = zeroCost;
         bestChosen = chosen;
       }
       return;
     }
-    // Admissible completion bound, the minimum over the two ways any
-    // completion can end: buy nothing more (distances stay at minDist,
-    // feasibility permitting), or buy at least one more candidate (pay
-    // >= one extra α, distances no better than the suffix minima).
-    // Distances are summed as integers so the loop vectorizes; totals
-    // are exact (well below 2^53), so the double compares are unchanged.
+    // O(1) admissible pre-check: a completion buying j >= 1 candidates
+    // pays j·α for at most gainBound[idx] net distance improvement, so
+    // it costs at least zeroCost − gainBound[idx]; buying none costs
+    // zeroCost. Both bounds need no per-node scan. (Stronger pruning
+    // never changes the incumbent sequence — cut subtrees contain no
+    // strict improvement — it only reaches budget-limited instances
+    // later, where the seed search was already inexact.)
+    const double gainsOptimistic = zeroCost - gainBound[idx];
+    if ((zeroFeasible ? std::min(zeroCost, gainsOptimistic)
+                      : gainsOptimistic) >= bestCost - kCostEpsilon) {
+      return;
+    }
+
+    // Distance-relaxation bound: buy-at-least-one completions can do no
+    // better than the suffix minima. Distances are summed as integers so
+    // the loop vectorizes; totals are exact (well below 2^53), so the
+    // double compares are unchanged.
     std::int64_t sumStar = 0;   // Σ min(minDist, suffix)
-    std::int64_t sumZero = 0;   // Σ minDist
     bool feasiblySolvable = true;
-    bool zeroFeasible = true;
     const std::vector<Dist>& suffix = (*suffixMin)[idx];
     for (std::size_t v = 0; v < n0; ++v) {
-      const Dist dm = minDist[v];
-      const Dist d = std::min(dm, suffix[v]);
+      const Dist d = std::min(minDist[v], suffix[v]);
       feasiblySolvable = feasiblySolvable && d <= distCap[v];
-      zeroFeasible = zeroFeasible && dm <= distCap[v];
       sumStar += d;
-      sumZero += dm;
     }
     if (!feasiblySolvable) return;
-    const double base = alpha * static_cast<double>(chosen.size()) +
-                        static_cast<double>(n0);
-    const double withMore = base + alpha + static_cast<double>(sumStar);
+    const double withMore =
+        std::max(base + alpha + static_cast<double>(sumStar),
+                 gainsOptimistic);
     const double optimistic =
-        zeroFeasible
-            ? std::min(base + static_cast<double>(sumZero), withMore)
-            : withMore;
+        zeroFeasible ? std::min(zeroCost, withMore) : withMore;
     if (optimistic >= bestCost - kCostEpsilon) {
       return;
     }
@@ -321,19 +382,36 @@ struct SumSearch {
     included.resize(n0);
     const std::size_t row = static_cast<std::size_t>(c) * n0;
     bool improvesAny = false;
+    std::int64_t includedSum = 0;
+    bool includedFeasible = true;
     for (std::size_t v = 0; v < n0; ++v) {
       const Dist dc = (*apd)[row + v];
+      const Dist d = std::min(minDist[v], dc);
       improvesAny = improvesAny || dc < minDist[v];
-      included[v] = std::min(minDist[v], dc);
+      includedFeasible = includedFeasible && d <= distCap[v];
+      includedSum += d;
+      included[v] = d;
     }
     if (improvesAny || alpha <= kCostEpsilon) {  // skip only when α is real
+      // The include child's distances shrank, so the net-gain bound can
+      // be tightened for its whole subtree; only the first few purchase
+      // levels are refreshed (they hang the biggest subtrees, and each
+      // refresh costs one row sweep per remaining candidate). The
+      // exclude child keeps this node's distances and therefore its
+      // bound array.
+      const std::size_t level = chosen.size();
+      const std::vector<double>& childBound =
+          level < kDynamicGainDepth
+              ? refreshGainBound(level, idx + 1, included)
+              : gainBound;
       chosen.push_back(c);
-      search(idx + 1, included, chosen);
+      search(idx + 1, included, chosen, includedSum, includedFeasible,
+             childBound);
       chosen.pop_back();
       if (budgetHit) return;
     }
 
-    search(idx + 1, minDist, chosen);
+    search(idx + 1, minDist, chosen, sumZero, zeroFeasible, gainBound);
   }
 };
 
@@ -343,14 +421,14 @@ BestResponse sumBestResponse(const PlayerView& pv, const GameParams& params,
   BestResponse res;
   res.strategyGlobal = currentGlobalStrategy(pv);
   res.currentCost =
-      params.alpha * pv.alphaBought + centerStatusSum(pv, scratch.bfs);
+      params.alpha * pv.alphaBought + centerStatusSum(pv);
   res.proposedCost = res.currentCost;
 
   const NodeId m = pv.view.size();
   if (m <= 1) return res;
 
   removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
-  const Graph& h0 = scratch.h0;
+  const CsrGraph& h0 = scratch.h0;
   const auto n0 = static_cast<std::size_t>(h0.nodeCount());
   allPairsDistances(h0, scratch.bfs, scratch.apd);
   const std::vector<Dist>& apd = scratch.apd;
@@ -421,9 +499,26 @@ BestResponse sumBestResponse(const PlayerView& pv, const GameParams& params,
     }
   }
 
+  // Net-gain completion bound (see SumSearch::refreshGainBound): the
+  // root array is computed against the free-neighbor baseline; include
+  // branches near the root refresh it against their tightened distances.
+  if (scratch.sumGainBound.size() < SumSearch::kDynamicGainDepth + 1) {
+    scratch.sumGainBound.resize(SumSearch::kDynamicGainDepth + 1);
+  }
+  search.depthGainBound = &scratch.sumGainBound;
+  const std::vector<double>& rootBound = search.refreshGainBound(
+      SumSearch::kDynamicGainDepth, 0, scratch.sumBaseline);
+
   search.bestCost = res.currentCost;  // only strictly better proposals win
   std::vector<NodeId> chosen;
-  search.search(0, scratch.sumBaseline, chosen);
+  std::int64_t rootSum = 0;
+  bool rootFeasible = true;
+  for (std::size_t v = 0; v < n0; ++v) {
+    rootSum += scratch.sumBaseline[v];
+    rootFeasible = rootFeasible && scratch.sumBaseline[v] <= search.distCap[v];
+  }
+  search.search(0, scratch.sumBaseline, chosen, rootSum, rootFeasible,
+                rootBound);
 
   res.exact = !search.budgetHit;
   if (search.bestCost < res.currentCost - kCostEpsilon) {

@@ -21,7 +21,9 @@
 #include "core/game.hpp"
 #include "core/player_view.hpp"
 #include "graph/bfs.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "solver/set_cover.hpp"
 #include "support/bitset.hpp"
 
 namespace ncg {
@@ -49,6 +51,20 @@ struct BestResponse {
   bool exact = true;
 };
 
+/// Reusable H₀ distance oracle for single-edge (greedy) move evaluation:
+/// the row-major all-sources distance matrix of the center-less view
+/// graph (row v = BFS distances from v; the transient CSR copy of H₀
+/// lives in the shared scratch). Built once per distinct view, then
+/// every buy/delete/swap candidate folds rows in O(|H₀|) instead of
+/// re-running a BFS. `revision` tags the view it was built from (0 =
+/// never built); the dynamics layer keeps one oracle per player so the
+/// rows survive across a player's consecutive wakeups while her cached
+/// view stays clean.
+struct MoveDistanceOracle {
+  std::vector<Dist> dist;  ///< |H₀|² row-major all-sources distances
+  std::uint64_t revision = 0;
+};
+
 /// Reusable buffers for repeated best-response solves. Keep one instance
 /// per thread (the incremental dynamics engine keeps one for the whole
 /// run); buffers grow to the largest view solved and are reused
@@ -67,14 +83,32 @@ struct BestResponseScratch {
   };
 
   BfsEngine bfs;
-  Graph h0{0};                       ///< the view graph minus its center
+  CsrGraph h0;                       ///< the view graph minus its center
   std::vector<Dist> apd;             ///< |H₀|² distance matrix (SumNCG)
   std::vector<DynBitset> balls;      ///< radius-r coverage masks (MaxNCG)
   std::vector<DynBitset> ballsNext;  ///< ping-pong buffer for radius r+1
   std::vector<CoverInstance> cover;  ///< per-radius instances (MaxNCG)
+  SetCoverScratch coverSolver;       ///< set-cover working buffers
+  std::vector<std::size_t> coverGreedySize;  ///< pass-A sizes per radius
   std::vector<std::vector<Dist>> sumDepth;      ///< per-depth include buffers
   std::vector<std::vector<Dist>> sumSuffixMin;  ///< suffix distance bounds
   std::vector<Dist> sumBaseline;     ///< free-neighbor baseline distances
+  std::vector<std::vector<double>> sumGainBound;  ///< per-depth B&B bounds
+
+  // greedyMove working set (tentpole oracle path): candidate/source lists
+  // and per-target best / second-best source distances. Hoisted here so
+  // every move of every trial reuses the same storage.
+  MoveDistanceOracle moveOracle;     ///< used when no per-player oracle
+  std::vector<bool> moveFringe;
+  std::vector<bool> moveFree;
+  std::vector<bool> moveOwn;
+  std::vector<NodeId> moveOwnList;
+  std::vector<NodeId> moveSources;
+  std::vector<NodeId> moveBestOwn;
+  std::vector<Dist> moveBest;        ///< per-target nearest source distance
+  std::vector<Dist> moveSecond;      ///< nearest distinct-source runner-up
+  std::vector<NodeId> moveArgBest;   ///< source attaining moveBest
+  std::vector<Dist> moveDropped;     ///< best distances after one drop
 };
 
 /// Best response for either game variant, per GameParams::kind.

@@ -19,8 +19,10 @@ PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
   return pv;
 }
 
-void buildPlayerView(const Graph& g, const StrategyProfile& profile,
-                     NodeId u, Dist k, BfsEngine& engine, PlayerView& out) {
+template <typename AnyGraph>
+static void buildPlayerViewImpl(const AnyGraph& g,
+                                const StrategyProfile& profile, NodeId u,
+                                Dist k, BfsEngine& engine, PlayerView& out) {
   NCG_REQUIRE(g.nodeCount() == profile.playerCount(),
               "graph/profile size mismatch");
   NCG_REQUIRE(k >= 1, "view radius k must be >= 1, got " << k);
@@ -34,11 +36,11 @@ void buildPlayerView(const Graph& g, const StrategyProfile& profile,
 
   // Distances from the center inside the induced ball coincide with
   // distances in G (shortest paths to nodes at distance <= k stay inside
-  // the ball), so the fringe and the in-view eccentricity come from one
-  // BFS on the view graph (the ball run is done, so the engine is free).
-  const auto& dist = engine.run(out.view.graph, out.view.center);
+  // the ball), so the fringe and the in-view eccentricity come straight
+  // from the extraction BFS's distances (LocalView::centerDist) — no
+  // second BFS over the view graph.
   for (NodeId v = 0; v < out.view.graph.nodeCount(); ++v) {
-    const Dist d = dist[static_cast<std::size_t>(v)];
+    const Dist d = out.view.centerDist[static_cast<std::size_t>(v)];
     NCG_ASSERT(d != kUnreachable, "view must be connected to its center");
     out.eccInView = std::max(out.eccInView, d);
     if (d == k) out.fringeLocal.push_back(v);
@@ -54,7 +56,9 @@ void buildPlayerView(const Graph& g, const StrategyProfile& profile,
   }
   std::sort(out.ownBoughtLocal.begin(), out.ownBoughtLocal.end());
 
-  for (NodeId v : g.neighbors(u)) {
+  // u was validated above (strategyOf range-checks it), so the unchecked
+  // row is safe for either representation.
+  for (NodeId v : neighborRow(g, u)) {
     const auto& sigmaV = profile.strategyOf(v);
     if (std::binary_search(sigmaV.begin(), sigmaV.end(), u)) {
       out.freeNeighborsLocal.push_back(
@@ -62,6 +66,16 @@ void buildPlayerView(const Graph& g, const StrategyProfile& profile,
     }
   }
   std::sort(out.freeNeighborsLocal.begin(), out.freeNeighborsLocal.end());
+}
+
+void buildPlayerView(const Graph& g, const StrategyProfile& profile,
+                     NodeId u, Dist k, BfsEngine& engine, PlayerView& out) {
+  buildPlayerViewImpl(g, profile, u, k, engine, out);
+}
+
+void buildPlayerView(const CsrGraph& g, const StrategyProfile& profile,
+                     NodeId u, Dist k, BfsEngine& engine, PlayerView& out) {
+  buildPlayerViewImpl(g, profile, u, k, engine, out);
 }
 
 std::uint64_t viewFingerprint(const PlayerView& pv) {

@@ -53,6 +53,11 @@ PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
 void buildPlayerView(const Graph& g, const StrategyProfile& profile,
                      NodeId u, Dist k, BfsEngine& engine, PlayerView& out);
 
+/// As above, walking the flat CSR mirror the dynamics cache keeps in
+/// sync with its graph (byte-identical views; faster BFS rows).
+void buildPlayerView(const CsrGraph& g, const StrategyProfile& profile,
+                     NodeId u, Dist k, BfsEngine& engine, PlayerView& out);
+
 /// Deterministic fingerprint of everything a best response depends on:
 /// the radius, the view's membership and induced edges (in global ids),
 /// the free-neighbor set and the player's own strategy. Two views with

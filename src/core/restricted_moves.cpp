@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "graph/bfs.hpp"
+#include "graph/power.hpp"
 #include "graph/view.hpp"
 #include "support/error.hpp"
 
@@ -13,35 +15,278 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Evaluates the usage cost of the center with neighbor set `sources`
-/// (local ids in the center-less view graph h0, shifted by -1): the
-/// center reaches v via its cheapest neighbor, so usage derives from a
-/// multi-source BFS. Returns +inf when some view node becomes
-/// unreachable or (SumNCG) a fringe node is pushed beyond distance k
+/// The single definition of the center's usage cost, as a fold over a
+/// per-target distance functor (both the reference path's BFS result
+/// and the oracle path's per-candidate min-compositions go through
+/// here, so the two cannot diverge). Returns +inf when some view node
+/// is unreachable or (SumNCG) a fringe node is pushed beyond distance k
 /// (Proposition 2.2).
-double usageOf(const Graph& h0, std::span<const NodeId> sources,
-               const GameParams& params,
-               const std::vector<bool>& isFringe, BfsEngine& engine) {
-  if (h0.nodeCount() == 0) return 0.0;
-  if (sources.empty()) return kInf;
-  const auto& dist = engine.runMulti(h0, sources);
+template <typename DistAt>
+double usageFold(std::size_t m0, const GameParams& params,
+                 const std::vector<bool>& isFringe, DistAt&& distAt) {
   if (params.kind == GameKind::kMax) {
     Dist ecc = 0;
-    for (Dist d : dist) {
+    for (std::size_t x = 0; x < m0; ++x) {
+      const Dist d = distAt(x);
       if (d == kUnreachable) return kInf;
       ecc = std::max(ecc, d);
     }
     return static_cast<double>(ecc) + 1.0;
   }
   std::int64_t sum = 0;
-  for (std::size_t v = 0; v < dist.size(); ++v) {
-    const Dist d = dist[v];
+  for (std::size_t x = 0; x < m0; ++x) {
+    const Dist d = distAt(x);
     if (d == kUnreachable) return kInf;
-    if (isFringe[v] && d > params.k - 1) return kInf;  // Prop. 2.2
+    if (isFringe[x] && d > params.k - 1) return kInf;  // Prop. 2.2
     sum += d;
   }
-  return static_cast<double>(sum) +
-         static_cast<double>(h0.nodeCount());
+  return static_cast<double>(sum) + static_cast<double>(m0);
+}
+
+/// Usage of the center with neighbor set `sources` (local ids in the
+/// center-less view graph h0, shifted by -1): the center reaches v via
+/// its cheapest neighbor, so usage derives from a multi-source BFS
+/// (reference path).
+double usageOf(const CsrGraph& h0, std::span<const NodeId> sources,
+               const GameParams& params,
+               const std::vector<bool>& isFringe, BfsEngine& engine) {
+  if (h0.nodeCount() == 0) return 0.0;
+  if (sources.empty()) return kInf;
+  const std::vector<Dist>& dist = engine.runMulti(h0, sources);
+  return usageFold(dist.size(), params, isFringe,
+                   [&dist](std::size_t x) { return dist[x]; });
+}
+
+/// Shared enumeration state: the current strategy in H₀ ids, its BFS
+/// source set free ∪ (own \ free), and the membership masks. Both the
+/// oracle path and the reference path fill it from the scratch buffers.
+struct MoveSetup {
+  NodeId m0 = 0;  // |H₀|
+  std::vector<bool>* isFringe = nullptr;
+  std::vector<bool>* isFree = nullptr;
+  std::vector<bool>* isOwn = nullptr;
+  std::vector<NodeId>* currentOwn = nullptr;
+  std::vector<NodeId>* currentSources = nullptr;
+};
+
+MoveSetup prepareSetup(const PlayerView& pv, BestResponseScratch& scratch) {
+  MoveSetup setup;
+  setup.m0 = pv.view.size() - 1;
+  const auto count = static_cast<std::size_t>(setup.m0);
+
+  scratch.moveFringe.assign(count, false);
+  for (NodeId f : pv.fringeLocal) {
+    scratch.moveFringe[static_cast<std::size_t>(f - 1)] = true;
+  }
+  scratch.moveFree.assign(count, false);
+  for (NodeId f : pv.freeNeighborsLocal) {
+    scratch.moveFree[static_cast<std::size_t>(f - 1)] = true;
+  }
+  scratch.moveOwn.assign(count, false);
+  for (NodeId o : pv.ownBoughtLocal) {
+    scratch.moveOwn[static_cast<std::size_t>(o - 1)] = true;
+  }
+
+  scratch.moveOwnList.clear();
+  for (NodeId o : pv.ownBoughtLocal) scratch.moveOwnList.push_back(o - 1);
+  scratch.moveSources.clear();
+  for (NodeId f : pv.freeNeighborsLocal) {
+    scratch.moveSources.push_back(f - 1);
+  }
+  for (NodeId o : scratch.moveOwnList) {
+    if (!scratch.moveFree[static_cast<std::size_t>(o)]) {
+      scratch.moveSources.push_back(o);
+    }
+  }
+
+  setup.isFringe = &scratch.moveFringe;
+  setup.isFree = &scratch.moveFree;
+  setup.isOwn = &scratch.moveOwn;
+  setup.currentOwn = &scratch.moveOwnList;
+  setup.currentSources = &scratch.moveSources;
+  return setup;
+}
+
+/// Fills the result's current strategy/cost preamble and handles the
+/// degenerate single-node view. Returns true when the caller can return
+/// immediately.
+bool prepareResult(const PlayerView& pv, const GameParams& params,
+                   BestResponse& res) {
+  NCG_REQUIRE(params.alpha > 0.0, "α must be positive");
+  NCG_REQUIRE(pv.view.center == 0, "view center must have local id 0");
+  for (NodeId v : pv.ownBoughtLocal) {
+    res.strategyGlobal.push_back(
+        pv.view.toGlobal[static_cast<std::size_t>(v)]);
+  }
+  std::sort(res.strategyGlobal.begin(), res.strategyGlobal.end());
+  if (pv.view.size() <= 1) {
+    res.currentCost = params.alpha * pv.alphaBought;
+    res.proposedCost = res.currentCost;
+    return true;
+  }
+  return false;
+}
+
+void finalizeResult(const PlayerView& pv, double bestCost,
+                    const std::vector<NodeId>& bestOwn, BestResponse& res) {
+  if (bestCost < res.currentCost - kCostEpsilon) {
+    res.improving = true;
+    res.proposedCost = bestCost;
+    res.strategyGlobal.clear();
+    for (NodeId o : bestOwn) {
+      res.strategyGlobal.push_back(
+          pv.view.toGlobal[static_cast<std::size_t>(o + 1)]);
+    }
+    std::sort(res.strategyGlobal.begin(), res.strategyGlobal.end());
+  }
+}
+
+/// Views past this size skip the oracle (its |H₀|² distance matrix
+/// would dominate memory) and fall back to the per-candidate-BFS
+/// enumeration, which is O(|H₀| + edges) in memory and produces
+/// bit-identical results. 4096² Dist entries ≈ 64 MB transient.
+constexpr NodeId kOracleMaxViewNodes = 4096;
+
+BestResponse greedyMoveOracle(const PlayerView& pv, const GameParams& params,
+                              BestResponseScratch& scratch,
+                              MoveDistanceOracle& oracle,
+                              std::uint64_t revision) {
+  BestResponse res;
+  if (prepareResult(pv, params, res)) return res;
+  const MoveSetup setup = prepareSetup(pv, scratch);
+  const auto m0 = static_cast<std::size_t>(setup.m0);
+  const std::vector<NodeId>& currentOwn = *setup.currentOwn;
+  const std::vector<NodeId>& currentSources = *setup.currentSources;
+  const std::vector<bool>& isFringe = *setup.isFringe;
+  const std::vector<bool>& isFree = *setup.isFree;
+  const std::vector<bool>& isOwn = *setup.isOwn;
+
+  // The oracle: the all-sources distance matrix of H₀, reused verbatim
+  // when the caller vouches (via a matching non-zero revision) that the
+  // view is unchanged since the last build. The CSR form of H₀ is only
+  // needed while rebuilding, so it lives in the shared scratch rather
+  // than in each per-player oracle.
+  if (revision == 0 || oracle.revision != revision) {
+    removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
+    allPairsDistances(scratch.h0, scratch.bfs, oracle.dist);
+    oracle.revision = revision;
+  }
+  NCG_ASSERT(oracle.dist.size() == m0 * m0, "stale oracle for this view");
+  const Dist* apd = oracle.dist.data();
+  const auto rowOf = [&](NodeId v) { return apd + static_cast<std::size_t>(v) * m0; };
+
+  // Per-target best and second-best distances over the current source
+  // set, with the attaining source: delete candidates repair exactly the
+  // targets whose argmin was dropped.
+  std::vector<Dist>& best = scratch.moveBest;
+  std::vector<Dist>& second = scratch.moveSecond;
+  std::vector<NodeId>& argBest = scratch.moveArgBest;
+  best.assign(m0, kUnreachable);
+  second.assign(m0, kUnreachable);
+  argBest.assign(m0, NodeId{-1});
+  for (NodeId s : currentSources) {
+    const Dist* row = rowOf(s);
+    for (std::size_t x = 0; x < m0; ++x) {
+      const Dist d = row[x];
+      if (d < best[x]) {
+        second[x] = best[x];
+        best[x] = d;
+        argBest[x] = s;
+      } else if (d < second[x]) {
+        second[x] = d;
+      }
+    }
+  }
+
+  // Every candidate folds its per-target distances through the shared
+  // usage definition (usageFold), so oracle costs are bit-identical to
+  // the reference path's.
+  const auto usageOver = [&](auto&& distAt) -> double {
+    return usageFold(m0, params, isFringe,
+                     std::forward<decltype(distAt)>(distAt));
+  };
+
+  res.currentCost =
+      params.alpha * static_cast<double>(currentOwn.size()) +
+      (currentSources.empty() ? kInf
+                              : usageOver([&](std::size_t x) {
+                                  return best[x];
+                                }));
+  res.proposedCost = res.currentCost;
+
+  double bestCost = res.currentCost;
+  std::vector<NodeId>& bestOwn = scratch.moveBestOwn;
+  bestOwn = currentOwn;
+
+  // Buy one new edge (to any view node not already adjacent-for-free or
+  // already bought): min-fold the candidate's distance row over best[].
+  for (NodeId v = 0; v < setup.m0; ++v) {
+    if (isOwn[static_cast<std::size_t>(v)] ||
+        isFree[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    const Dist* row = rowOf(v);
+    const double cost =
+        params.alpha * static_cast<double>(currentOwn.size() + 1) +
+        usageOver([&](std::size_t x) { return std::min(best[x], row[x]); });
+    if (cost < bestCost - kCostEpsilon) {
+      bestCost = cost;
+      bestOwn = currentOwn;
+      bestOwn.push_back(v);
+    }
+  }
+  // Delete one owned edge (a free link stays a BFS source when dropped).
+  // Deletes are all evaluated before any swap — among equal-cost
+  // improvements the first evaluated wins, so the move order is part of
+  // the semantics.
+  for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    const NodeId dropped = currentOwn[i];
+    const bool sourceDropped = !isFree[static_cast<std::size_t>(dropped)];
+    const double cost =
+        params.alpha * static_cast<double>(currentOwn.size() - 1) +
+        usageOver([&](std::size_t x) {
+          return sourceDropped && argBest[x] == dropped ? second[x]
+                                                        : best[x];
+        });
+    if (cost < bestCost - kCostEpsilon) {
+      bestCost = cost;
+      bestOwn = currentOwn;
+      bestOwn.erase(bestOwn.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Swap: delete one owned, buy one elsewhere. The dropped-source
+  // distance vector is materialized once per i and composed with every
+  // buy row in the inner loop.
+  std::vector<Dist>& droppedDist = scratch.moveDropped;
+  for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    const NodeId dropped = currentOwn[i];
+    const bool sourceDropped = !isFree[static_cast<std::size_t>(dropped)];
+    droppedDist.resize(m0);
+    for (std::size_t x = 0; x < m0; ++x) {
+      droppedDist[x] =
+          sourceDropped && argBest[x] == dropped ? second[x] : best[x];
+    }
+    for (NodeId v = 0; v < setup.m0; ++v) {
+      if (v == dropped || isOwn[static_cast<std::size_t>(v)] ||
+          isFree[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      const Dist* row = rowOf(v);
+      const double cost =
+          params.alpha * static_cast<double>(currentOwn.size()) +
+          usageOver([&](std::size_t x) {
+            return std::min(droppedDist[x], row[x]);
+          });
+      if (cost < bestCost - kCostEpsilon) {
+        bestCost = cost;
+        bestOwn = currentOwn;
+        bestOwn[i] = v;
+      }
+    }
+  }
+
+  finalizeResult(pv, bestCost, bestOwn, res);
+  return res;
 }
 
 }  // namespace
@@ -53,53 +298,45 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params) {
 
 BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
                         BestResponseScratch& scratch) {
-  NCG_REQUIRE(params.alpha > 0.0, "α must be positive");
-  NCG_REQUIRE(pv.view.center == 0, "view center must have local id 0");
+  if (pv.view.size() - 1 > kOracleMaxViewNodes) {
+    return greedyMoveReference(pv, params, scratch);  // O(m)-memory path
+  }
+  // No view identity available: revision 0 rebuilds the scratch oracle.
+  return greedyMoveOracle(pv, params, scratch, scratch.moveOracle, 0);
+}
 
+BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
+                        BestResponseScratch& scratch,
+                        MoveDistanceOracle& oracle, std::uint64_t revision) {
+  if (pv.view.size() - 1 > kOracleMaxViewNodes) {
+    return greedyMoveReference(pv, params, scratch);  // O(m)-memory path
+  }
+  return greedyMoveOracle(pv, params, scratch, oracle, revision);
+}
+
+BestResponse greedyMoveReference(const PlayerView& pv,
+                                 const GameParams& params) {
+  BestResponseScratch scratch;
+  return greedyMoveReference(pv, params, scratch);
+}
+
+BestResponse greedyMoveReference(const PlayerView& pv,
+                                 const GameParams& params,
+                                 BestResponseScratch& scratch) {
   BestResponse res;
-  // Current strategy in global ids.
-  for (NodeId v : pv.ownBoughtLocal) {
-    res.strategyGlobal.push_back(
-        pv.view.toGlobal[static_cast<std::size_t>(v)]);
-  }
-  std::sort(res.strategyGlobal.begin(), res.strategyGlobal.end());
-
-  const NodeId m = pv.view.size();
-  if (m <= 1) {
-    res.currentCost = params.alpha * pv.alphaBought;
-    res.proposedCost = res.currentCost;
-    return res;
-  }
+  if (prepareResult(pv, params, res)) return res;
+  const MoveSetup setup = prepareSetup(pv, scratch);
+  const std::vector<NodeId>& currentOwn = *setup.currentOwn;
+  const std::vector<NodeId>& currentSources = *setup.currentSources;
+  const std::vector<bool>& isFringe = *setup.isFringe;
+  const std::vector<bool>& isFree = *setup.isFree;
+  const std::vector<bool>& isOwn = *setup.isOwn;
 
   // H₀ = view minus center, ids shifted by -1, rebuilt into the
   // reusable scratch slot.
-  Graph& h0 = scratch.h0;
-  removeCenterInto(pv.view.graph, pv.view.center, h0);
-  std::vector<bool> isFringe(static_cast<std::size_t>(m - 1), false);
-  for (NodeId f : pv.fringeLocal) {
-    isFringe[static_cast<std::size_t>(f - 1)] = true;
-  }
-  std::vector<bool> isFree(static_cast<std::size_t>(m - 1), false);
-  for (NodeId f : pv.freeNeighborsLocal) {
-    isFree[static_cast<std::size_t>(f - 1)] = true;
-  }
-  std::vector<bool> isOwn(static_cast<std::size_t>(m - 1), false);
-  for (NodeId o : pv.ownBoughtLocal) {
-    isOwn[static_cast<std::size_t>(o - 1)] = true;
-  }
-
+  removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
+  const CsrGraph& h0 = scratch.h0;
   BfsEngine& engine = scratch.bfs;
-  // H₀-id form of the current strategy and its BFS source set
-  // free ∪ (own \ free). Candidate moves perturb this set by at most one
-  // removal and one insertion, so each is derived in O(|sources|) instead
-  // of being re-sorted from scratch (usage only depends on the set).
-  std::vector<NodeId> currentOwn;
-  for (NodeId o : pv.ownBoughtLocal) currentOwn.push_back(o - 1);
-  std::vector<NodeId> currentSources;
-  for (NodeId f : pv.freeNeighborsLocal) currentSources.push_back(f - 1);
-  for (NodeId o : currentOwn) {
-    if (!isFree[static_cast<std::size_t>(o)]) currentSources.push_back(o);
-  }
 
   res.currentCost =
       params.alpha * static_cast<double>(currentOwn.size()) +
@@ -121,10 +358,9 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
     }
   };
 
-  // Buy one new edge (to any view node not already adjacent-for-free or
-  // already bought): push/pop the candidate on the shared source list.
+  // Buy one new edge: push/pop the candidate on the shared source list.
   sources = currentSources;
-  for (NodeId v = 0; v < m - 1; ++v) {
+  for (NodeId v = 0; v < setup.m0; ++v) {
     if (isOwn[static_cast<std::size_t>(v)] ||
         isFree[static_cast<std::size_t>(v)]) {
       continue;
@@ -137,10 +373,7 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
     });
     sources.pop_back();
   }
-  // Delete one owned edge (a free link stays a BFS source when dropped).
-  // Deletes are all evaluated before any swap — among equal-cost
-  // improvements the first evaluated wins, so the move order is part of
-  // the semantics.
+  // Delete one owned edge.
   for (std::size_t i = 0; i < currentOwn.size(); ++i) {
     const NodeId dropped = currentOwn[i];
     sources = currentSources;
@@ -153,15 +386,14 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
       return own;
     });
   }
-  // Swap: delete one owned, buy one elsewhere. The dropped-edge source
-  // list is built once per i and shared by the whole inner loop.
+  // Swap: delete one owned, buy one elsewhere.
   for (std::size_t i = 0; i < currentOwn.size(); ++i) {
     const NodeId dropped = currentOwn[i];
     sources = currentSources;
     if (!isFree[static_cast<std::size_t>(dropped)]) {
       sources.erase(std::find(sources.begin(), sources.end(), dropped));
     }
-    for (NodeId v = 0; v < m - 1; ++v) {
+    for (NodeId v = 0; v < setup.m0; ++v) {
       if (v == dropped || isOwn[static_cast<std::size_t>(v)] ||
           isFree[static_cast<std::size_t>(v)]) {
         continue;
@@ -176,16 +408,7 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
     }
   }
 
-  if (bestCost < res.currentCost - kCostEpsilon) {
-    res.improving = true;
-    res.proposedCost = bestCost;
-    res.strategyGlobal.clear();
-    for (NodeId o : bestOwn) {
-      res.strategyGlobal.push_back(
-          pv.view.toGlobal[static_cast<std::size_t>(o + 1)]);
-    }
-    std::sort(res.strategyGlobal.begin(), res.strategyGlobal.end());
-  }
+  finalizeResult(pv, bestCost, bestOwn, res);
   return res;
 }
 

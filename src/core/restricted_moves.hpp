@@ -11,7 +11,22 @@
 // Greedy moves are polynomial (no dominating-set solve), so they scale to
 // much larger views; the ablation bench measures what that buys and what
 // equilibrium quality it costs.
+//
+// Candidate evaluation runs on a per-view distance oracle (one batched
+// all-sources BFS over H₀, then per-target best / second-best source
+// distances): a buy folds min(best[x], d_v[x]) in O(|H₀|), a delete
+// repairs only targets whose nearest source was the dropped one via the
+// second-best entry, and a swap composes the two. Every candidate is one
+// linear scan instead of a multi-source BFS, with move selection
+// bit-identical to the per-candidate-BFS reference (greedyMoveReference),
+// which the differential suite pins. The oracle's |H₀|² distance matrix
+// is only materialized for views up to a few thousand nodes; larger
+// views automatically take the O(|H₀|)-memory per-candidate-BFS route,
+// so the greedy rule keeps scaling to view sizes the exact solver never
+// could.
 #pragma once
+
+#include <cstdint>
 
 #include "core/best_response.hpp"
 #include "core/game.hpp"
@@ -29,5 +44,27 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params);
 /// Produces bit-identical results to the allocating overload.
 BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
                         BestResponseScratch& scratch);
+
+/// As above, with a caller-owned distance oracle tagged by `revision`
+/// (any non-zero caller-defined stamp of the view's identity): when
+/// `oracle.revision == revision` the H₀ rebuild and the all-sources BFS
+/// pass are skipped entirely — the dynamics cache passes its per-player
+/// view revision so oracle rows survive between a player's consecutive
+/// wakeups while her view is clean. revision == 0 always rebuilds.
+BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
+                        BestResponseScratch& scratch,
+                        MoveDistanceOracle& oracle, std::uint64_t revision);
+
+/// Reference implementation: enumerates the same candidates but evaluates
+/// each with a fresh multi-source BFS over H₀ (the pre-oracle semantics).
+/// Kept as the differential-testing oracle for greedyMove; not used on
+/// any hot path.
+BestResponse greedyMoveReference(const PlayerView& pv,
+                                 const GameParams& params);
+
+/// As above with reusable scratch.
+BestResponse greedyMoveReference(const PlayerView& pv,
+                                 const GameParams& params,
+                                 BestResponseScratch& scratch);
 
 }  // namespace ncg

@@ -10,9 +10,19 @@ DynamicsCache::DynamicsCache(NodeId players, Dist k)
     : k_(k),
       views_(static_cast<std::size_t>(players)),
       valid_(static_cast<std::size_t>(players), false),
-      settled_(static_cast<std::size_t>(players), false) {
+      settled_(static_cast<std::size_t>(players), false),
+      revision_(static_cast<std::size_t>(players), 0) {
   NCG_REQUIRE(players >= 0, "player count must be non-negative");
   NCG_REQUIRE(k >= 1, "view radius must be >= 1, got " << k);
+}
+
+void DynamicsCache::syncMirror(const Graph& g) {
+  // Full build on first contact; from then on applyMove patches exactly
+  // the rows each move touches, so the mirror tracks g at O(move size).
+  if (!mirrorValid_) {
+    mirror_.assignFrom(g);
+    mirrorValid_ = true;
+  }
 }
 
 const PlayerView& DynamicsCache::viewOf(const Graph& g,
@@ -20,15 +30,17 @@ const PlayerView& DynamicsCache::viewOf(const Graph& g,
                                         NodeId u) {
   const auto slot = static_cast<std::size_t>(u);
   if (!valid_[slot]) {
-    buildPlayerView(g, profile, u, k_, engine_, views_[slot]);
+    syncMirror(g);
+    buildPlayerView(mirror_, profile, u, k_, engine_, views_[slot]);
     valid_[slot] = true;
+    revision_[slot] = ++revisionCounter_;
     ++rebuilds_;
   }
   return views_[slot];
 }
 
-void DynamicsCache::invalidateBall(const Graph& g, NodeId u) {
-  engine_.run(g, u, k_);
+void DynamicsCache::invalidateBall(NodeId u) {
+  engine_.run(mirror_, u, k_);
   for (NodeId w : engine_.visited()) {
     const auto slot = static_cast<std::size_t>(w);
     valid_[slot] = false;
@@ -53,12 +65,26 @@ std::pair<NodeId, NodeId> insertionEvent(const StrategyProfile& profile,
              : std::pair<NodeId, NodeId>{b, a};
 }
 
-/// Restores x's neighbor list to canonical (rebuild) order.
+/// Restores x's neighbor list to canonical (rebuild) order. The sort key
+/// is computed once per neighbor (decorate–sort–undecorate) instead of
+/// per comparison: insertionEvent walks the profile, which dominates the
+/// cost of sorting these short lists.
 void canonicalizeNeighbors(Graph& g, const StrategyProfile& profile,
-                           NodeId x) {
-  g.reorderNeighbors(x, [&](NodeId y1, NodeId y2) {
-    return insertionEvent(profile, x, y1) < insertionEvent(profile, x, y2);
-  });
+                           NodeId x,
+                           std::vector<std::pair<std::pair<NodeId, NodeId>,
+                                                 NodeId>>& keyed,
+                           std::vector<NodeId>& order) {
+  keyed.clear();
+  for (NodeId y : g.neighborsUnchecked(x)) {
+    keyed.emplace_back(insertionEvent(profile, x, y), y);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  order.clear();
+  for (const auto& [event, y] : keyed) {
+    (void)event;
+    order.push_back(y);
+  }
+  g.setNeighborOrder(x, order);
 }
 
 }  // namespace
@@ -67,7 +93,8 @@ void DynamicsCache::applyMove(Graph& g, StrategyProfile& profile, NodeId u,
                               const std::vector<NodeId>& newStrategy) {
   // Pre-move ball: players that could see a removed edge or a distance
   // that is about to grow.
-  invalidateBall(g, u);
+  syncMirror(g);
+  invalidateBall(u);
 
   // Edge diff against the current strategy. Every changed edge is
   // incident to u; an edge to a dropped endpoint survives only when the
@@ -98,12 +125,23 @@ void DynamicsCache::applyMove(Graph& g, StrategyProfile& profile, NodeId u,
   touched.insert(touched.end(), newStrategy.begin(), newStrategy.end());
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  canonicalizeNeighbors(g, profile, u);
-  for (NodeId v : touched) canonicalizeNeighbors(g, profile, v);
+  canonicalizeNeighbors(g, profile, u, sortKeyed_, sortOrder_);
+  for (NodeId v : touched) {
+    canonicalizeNeighbors(g, profile, v, sortKeyed_, sortOrder_);
+  }
+
+  // Re-sync the CSR mirror for exactly the rows whose adjacency lists
+  // the diff (or the canonicalization above) could have rewritten.
+  patchRows_.clear();
+  patchRows_.push_back(u);
+  for (NodeId v : touched) {
+    if (v != u) patchRows_.push_back(v);
+  }
+  mirror_.patchRows(g, patchRows_);
 
   // Post-move ball: players that can now see an added edge or a distance
   // that just shrank.
-  invalidateBall(g, u);
+  invalidateBall(u);
 }
 
 }  // namespace ncg

@@ -18,11 +18,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/player_view.hpp"
 #include "core/strategy.hpp"
 #include "graph/bfs.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -57,20 +60,39 @@ class DynamicsCache {
   /// that actually differ (respecting double-bought links) instead of
   /// rebuilding G(σ), and invalidates every cached view within distance
   /// <= k of u in the pre- or post-move network. `newStrategy` must be
-  /// sorted (bestResponse/greedyMove proposals are).
+  /// sorted (bestResponse/greedyMove proposals are). The flat CSR mirror
+  /// of G is patched in place for exactly the rows the move touched.
   void applyMove(Graph& g, StrategyProfile& profile, NodeId u,
                  const std::vector<NodeId>& newStrategy);
+
+  /// Monotone stamp of u's cached view: bumped every time the view is
+  /// rebuilt, stable while it is reused. Never zero once the view has
+  /// been built, so it can key derived per-player state (the greedy-move
+  /// distance oracle) to the exact view it was computed from.
+  std::uint64_t viewRevision(NodeId u) const {
+    return revision_[static_cast<std::size_t>(u)];
+  }
 
   /// View rebuilds performed so far (diagnostics for benches/tests).
   std::size_t rebuilds() const { return rebuilds_; }
 
  private:
-  void invalidateBall(const Graph& g, NodeId u);
+  void invalidateBall(NodeId u);
+  void syncMirror(const Graph& g);
 
   Dist k_ = 1;
   std::vector<PlayerView> views_;
   std::vector<bool> valid_;
   std::vector<bool> settled_;
+  std::vector<std::uint64_t> revision_;
+  std::uint64_t revisionCounter_ = 0;
+  CsrGraph mirror_;     ///< flat CSR copy of G, patched per applyMove
+  bool mirrorValid_ = false;
+  std::vector<NodeId> patchRows_;
+  // Canonicalization scratch (applyMove): (insertion event, neighbor)
+  // pairs and the resulting order, reused across moves.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, NodeId>> sortKeyed_;
+  std::vector<NodeId> sortOrder_;
   BfsEngine engine_;
   std::size_t rebuilds_ = 0;
 };

@@ -31,6 +31,26 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
   DynamicsCache cache(incremental ? n : 0, config.params.k);
   Rng scheduleRng(config.scheduleSeed);
 
+  // Greedy rule, incremental engine: one distance oracle per player,
+  // keyed by the cache's view revision, so the H₀ all-sources rows are
+  // rebuilt only when the player's view actually changed. Views whose
+  // distance matrix would be large fall back to the shared scratch
+  // oracle — still one batched BFS pass per solve, just no cross-wakeup
+  // persistence — to bound memory at n · limit².
+  constexpr NodeId kOraclePersistLimit = 512;
+  std::vector<MoveDistanceOracle> oracles(
+      incremental && config.moveRule == MoveRule::kGreedy
+          ? static_cast<std::size_t>(n)
+          : 0);
+  const auto greedyOracleSolve = [&](const PlayerView& pv, NodeId u) {
+    if (pv.view.size() <= kOraclePersistLimit) {
+      return greedyMove(pv, config.params, scratch,
+                        oracles[static_cast<std::size_t>(u)],
+                        cache.viewRevision(u));
+    }
+    return greedyMove(pv, config.params, scratch);
+  };
+
   // Cycle detection is only sound under a deterministic schedule: the
   // round-robin map profile -> next profile is a function, so a repeated
   // end-of-round profile proves a best-response cycle.
@@ -54,10 +74,10 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
   std::vector<NodeId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), NodeId{0});
 
-  const auto solve = [&](const PlayerView& pv) {
+  const auto solve = [&](const PlayerView& pv, NodeId u) {
     return config.moveRule == MoveRule::kBestResponse
                ? bestResponse(pv, config.params, config.br, scratch)
-               : greedyMove(pv, config.params, scratch);
+               : greedyOracleSolve(pv, u);
   };
   const auto recordMove = [&](int round, NodeId u, const BestResponse& br) {
     if (!config.collectMoves) return;
@@ -83,7 +103,7 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
           continue;  // view untouched since a non-improving check
         }
         const BestResponse br =
-            solve(cache.viewOf(result.graph, result.profile, u));
+            solve(cache.viewOf(result.graph, result.profile, u), u);
         result.exact = result.exact && br.exact;
         if (br.improving) {
           recordMove(round, u, br);

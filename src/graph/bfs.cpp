@@ -6,24 +6,50 @@
 
 namespace ncg {
 
-void BfsEngine::prepare(const Graph& g) {
-  const auto n = static_cast<std::size_t>(g.nodeCount());
-  dist_.assign(n, kUnreachable);
+void BfsEngine::prepare(NodeId n) {
+  const auto count = static_cast<std::size_t>(n);
+  if (dist_.size() != count) {
+    dist_.assign(count, kUnreachable);
+    queue_.clear();
+    queue_.reserve(count);
+    return;
+  }
+  // Same-sized workspace: the previous queue lists exactly the finite
+  // entries, so resetting those restores the all-kUnreachable state in
+  // O(previously visited) instead of O(n).
+  for (NodeId v : queue_) dist_[static_cast<std::size_t>(v)] = kUnreachable;
   queue_.clear();
-  queue_.reserve(n);
 }
 
 const std::vector<Dist>& BfsEngine::run(const Graph& g, NodeId source,
                                         Dist maxDepth) {
   const NodeId sources[1] = {source};
-  return runMulti(g, sources, maxDepth);
+  return runMultiImpl(g, sources, maxDepth);
+}
+
+const std::vector<Dist>& BfsEngine::run(const CsrGraph& g, NodeId source,
+                                        Dist maxDepth) {
+  const NodeId sources[1] = {source};
+  return runMultiImpl(g, sources, maxDepth);
 }
 
 const std::vector<Dist>& BfsEngine::runMulti(const Graph& g,
                                              std::span<const NodeId> sources,
                                              Dist maxDepth) {
+  return runMultiImpl(g, sources, maxDepth);
+}
+
+const std::vector<Dist>& BfsEngine::runMulti(const CsrGraph& g,
+                                             std::span<const NodeId> sources,
+                                             Dist maxDepth) {
+  return runMultiImpl(g, sources, maxDepth);
+}
+
+template <typename AnyGraph>
+const std::vector<Dist>& BfsEngine::runMultiImpl(
+    const AnyGraph& g, std::span<const NodeId> sources, Dist maxDepth) {
   NCG_REQUIRE(!sources.empty(), "BFS requires at least one source");
-  prepare(g);
+  prepare(g.nodeCount());
   for (NodeId s : sources) {
     NCG_REQUIRE(s >= 0 && s < g.nodeCount(),
                 "BFS source " << s << " out of range");
@@ -33,11 +59,13 @@ const std::vector<Dist>& BfsEngine::runMulti(const Graph& g,
     }
   }
   // Classic array-backed frontier walk; queue_ doubles as the visit order.
+  // Every frontier node came off the queue, so its neighbor row needs no
+  // range re-check.
   for (std::size_t head = 0; head < queue_.size(); ++head) {
     const NodeId u = queue_[head];
     const Dist du = dist_[static_cast<std::size_t>(u)];
     if (maxDepth >= 0 && du >= maxDepth) continue;
-    for (NodeId v : g.neighbors(u)) {
+    for (NodeId v : neighborRow(g, u)) {
       auto& dv = dist_[static_cast<std::size_t>(v)];
       if (dv == kUnreachable) {
         dv = du + 1;

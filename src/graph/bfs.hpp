@@ -3,16 +3,36 @@
 // BFS is the single hottest primitive in the library (every cost
 // evaluation, view extraction and equilibrium check runs one or more).
 // BfsEngine owns the distance and queue buffers so repeated searches on
-// graphs of the same node count perform zero allocations.
+// graphs of the same node count perform zero allocations — and, because
+// the previous run's visit queue records exactly which distance entries
+// are finite, each run resets only those entries (O(visited), not O(n)),
+// which makes depth-bounded searches on large graphs near-free to set up.
+//
+// Searches run on either adjacency representation: the mutable Graph or
+// the flat CsrGraph mirror (graph/csr.hpp). Both walk neighbor lists in
+// the same order, so visit order — which downstream local-id assignment
+// depends on — is representation-independent.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
 namespace ncg {
+
+/// Uniform unchecked neighbor-row access over the two adjacency
+/// representations, for hot loops whose node ids are valid by
+/// construction (validated BFS sources, queue-popped frontier nodes,
+/// members of an extracted view). Shared by BFS and the view builders.
+inline std::span<const NodeId> neighborRow(const Graph& g, NodeId u) {
+  return g.neighborsUnchecked(u);
+}
+inline std::span<const NodeId> neighborRow(const CsrGraph& g, NodeId u) {
+  return g.neighbors(u);
+}
 
 /// Reusable BFS engine. Not thread-safe; use one engine per thread.
 class BfsEngine {
@@ -25,9 +45,18 @@ class BfsEngine {
   const std::vector<Dist>& run(const Graph& g, NodeId source,
                                Dist maxDepth = -1);
 
+  /// As above, on the flat CSR form.
+  const std::vector<Dist>& run(const CsrGraph& g, NodeId source,
+                               Dist maxDepth = -1);
+
   /// Multi-source BFS: distance to the nearest of `sources`.
   /// Requires at least one source.
   const std::vector<Dist>& runMulti(const Graph& g,
+                                    std::span<const NodeId> sources,
+                                    Dist maxDepth = -1);
+
+  /// As above, on the flat CSR form.
+  const std::vector<Dist>& runMulti(const CsrGraph& g,
                                     std::span<const NodeId> sources,
                                     Dist maxDepth = -1);
 
@@ -42,7 +71,12 @@ class BfsEngine {
   Dist eccentricityOfLastRun(const Graph& g) const;
 
  private:
-  void prepare(const Graph& g);
+  void prepare(NodeId n);
+
+  template <typename AnyGraph>
+  const std::vector<Dist>& runMultiImpl(const AnyGraph& g,
+                                        std::span<const NodeId> sources,
+                                        Dist maxDepth);
 
   std::vector<Dist> dist_;
   std::vector<NodeId> queue_;

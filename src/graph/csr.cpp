@@ -1,0 +1,97 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+
+void CsrGraph::resetSlots(NodeId n) {
+  nodeCount_ = n;
+  const auto count = static_cast<std::size_t>(n);
+  start_.resize(count);
+  len_.resize(count);
+  cap_.resize(count);
+}
+
+void CsrGraph::assignFrom(const Graph& g) {
+  resetSlots(g.nodeCount());
+  arcs_ = 2 * g.edgeCount();
+  data_.resize(arcs_);
+  std::int32_t cursor = 0;
+  for (NodeId u = 0; u < nodeCount_; ++u) {
+    const auto slot = static_cast<std::size_t>(u);
+    const std::span<const NodeId> row = g.neighbors(u);
+    start_[slot] = cursor;
+    len_[slot] = static_cast<NodeId>(row.size());
+    cap_[slot] = len_[slot];
+    std::copy(row.begin(), row.end(), data_.begin() + cursor);
+    cursor += static_cast<std::int32_t>(row.size());
+  }
+}
+
+void CsrGraph::assignViewMinusCenter(const Graph& viewGraph) {
+  NCG_REQUIRE(viewGraph.nodeCount() >= 1,
+              "view graph must contain its center");
+  resetSlots(viewGraph.nodeCount() - 1);
+  // Upper bound on arcs: every view arc not incident to the center.
+  data_.resize(2 * viewGraph.edgeCount());
+  std::int32_t cursor = 0;
+  for (NodeId u = 1; u <= nodeCount_; ++u) {
+    const auto slot = static_cast<std::size_t>(u - 1);
+    start_[slot] = cursor;
+    for (NodeId v : viewGraph.neighbors(u)) {
+      if (v != 0) data_[static_cast<std::size_t>(cursor++)] = v - 1;
+    }
+    len_[slot] = static_cast<NodeId>(cursor - start_[slot]);
+    cap_[slot] = len_[slot];
+  }
+  arcs_ = static_cast<std::size_t>(cursor);
+  data_.resize(arcs_);
+}
+
+void CsrGraph::patchRows(const Graph& g, std::span<const NodeId> rows) {
+  NCG_REQUIRE(g.nodeCount() == nodeCount_,
+              "patchRows node count mismatch: graph has "
+                  << g.nodeCount() << ", mirror has " << nodeCount_);
+  for (NodeId u : rows) {
+    NCG_REQUIRE(u >= 0 && u < nodeCount_,
+                "patch row " << u << " out of range [0," << nodeCount_
+                             << ")");
+    const auto slot = static_cast<std::size_t>(u);
+    const std::span<const NodeId> row = g.neighbors(u);
+    const auto newLen = static_cast<NodeId>(row.size());
+    arcs_ += static_cast<std::size_t>(newLen) -
+             static_cast<std::size_t>(len_[slot]);
+    if (newLen > cap_[slot]) {
+      // Relocate to the tail with doubling slack; the old slot becomes a
+      // hole that the compaction below eventually reclaims.
+      const NodeId newCap = std::max<NodeId>(newLen, 2 * cap_[slot]);
+      start_[slot] = static_cast<std::int32_t>(data_.size());
+      cap_[slot] = newCap;
+      data_.resize(data_.size() + static_cast<std::size_t>(newCap));
+    }
+    len_[slot] = newLen;
+    std::copy(row.begin(), row.end(), data_.begin() + start_[slot]);
+  }
+
+  // Compact once holes dominate: rebuild packed, preserving row order
+  // and contents (cheap relative to the churn that created the slack).
+  if (data_.size() > 2 * arcs_ + 64) {
+    std::vector<NodeId> packed(arcs_);
+    std::int32_t cursor = 0;
+    for (NodeId u = 0; u < nodeCount_; ++u) {
+      const auto slot = static_cast<std::size_t>(u);
+      std::copy_n(data_.begin() + start_[slot],
+                  static_cast<std::size_t>(len_[slot]),
+                  packed.begin() + cursor);
+      start_[slot] = cursor;
+      cap_[slot] = len_[slot];
+      cursor += len_[slot];
+    }
+    data_ = std::move(packed);
+  }
+}
+
+}  // namespace ncg

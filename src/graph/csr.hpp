@@ -1,0 +1,85 @@
+// Flat CSR (compressed sparse row) adjacency form of a graph.
+//
+// The pointer-chasing Graph representation is right for edge churn, but
+// the hot read paths — BFS waves, H₀ solver scratch, the greedy-move
+// distance oracle — only ever *iterate* neighbor lists. CsrGraph packs
+// all lists into one contiguous array behind per-node (start, length)
+// slots, so those loops touch two flat arrays instead of n separately
+// allocated vectors, with no per-access range check.
+//
+// Two construction modes:
+//  * assignFrom / assignViewMinusCenter — full packed (re)build from a
+//    Graph, reusing storage; O(n + m), allocation-free in steady state.
+//  * patchRows — in-place resync of a few rows after an incremental edge
+//    diff (the dynamics cache patches exactly the nodes a move touched).
+//    Rows carry slack capacity; a row that outgrows its slot is relocated
+//    to the tail, and the array is compacted once holes dominate.
+//
+// Neighbor order within a row always equals the source Graph's adjacency
+// order, so BFS visit order (which downstream id assignment depends on)
+// is identical whichever representation runs the search.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace ncg {
+
+class Graph;
+
+/// Read-mostly CSR mirror of a Graph (or of a view graph minus its
+/// center). Invalidated by nothing implicitly: the owner re-syncs it via
+/// assignFrom/patchRows after mutating the source Graph.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Number of nodes.
+  NodeId nodeCount() const { return nodeCount_; }
+
+  /// Number of undirected edges.
+  std::size_t edgeCount() const { return arcs_ / 2; }
+
+  /// Degree of node u.
+  NodeId degree(NodeId u) const {
+    return len_[static_cast<std::size_t>(u)];
+  }
+
+  /// Neighbors of u, in the source Graph's adjacency order.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    const auto slot = static_cast<std::size_t>(u);
+    return {data_.data() + start_[slot],
+            static_cast<std::size_t>(len_[slot])};
+  }
+
+  /// Rebuilds as a packed copy of g (no slack), reusing storage.
+  void assignFrom(const Graph& g);
+
+  /// Rebuilds as `viewGraph` minus its center (which must be local id 0):
+  /// node i corresponds to view node i+1, edges to the center dropped.
+  /// This is the "H₀" both best-response solvers and the greedy-move
+  /// oracle work on. Packed, storage reused.
+  void assignViewMinusCenter(const Graph& viewGraph);
+
+  /// Re-syncs the given rows from g, in place. All other rows must be
+  /// unchanged in g since the last sync; node count must match. Rows
+  /// whose new degree exceeds their slot capacity are relocated to the
+  /// tail; the array is compacted (preserving row order and contents)
+  /// when relocation slack exceeds twice the live size.
+  void patchRows(const Graph& g, std::span<const NodeId> rows);
+
+ private:
+  void resetSlots(NodeId n);
+
+  NodeId nodeCount_ = 0;
+  std::size_t arcs_ = 0;  ///< live directed arcs = 2 * edgeCount()
+  std::vector<std::int32_t> start_;  ///< row start offset into data_
+  std::vector<NodeId> len_;          ///< row length (degree)
+  std::vector<NodeId> cap_;          ///< row capacity (>= len_)
+  std::vector<NodeId> data_;         ///< packed neighbor ids + slack
+};
+
+}  // namespace ncg

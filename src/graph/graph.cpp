@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "support/error.hpp"
 
@@ -111,11 +112,55 @@ NodeId Graph::maxDegree() const {
   return best;
 }
 
+namespace {
+
+/// Order-independent fingerprint of a neighbor list (SplitMix64 finalizer
+/// per id, summed — commutative, so list order does not matter).
+std::uint64_t neighborSetHash(std::span<const NodeId> list) {
+  std::uint64_t h = 0;
+  for (NodeId v : list) {
+    std::uint64_t x =
+        static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    h += x ^ (x >> 31);
+  }
+  return h;
+}
+
+}  // namespace
+
 bool operator==(const Graph& a, const Graph& b) {
+  // Equality is a hot differential-testing primitive, so avoid the full
+  // edge materialization + sort: first a per-node degree-sequence and
+  // commutative adjacency-hash sweep (rejects almost all unequal pairs
+  // in O(n + m)), then — only when every hash matches — an exact
+  // unordered membership verify per node. Lists hold no duplicates and
+  // degrees already match, so one-sided containment proves set equality.
   if (a.nodeCount() != b.nodeCount() || a.edgeCount() != b.edgeCount()) {
     return false;
   }
-  return a.edges() == b.edges();
+  for (NodeId u = 0; u < a.nodeCount(); ++u) {
+    const auto la = a.neighborsUnchecked(u);
+    const auto lb = b.neighborsUnchecked(u);
+    if (la.size() != lb.size()) return false;
+    if (neighborSetHash(la) != neighborSetHash(lb)) return false;
+  }
+  // Hashes matched (the overwhelmingly common outcome is equality now):
+  // confirm exactly by comparing sorted copies of each row — O(d log d)
+  // per node, robust to high-degree graphs.
+  std::vector<NodeId> rowA;
+  std::vector<NodeId> rowB;
+  for (NodeId u = 0; u < a.nodeCount(); ++u) {
+    const auto la = a.neighborsUnchecked(u);
+    const auto lb = b.neighborsUnchecked(u);
+    rowA.assign(la.begin(), la.end());
+    rowB.assign(lb.begin(), lb.end());
+    std::sort(rowA.begin(), rowA.end());
+    std::sort(rowB.begin(), rowB.end());
+    if (rowA != rowB) return false;
+  }
+  return true;
 }
 
 }  // namespace ncg

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "support/error.hpp"
 
 namespace ncg {
 
@@ -42,12 +43,35 @@ class Graph {
   /// Neighbors of u (unordered, stable only until the next mutation).
   std::span<const NodeId> neighbors(NodeId u) const;
 
+  /// As neighbors(), without the range check. For hot loops whose node
+  /// ids are valid by construction (BFS frontiers, CSR row syncs, view
+  /// rebuilds); out-of-range u is undefined behavior in NDEBUG builds.
+  std::span<const NodeId> neighborsUnchecked(NodeId u) const {
+    NCG_ASSERT(u >= 0 && u < nodeCount(), "node " << u << " out of range");
+    const auto& list = adjacency_[static_cast<std::size_t>(u)];
+    return {list.data(), list.size()};
+  }
+
   /// True iff the edge (u,v) is present.
   bool hasEdge(NodeId u, NodeId v) const;
 
   /// Inserts edge (u,v). Returns true if the edge was new.
   /// Rejects self-loops via precondition check.
   bool addEdge(NodeId u, NodeId v);
+
+  /// Inserts edge (u,v) that the caller guarantees is not yet present
+  /// (e.g. rebuilding an induced subgraph, where each edge is emitted
+  /// exactly once). Skips the membership scan of addEdge; inserting a
+  /// duplicate breaks the simple-graph invariant.
+  void addEdgeNew(NodeId u, NodeId v) {
+    NCG_ASSERT(u >= 0 && u < nodeCount() && v >= 0 && v < nodeCount(),
+               "edge " << u << "," << v << " out of range");
+    NCG_ASSERT(u != v && !hasEdge(u, v), "edge " << u << "," << v
+                                                 << " not new");
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    adjacency_[static_cast<std::size_t>(v)].push_back(u);
+    ++edgeCount_;
+  }
 
   /// Removes edge (u,v). Returns true if the edge was present.
   /// Leaves both neighbor lists in unspecified order (swap-erase).
@@ -62,6 +86,25 @@ class Graph {
     checkNode(u);
     auto& list = adjacency_[static_cast<std::size_t>(u)];
     std::sort(list.begin(), list.end(), std::forward<Less>(less));
+  }
+
+  /// Overwrites u's neighbor list with `order`, which must be a
+  /// permutation of the current list (size-checked; full permutation
+  /// check in debug builds). The decorate–sort–undecorate companion of
+  /// reorderNeighbors for callers that precompute sort keys.
+  void setNeighborOrder(NodeId u, std::span<const NodeId> order) {
+    checkNode(u);
+    auto& list = adjacency_[static_cast<std::size_t>(u)];
+    NCG_REQUIRE(order.size() == list.size(),
+                "neighbor order size " << order.size() << " != degree "
+                                       << list.size());
+    NCG_ASSERT(std::all_of(order.begin(), order.end(),
+                           [&](NodeId y) {
+                             return std::find(list.begin(), list.end(), y) !=
+                                    list.end();
+                           }),
+               "neighbor order is not a permutation at node " << u);
+    std::copy(order.begin(), order.end(), list.begin());
   }
 
   /// All edges, each reported once with u < v, sorted lexicographically.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/bfs.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 #include "support/bitset.hpp"
@@ -30,6 +31,11 @@ std::vector<Dist> allPairsDistances(const Graph& g);
 /// As above, writing into a caller-owned matrix and reusing a BFS engine
 /// (solver hot path; zero allocations in steady state).
 void allPairsDistances(const Graph& g, BfsEngine& engine,
+                       std::vector<Dist>& matrix);
+
+/// As above on the flat CSR form — the batched all-sources pass behind
+/// the SumNCG solver and the greedy-move distance oracle.
+void allPairsDistances(const CsrGraph& g, BfsEngine& engine,
                        std::vector<Dist>& matrix);
 
 }  // namespace ncg

@@ -27,14 +27,22 @@ void removeCenterInto(const Graph& viewGraph, NodeId center, Graph& out) {
   NCG_REQUIRE(center == 0, "view center must have local id 0");
   out.reset(viewGraph.nodeCount() - 1);
   for (NodeId u = 1; u < viewGraph.nodeCount(); ++u) {
-    for (NodeId v : viewGraph.neighbors(u)) {
-      if (v > u) out.addEdge(u - 1, v - 1);
+    for (NodeId v : viewGraph.neighborsUnchecked(u)) {
+      if (v > u) out.addEdgeNew(u - 1, v - 1);  // each edge emitted once
     }
   }
 }
 
-void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
-               LocalView& out) {
+void removeCenterInto(const Graph& viewGraph, NodeId center, CsrGraph& out) {
+  NCG_REQUIRE(center == 0, "view center must have local id 0");
+  out.assignViewMinusCenter(viewGraph);
+}
+
+namespace {
+
+template <typename AnyGraph>
+void buildViewImpl(const AnyGraph& g, NodeId center, Dist radius,
+                   BfsEngine& engine, LocalView& out) {
   NCG_REQUIRE(radius >= 0, "view radius must be non-negative");
   engine.run(g, center, radius);
   const std::vector<NodeId>& members = engine.visited();
@@ -42,9 +50,12 @@ void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
   out.radius = radius;
   out.toGlobal = members;
   out.toLocal.assign(static_cast<std::size_t>(g.nodeCount()), NodeId{-1});
+  const std::vector<Dist>& dist = engine.distances();
+  out.centerDist.resize(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
     out.toLocal[static_cast<std::size_t>(members[i])] =
         static_cast<NodeId>(i);
+    out.centerDist[i] = dist[static_cast<std::size_t>(members[i])];
   }
   out.center = out.toLocal[static_cast<std::size_t>(center)];
   NCG_ASSERT(out.center == 0, "BFS order must place the center first");
@@ -52,13 +63,27 @@ void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
   out.graph.reset(static_cast<NodeId>(members.size()));
   for (std::size_t i = 0; i < members.size(); ++i) {
     const NodeId globalU = members[i];
-    for (NodeId globalV : g.neighbors(globalU)) {
+    for (NodeId globalV : neighborRow(g, globalU)) {
       const NodeId localV = out.toLocal[static_cast<std::size_t>(globalV)];
       if (localV >= 0 && static_cast<NodeId>(i) < localV) {
-        out.graph.addEdge(static_cast<NodeId>(i), localV);
+        // Induced edges are enumerated once (i < localV), so skip the
+        // membership scan of addEdge.
+        out.graph.addEdgeNew(static_cast<NodeId>(i), localV);
       }
     }
   }
+}
+
+}  // namespace
+
+void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
+               LocalView& out) {
+  buildViewImpl(g, center, radius, engine, out);
+}
+
+void buildView(const CsrGraph& g, NodeId center, Dist radius,
+               BfsEngine& engine, LocalView& out) {
+  buildViewImpl(g, center, radius, engine, out);
 }
 
 }  // namespace ncg

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/bfs.hpp"
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -19,6 +20,11 @@ struct LocalView {
   Graph graph;                      ///< induced subgraph, local ids 0..m-1
   std::vector<NodeId> toGlobal;     ///< local id -> global id
   std::vector<NodeId> toLocal;      ///< global id -> local id, -1 if outside
+  /// Distance from the center per local id (== the in-view distance:
+  /// shortest paths to nodes at distance <= radius stay inside the
+  /// ball). A byproduct of the extraction BFS, so consumers never re-run
+  /// a center BFS on the view graph.
+  std::vector<Dist> centerDist;
   NodeId center = -1;               ///< local id of the ball's center
   Dist radius = 0;                  ///< the k it was built with
 
@@ -50,10 +56,20 @@ LocalView buildView(const Graph& g, NodeId center, Dist radius,
 void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
                LocalView& out);
 
+/// As above, walking the flat CSR mirror of the network (the dynamics
+/// cache keeps one in sync with its graph). Row order matches the source
+/// Graph, so the resulting view is byte-identical.
+void buildView(const CsrGraph& g, NodeId center, Dist radius,
+               BfsEngine& engine, LocalView& out);
+
 /// Rebuilds `out` as the view graph minus its center — the "H₀" both
 /// best-response solvers work on (Propositions 2.1/2.2): node i of `out`
 /// corresponds to view node i+1. The center must have local id 0
 /// (buildView guarantees it). `out`'s storage is reused.
 void removeCenterInto(const Graph& viewGraph, NodeId center, Graph& out);
+
+/// As above, into the flat CSR form the solver scratch and the greedy-move
+/// distance oracle iterate (graph/csr.hpp).
+void removeCenterInto(const Graph& viewGraph, NodeId center, CsrGraph& out);
 
 }  // namespace ncg

@@ -1,6 +1,7 @@
 #include "solver/set_cover.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/error.hpp"
 
@@ -10,19 +11,15 @@ namespace {
 
 constexpr std::uint64_t kDefaultNodeBudget = 500'000;
 
-/// True iff a ⊆ b.
-bool isSubsetOf(const DynBitset& a, const DynBitset& b) {
-  return a.countAndNot(b) == 0;
-}
-
 struct SearchState {
   const std::vector<DynBitset>* sets = nullptr;
-  /// coverList[e] = indices of the sets containing element e (static:
-  /// sets are never consumed, so this is valid throughout the search).
-  std::vector<std::vector<int>> coverList;
+  /// Flat element→covering-sets index (rows in coverStart/coverData;
+  /// static: sets are never consumed, so it is valid throughout).
+  const std::vector<std::int32_t>* coverStart = nullptr;
+  const std::vector<int>* coverData = nullptr;
+  SetCoverScratch* scratch = nullptr;
   std::vector<int> best;  // incumbent (may exceed sizeCap; see below)
   std::size_t pruneLimit = 0;  // branches reaching this size are cut
-  std::vector<int> current;
   std::uint64_t nodes = 0;
   std::uint64_t budget = 0;
   bool budgetHit = false;
@@ -31,17 +28,19 @@ struct SearchState {
 };
 
 /// Recursive branch-and-bound; `uncovered` is the universe minus the
-/// coverage of `state.current`.
-void search(SearchState& state, const DynBitset& uncovered) {
+/// coverage of the current partial cover (depth sets chosen so far).
+void search(SearchState& state, const DynBitset& uncovered,
+            std::size_t depth) {
   if (++state.nodes > state.budget) {
     state.budgetHit = true;
     return;
   }
+  std::vector<int>& current = state.scratch->current;
   const std::size_t remaining = uncovered.count();
   if (remaining == 0) {
-    if (state.current.size() < state.pruneLimit) {
-      state.best = state.current;
-      state.pruneLimit = state.current.size();
+    if (current.size() < state.pruneLimit) {
+      state.best = current;
+      state.pruneLimit = current.size();
       state.improved = true;
     }
     return;
@@ -50,58 +49,87 @@ void search(SearchState& state, const DynBitset& uncovered) {
   // elements.
   const std::size_t lower =
       (remaining + state.maxSetSize - 1) / state.maxSetSize;
-  if (state.current.size() + lower >= state.pruneLimit) {
+  if (current.size() + lower >= state.pruneLimit) {
     return;
   }
 
   // Branch on the uncovered element with the fewest covering sets: its
   // branching factor is minimal, and zero means infeasible from here.
+  // (Hand-rolled bit walk rather than DynBitset::forEachSetBit because
+  // the scan stops early once a 1-cover element is found.)
+  const std::vector<std::int32_t>& coverStart = *state.coverStart;
   std::size_t bestElement = uncovered.size();
   std::size_t bestCount = state.sets->size() + 1;
-  for (std::size_t e : uncovered.toIndices()) {
-    const std::size_t covering = state.coverList[e].size();
-    if (covering < bestCount) {
-      bestCount = covering;
-      bestElement = e;
-      if (covering <= 1) break;
+  {
+    const auto words = uncovered.words();
+    for (std::size_t wi = 0; wi < words.size() && bestCount > 1; ++wi) {
+      std::uint64_t w = words[wi];
+      while (w != 0) {
+        const auto e =
+            (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+        w &= w - 1;
+        const auto covering = static_cast<std::size_t>(
+            coverStart[e + 1] - coverStart[e]);
+        if (covering < bestCount) {
+          bestCount = covering;
+          bestElement = e;
+          if (covering <= 1) break;
+        }
+      }
     }
   }
   if (bestCount == 0) return;  // element uncoverable: infeasible branch
 
   // Candidates covering the chosen element, largest marginal gain first.
+  // depthCandidates/depthUncovered are pre-sized to the maximum search
+  // depth before the root call: ancestors hold references into them, so
+  // they must never reallocate mid-search.
   const auto& sets = *state.sets;
-  std::vector<std::pair<std::size_t, int>> candidates;
+  std::vector<std::pair<std::size_t, int>>& candidates =
+      state.scratch->depthCandidates[depth];
+  candidates.clear();
   candidates.reserve(bestCount);
-  for (int index : state.coverList[bestElement]) {
+  for (std::int32_t slot = coverStart[bestElement];
+       slot < coverStart[bestElement + 1]; ++slot) {
+    const int index = (*state.coverData)[static_cast<std::size_t>(slot)];
     candidates.emplace_back(
         sets[static_cast<std::size_t>(index)].countAnd(uncovered), index);
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
+  DynBitset& next = state.scratch->depthUncovered[depth];
   for (const auto& [gain, index] : candidates) {
     (void)gain;
-    state.current.push_back(index);
-    DynBitset next = uncovered;
+    current.push_back(index);
+    next = uncovered;
     next.andNot(sets[static_cast<std::size_t>(index)]);
-    search(state, next);
-    state.current.pop_back();
+    search(state, next, depth + 1);
+    current.pop_back();
     if (state.budgetHit) return;
     // A singleton incumbent cannot be beaten (covers from the root).
     if (state.pruneLimit <= 1) return;
   }
 }
 
-}  // namespace
-
-SetCoverResult greedySetCover(const DynBitset& universe,
-                              const std::vector<DynBitset>& sets) {
+SetCoverResult greedySetCoverImpl(const DynBitset& universe,
+                                  const std::vector<DynBitset>& sets,
+                                  DynBitset& uncovered,
+                                  std::vector<std::size_t>& countScratch) {
   SetCoverResult result;
-  DynBitset uncovered = universe;
+  uncovered = universe;
+  // Popcounts cap each set's possible gain, so sets that cannot strictly
+  // beat the running best are skipped without touching their words; the
+  // scan order and the arg-max (first strict maximum) are unchanged.
+  countScratch.resize(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    countScratch[i] = sets[i].count();
+  }
   while (uncovered.any()) {
     std::size_t bestGain = 0;
     int bestIndex = -1;
     for (std::size_t i = 0; i < sets.size(); ++i) {
+      if (countScratch[i] <= bestGain) continue;
       const std::size_t gain = sets[i].countAnd(uncovered);
       if (gain > bestGain) {
         bestGain = gain;
@@ -121,9 +149,33 @@ SetCoverResult greedySetCover(const DynBitset& universe,
   return result;
 }
 
+}  // namespace
+
+SetCoverResult greedySetCover(const DynBitset& universe,
+                              const std::vector<DynBitset>& sets) {
+  DynBitset uncovered;
+  std::vector<std::size_t> counts;
+  return greedySetCoverImpl(universe, sets, uncovered, counts);
+}
+
+SetCoverResult greedySetCover(const DynBitset& universe,
+                              const std::vector<DynBitset>& sets,
+                              SetCoverScratch& scratch) {
+  return greedySetCoverImpl(universe, sets, scratch.greedyUncovered,
+                            scratch.greedyCounts);
+}
+
 SetCoverResult minSetCover(const DynBitset& universe,
                            const std::vector<DynBitset>& sets,
                            std::uint64_t nodeBudget, std::size_t sizeCap) {
+  SetCoverScratch scratch;
+  return minSetCover(universe, sets, nodeBudget, sizeCap, scratch);
+}
+
+SetCoverResult minSetCover(const DynBitset& universe,
+                           const std::vector<DynBitset>& sets,
+                           std::uint64_t nodeBudget, std::size_t sizeCap,
+                           SetCoverScratch& scratch) {
   for (const auto& s : sets) {
     NCG_REQUIRE(s.size() == universe.size(),
                 "set mask size " << s.size() << " != universe size "
@@ -140,76 +192,213 @@ SetCoverResult minSetCover(const DynBitset& universe,
   // ---- Reduction 1: drop duplicate sets and sets contained in others.
   // Order by descending popcount so a set can only be subsumed by an
   // earlier (larger-or-equal) one.
-  std::vector<int> order(sets.size());
+  scratch.setCount.resize(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    scratch.setCount[i] = sets[i].count();
+  }
+  std::vector<int>& order = scratch.order;
+  order.resize(sets.size());
   for (std::size_t i = 0; i < sets.size(); ++i) {
     order[i] = static_cast<int>(i);
   }
-  std::sort(order.begin(), order.end(), [&sets](int a, int b) {
-    return sets[static_cast<std::size_t>(a)].count() >
-           sets[static_cast<std::size_t>(b)].count();
+  std::sort(order.begin(), order.end(), [&scratch](int a, int b) {
+    return scratch.setCount[static_cast<std::size_t>(a)] >
+           scratch.setCount[static_cast<std::size_t>(b)];
   });
-  std::vector<DynBitset> kept;         // reduced candidate list
-  std::vector<int> keptOriginal;       // reduced index -> original index
-  kept.reserve(sets.size());
-  for (int original : order) {
-    const DynBitset& candidate = sets[static_cast<std::size_t>(original)];
-    if (candidate.none()) continue;
-    bool subsumed = false;
-    for (const DynBitset& bigger : kept) {
-      if (isSubsetOf(candidate, bigger)) {
-        subsumed = true;
-        break;
+  std::vector<DynBitset>& kept = scratch.kept;
+  std::vector<int>& keptOriginal = scratch.keptOriginal;
+  std::size_t keptSize = 0;
+  keptOriginal.clear();
+  const auto acceptKept = [&](const DynBitset& candidate, int original) {
+    if (kept.size() <= keptSize) {
+      kept.push_back(candidate);
+    } else {
+      kept[keptSize] = candidate;
+    }
+    keptOriginal.push_back(original);
+    ++keptSize;
+  };
+  const std::size_t universeWords = universe.words().size();
+  if (universeWords <= 2) {
+    // Fast path for the view-sized instances of the best-response
+    // reduction: masks fit two machine words, so the subset test against
+    // each kept set is a couple of register ops on flat arrays.
+    std::vector<std::uint64_t>& keptLow = scratch.keptWordsLow;
+    std::vector<std::uint64_t>& keptHigh = scratch.keptWordsHigh;
+    keptLow.clear();
+    keptHigh.clear();
+    for (int original : order) {
+      const DynBitset& candidate = sets[static_cast<std::size_t>(original)];
+      if (scratch.setCount[static_cast<std::size_t>(original)] == 0) {
+        continue;
+      }
+      const auto words = candidate.words();
+      const std::uint64_t c0 = words[0];
+      const std::uint64_t c1 = words.size() > 1 ? words[1] : 0;
+      bool subsumed = false;
+      for (std::size_t k = 0; k < keptSize; ++k) {
+        if (((c0 & ~keptLow[k]) | (c1 & ~keptHigh[k])) == 0) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) {
+        acceptKept(candidate, original);
+        keptLow.push_back(c0);
+        keptHigh.push_back(c1);
       }
     }
-    if (!subsumed) {
-      kept.push_back(candidate);
-      keptOriginal.push_back(original);
+  } else {
+    for (int original : order) {
+      const DynBitset& candidate = sets[static_cast<std::size_t>(original)];
+      if (scratch.setCount[static_cast<std::size_t>(original)] == 0) {
+        continue;
+      }
+      bool subsumed = false;
+      for (std::size_t k = 0; k < keptSize; ++k) {
+        if (candidate.isSubsetOf(kept[k])) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) acceptKept(candidate, original);
     }
   }
+  kept.resize(keptSize);
 
   // Greedy incumbent on the reduced instance doubles as the feasibility
   // check.
-  SetCoverResult greedy = greedySetCover(universe, kept);
+  SetCoverResult greedy = greedySetCover(universe, kept, scratch);
   if (!greedy.feasible) {
     return result;  // infeasible
+  }
+
+  // Optimality shortcut: every set covers at most maxSetSize elements,
+  // so any cover needs >= ceil(|U| / maxSetSize) sets. A greedy cover
+  // meeting that bound is a minimum — the search could only ever return
+  // the same greedy incumbent, so skip the element reduction and the
+  // branch-and-bound outright. (On the ball-mask instances of the
+  // best-response reduction this fires for the large majority of calls.)
+  std::size_t maxSetSize = 1;
+  for (std::size_t s = 0; s < keptSize; ++s) {
+    maxSetSize = std::max(
+        maxSetSize,
+        scratch.setCount[static_cast<std::size_t>(keptOriginal[s])]);
+  }
+  const std::size_t lowerBound =
+      (universe.count() + maxSetSize - 1) / maxSetSize;
+  if (greedy.chosen.size() == lowerBound) {
+    result.feasible = true;
+    result.optimal = true;
+    result.withinCap = greedy.chosen.size() <= sizeCap;
+    result.chosen.reserve(greedy.chosen.size());
+    for (int reducedIndex : greedy.chosen) {
+      result.chosen.push_back(
+          keptOriginal[static_cast<std::size_t>(reducedIndex)]);
+    }
+    return result;
   }
 
   // ---- Reduction 2: drop dominated elements. If every set covering e1
   // also covers e2, covering e1 covers e2 automatically — search only
   // needs e1. Compare per-element "which sets cover me" signatures.
+  // After reduction 1 the kept list is nearly always <= 64 sets (on the
+  // ball-mask instances, typically ~a dozen), so the hot path packs each
+  // signature into one machine word: subset tests and popcounts become
+  // single instructions. The wide path is semantically identical.
   const std::size_t elementCount = universe.size();
-  std::vector<DynBitset> signature(
-      elementCount, DynBitset(kept.size()));
-  for (std::size_t s = 0; s < kept.size(); ++s) {
-    for (std::size_t e : kept[s].toIndices()) {
-      signature[e].set(s);
+  DynBitset& reducedUniverse = scratch.reducedUniverse;
+  reducedUniverse = universe;
+  std::vector<std::size_t>& active = scratch.activeElements;
+  active.clear();
+  universe.forEachSetBit([&active](std::size_t e) { active.push_back(e); });
+  if (keptSize <= 64) {
+    std::vector<std::uint64_t>& sig = scratch.signature64;
+    sig.assign(elementCount, 0);
+    for (std::size_t s = 0; s < keptSize; ++s) {
+      const std::uint64_t bit = std::uint64_t{1} << s;
+      kept[s].forEachSetBit([&sig, bit](std::size_t e) { sig[e] |= bit; });
     }
-  }
-  DynBitset reducedUniverse = universe;
-  const std::vector<std::size_t> active = universe.toIndices();
-  for (std::size_t e2 : active) {
-    for (std::size_t e1 : active) {
-      if (e1 == e2 || !reducedUniverse.test(e2)) continue;
-      if (!reducedUniverse.test(e1)) continue;
-      // e2 dominated by e1: sig(e1) ⊆ sig(e2) (strict or tie-broken by
-      // index to avoid dropping both of an identical pair).
-      if (isSubsetOf(signature[e1], signature[e2]) &&
-          (signature[e1].count() < signature[e2].count() || e1 < e2)) {
-        reducedUniverse.reset(e2);
+    for (std::size_t e2 : active) {
+      const std::uint64_t s2 = sig[e2];
+      const int c2 = std::popcount(s2);
+      for (std::size_t e1 : active) {
+        if (e1 == e2) continue;
+        if (!reducedUniverse.test(e1)) continue;
+        const std::uint64_t s1 = sig[e1];
+        // e2 dominated by e1: sig(e1) ⊆ sig(e2), strict or tie-broken
+        // by index so identical pairs drop exactly one.
+        if ((s1 & ~s2) != 0) continue;
+        if (std::popcount(s1) < c2 || e1 < e2) {
+          reducedUniverse.reset(e2);
+          break;
+        }
+      }
+    }
+  } else {
+    std::vector<DynBitset>& signature = scratch.signature;
+    if (signature.size() < elementCount) signature.resize(elementCount);
+    for (std::size_t e = 0; e < elementCount; ++e) {
+      signature[e].reassign(keptSize);
+    }
+    for (std::size_t s = 0; s < keptSize; ++s) {
+      kept[s].forEachSetBit(
+          [&signature, s](std::size_t e) { signature[e].set(s); });
+    }
+    scratch.signatureCount.resize(elementCount);
+    for (std::size_t e = 0; e < elementCount; ++e) {
+      scratch.signatureCount[e] = signature[e].count();
+    }
+    for (std::size_t e2 : active) {
+      for (std::size_t e1 : active) {
+        if (e1 == e2 || !reducedUniverse.test(e2)) continue;
+        if (!reducedUniverse.test(e1)) continue;
+        // e2 dominated by e1: sig(e1) ⊆ sig(e2) (strict or tie-broken by
+        // index to avoid dropping both of an identical pair). The count
+        // pre-check rejects impossible pairs without touching words.
+        if (scratch.signatureCount[e1] > scratch.signatureCount[e2]) {
+          continue;
+        }
+        if (signature[e1].isSubsetOf(signature[e2]) &&
+            (scratch.signatureCount[e1] < scratch.signatureCount[e2] ||
+             e1 < e2)) {
+          reducedUniverse.reset(e2);
+        }
       }
     }
   }
 
   SearchState state;
   state.sets = &kept;
+  state.scratch = &scratch;
   state.budget = nodeBudget == 0 ? kDefaultNodeBudget : nodeBudget;
-  state.coverList.resize(elementCount);
-  for (std::size_t i = 0; i < kept.size(); ++i) {
-    for (std::size_t e : kept[i].toIndices()) {
-      state.coverList[e].push_back(static_cast<int>(i));
-    }
-    state.maxSetSize = std::max(state.maxSetSize, kept[i].count());
+  // Flat element→sets rows, in ascending kept order per element (the
+  // same candidate order the per-element vectors used to produce).
+  scratch.coverStart.assign(elementCount + 1, 0);
+  for (std::size_t s = 0; s < keptSize; ++s) {
+    kept[s].forEachSetBit(
+        [&scratch](std::size_t e) { ++scratch.coverStart[e + 1]; });
   }
+  state.maxSetSize = maxSetSize;
+  for (std::size_t e = 0; e < elementCount; ++e) {
+    scratch.coverStart[e + 1] += scratch.coverStart[e];
+  }
+  scratch.coverData.resize(
+      static_cast<std::size_t>(scratch.coverStart[elementCount]));
+  {
+    // Fill rows front-to-back with a running write cursor per element.
+    std::vector<std::int32_t>& cursor = scratch.coverCursor;
+    cursor.assign(scratch.coverStart.begin(),
+                  scratch.coverStart.end() - 1);
+    for (std::size_t s = 0; s < keptSize; ++s) {
+      kept[s].forEachSetBit([&scratch, &cursor, s](std::size_t e) {
+        scratch.coverData[static_cast<std::size_t>(cursor[e]++)] =
+            static_cast<int>(s);
+      });
+    }
+  }
+  state.coverStart = &scratch.coverStart;
+  state.coverData = &scratch.coverData;
 
   // The search may improve on the greedy incumbent or prove nothing
   // within the cap exists. pruneLimit = best known size, clamped by cap.
@@ -217,7 +406,17 @@ SetCoverResult minSetCover(const DynBitset& universe,
   state.best = greedy.chosen;
   state.pruneLimit = std::min(greedy.chosen.size(),
                               sizeCap == SIZE_MAX ? SIZE_MAX : sizeCap + 1);
-  search(state, reducedUniverse);
+  scratch.current.clear();
+  // Depth never exceeds the reduced candidate count; pre-size the
+  // per-depth buffers so recursion never reallocates under live
+  // ancestor references.
+  if (scratch.depthUncovered.size() < keptSize + 1) {
+    scratch.depthUncovered.resize(keptSize + 1);
+  }
+  if (scratch.depthCandidates.size() < keptSize + 1) {
+    scratch.depthCandidates.resize(keptSize + 1);
+  }
+  search(state, reducedUniverse, 0);
 
   result.feasible = true;
   result.optimal = !state.budgetHit;

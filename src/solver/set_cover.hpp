@@ -16,9 +16,17 @@
 // The solver is exact but carries an explicit exploration budget so callers
 // can bound worst-case latency; when the budget trips, the best incumbent
 // is returned with `optimal = false`.
+//
+// The dynamics hot path solves hundreds of thousands of view-sized
+// instances per run, so every working buffer — the reduced candidate
+// list, the flat element→sets index, per-element signatures, and the
+// per-depth uncovered masks of the search — can live in a caller-owned
+// SetCoverScratch. The scratch overloads produce results bit-identical
+// to the allocating entry points.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "support/bitset.hpp"
@@ -40,11 +48,40 @@ struct SetCoverResult {
   std::uint64_t nodesExplored = 0;
 };
 
+/// Reusable buffers for repeated set-cover solves (one per thread).
+/// Contents are per-call; only the storage persists across calls.
+struct SetCoverScratch {
+  std::vector<int> order;              ///< popcount-descending set order
+  std::vector<std::size_t> setCount;   ///< popcounts of the input sets
+  std::vector<DynBitset> kept;         ///< reduced candidate list
+  std::vector<int> keptOriginal;       ///< reduced index -> original index
+  std::vector<std::uint64_t> keptWordsLow;   ///< flat kept masks (<=128b)
+  std::vector<std::uint64_t> keptWordsHigh;
+  std::vector<std::int32_t> coverStart;  ///< flat element→sets index rows
+  std::vector<std::int32_t> coverCursor;
+  std::vector<int> coverData;
+  std::vector<DynBitset> signature;    ///< per-element covering-set masks
+  std::vector<std::uint64_t> signature64;  ///< packed form when kept <= 64
+  std::vector<std::size_t> signatureCount;
+  DynBitset reducedUniverse;
+  DynBitset greedyUncovered;
+  std::vector<std::size_t> greedyCounts;
+  std::vector<std::size_t> activeElements;
+  std::vector<DynBitset> depthUncovered;  ///< per-depth search masks
+  std::vector<std::vector<std::pair<std::size_t, int>>> depthCandidates;
+  std::vector<int> current;
+};
+
 /// Greedy cover: repeatedly pick the set covering the most uncovered
 /// elements. Returns indices; empty result with feasible=false if the
 /// union of all sets misses part of the universe.
 SetCoverResult greedySetCover(const DynBitset& universe,
                               const std::vector<DynBitset>& sets);
+
+/// As above, reusing caller-owned scratch (dynamics hot path).
+SetCoverResult greedySetCover(const DynBitset& universe,
+                              const std::vector<DynBitset>& sets,
+                              SetCoverScratch& scratch);
 
 /// Exact minimum set cover by branch-and-bound.
 ///
@@ -63,5 +100,11 @@ SetCoverResult minSetCover(const DynBitset& universe,
                            const std::vector<DynBitset>& sets,
                            std::uint64_t nodeBudget = 0,
                            std::size_t sizeCap = SIZE_MAX);
+
+/// As above, reusing caller-owned scratch (dynamics hot path).
+SetCoverResult minSetCover(const DynBitset& universe,
+                           const std::vector<DynBitset>& sets,
+                           std::uint64_t nodeBudget, std::size_t sizeCap,
+                           SetCoverScratch& scratch);
 
 }  // namespace ncg

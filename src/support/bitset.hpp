@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "support/error.hpp"
@@ -121,6 +122,22 @@ class DynBitset {
     return c;
   }
 
+  /// True iff this ⊆ other. Early-exits on the first word with a bit
+  /// outside `other` (hot reduction loops in the set-cover solver).
+  bool isSubsetOf(const DynBitset& other) const {
+    NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Raw 64-bit words (tail bits beyond size() are zero). For hot loops
+  /// that iterate set bits without materializing an index vector.
+  std::span<const std::uint64_t> words() const {
+    return {words_.data(), words_.size()};
+  }
+
   /// True iff (this & other) is non-empty.
   bool intersects(const DynBitset& other) const {
     NCG_ASSERT(bits_ == other.bits_, "bitset size mismatch");
@@ -141,18 +158,24 @@ class DynBitset {
     return bits_;
   }
 
+  /// Applies f(index) to every set bit in increasing order, without
+  /// materializing an index vector (hot solver loops).
+  template <typename F>
+  void forEachSetBit(F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        f((i << 6) + static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+      }
+    }
+  }
+
   /// All set-bit positions in increasing order.
   std::vector<std::size_t> toIndices() const {
     std::vector<std::size_t> out;
     out.reserve(count());
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      std::uint64_t w = words_[i];
-      while (w != 0) {
-        const auto b = static_cast<std::size_t>(std::countr_zero(w));
-        out.push_back((i << 6) + b);
-        w &= w - 1;
-      }
-    }
+    forEachSetBit([&out](std::size_t i) { out.push_back(i); });
     return out;
   }
 

@@ -1,0 +1,279 @@
+// Tests for the flat CSR scratch-graph core: build/patch equivalence
+// with the mutable Graph, representation-independent BFS (distances AND
+// visit order), the sub-linear BfsEngine buffer reset, and the
+// degree/hash fast path of Graph equality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "graph/bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "graph/power.hpp"
+#include "graph/view.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+void expectRowsMatch(const Graph& g, const CsrGraph& csr,
+                     const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(g.nodeCount(), csr.nodeCount());
+  EXPECT_EQ(g.edgeCount(), csr.edgeCount());
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    const auto expected = g.neighbors(u);
+    const auto actual = csr.neighbors(u);
+    ASSERT_EQ(expected.size(), actual.size()) << "u=" << u;
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), actual.begin()))
+        << "row order mismatch at u=" << u;
+  }
+}
+
+TEST(CsrGraph, AssignFromMatchesAdjacencyOrder) {
+  Rng rng(0xC51);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = makeConnectedErdosRenyi(30, 0.15, rng);
+    CsrGraph csr;
+    csr.assignFrom(g);
+    expectRowsMatch(g, csr, "assignFrom");
+  }
+}
+
+TEST(CsrGraph, AssignFromReusesStorageAcrossSizes) {
+  Rng rng(0xC52);
+  CsrGraph csr;
+  for (const NodeId n : {40, 10, 25}) {
+    const Graph g = makeRandomTree(n, rng);
+    csr.assignFrom(g);
+    expectRowsMatch(g, csr, "resize cycle");
+  }
+}
+
+TEST(CsrGraph, ViewMinusCenterMatchesGraphForm) {
+  Rng rng(0xC53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = makeConnectedErdosRenyi(24, 0.2, rng);
+    BfsEngine engine;
+    LocalView view;
+    buildView(g, static_cast<NodeId>(trial % g.nodeCount()), 2, engine,
+              view);
+    // Centers other than local id 0 are rejected; buildView puts the
+    // center first, so this is the supported configuration.
+    Graph h0Graph{0};
+    removeCenterInto(view.graph, view.center, h0Graph);
+    CsrGraph h0Csr;
+    removeCenterInto(view.graph, view.center, h0Csr);
+    expectRowsMatch(h0Graph, h0Csr, "H0 forms");
+  }
+}
+
+TEST(CsrGraph, PatchRowsTracksRandomChurn) {
+  Rng rng(0xC54);
+  Graph g(18);
+  // Start from a random tree so the graph stays interesting.
+  const Graph tree = makeRandomTree(18, rng);
+  for (NodeId u = 0; u < tree.nodeCount(); ++u) {
+    for (NodeId v : tree.neighbors(u)) {
+      if (u < v) g.addEdge(u, v);
+    }
+  }
+  CsrGraph csr;
+  csr.assignFrom(g);
+  for (int step = 0; step < 300; ++step) {
+    const auto u = static_cast<NodeId>(rng.nextBounded(18));
+    const auto v = static_cast<NodeId>(rng.nextBounded(18));
+    if (u == v) continue;
+    if (g.hasEdge(u, v)) {
+      g.removeEdge(u, v);
+    } else {
+      g.addEdge(u, v);
+    }
+    const NodeId rows[2] = {u, v};
+    csr.patchRows(g, rows);
+    expectRowsMatch(g, csr, "churn step");
+  }
+}
+
+TEST(CsrGraph, PatchRowsSurvivesRelocationAndCompaction) {
+  Graph g(40);
+  CsrGraph csr;
+  csr.assignFrom(g);  // all-isolated start: every row has capacity 0
+  std::vector<NodeId> rows;
+  // Grow node 0 far past any initial capacity (forces relocation), then
+  // strip everything again (forces the compaction trigger).
+  for (NodeId v = 1; v < 40; ++v) {
+    g.addEdge(0, v);
+    rows = {0, v};
+    csr.patchRows(g, rows);
+    expectRowsMatch(g, csr, "grow");
+  }
+  for (NodeId v = 1; v < 40; ++v) {
+    g.removeEdge(0, v);
+    rows = {0, v};
+    csr.patchRows(g, rows);
+    expectRowsMatch(g, csr, "shrink");
+  }
+  EXPECT_EQ(csr.edgeCount(), 0u);
+}
+
+TEST(BfsOnCsr, DistancesAndVisitOrderMatchGraph) {
+  Rng rng(0xC55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = makeConnectedErdosRenyi(26, 0.15, rng);
+    CsrGraph csr;
+    csr.assignFrom(g);
+    BfsEngine a;
+    BfsEngine b;
+    for (const Dist maxDepth : {-1, 1, 2, 3}) {
+      for (NodeId s = 0; s < g.nodeCount(); s += 5) {
+        a.run(g, s, maxDepth);
+        b.run(csr, s, maxDepth);
+        EXPECT_EQ(a.distances(), b.distances());
+        EXPECT_EQ(a.visited(), b.visited());
+      }
+    }
+  }
+}
+
+TEST(BfsOnCsr, MultiSourceMatchesGraph) {
+  Rng rng(0xC56);
+  const Graph g = makeConnectedErdosRenyi(30, 0.12, rng);
+  CsrGraph csr;
+  csr.assignFrom(g);
+  BfsEngine a;
+  BfsEngine b;
+  const NodeId sources[3] = {2, 11, 27};
+  EXPECT_EQ(a.runMulti(g, sources), b.runMulti(csr, sources));
+  EXPECT_EQ(a.visited(), b.visited());
+}
+
+// The engine resets only the entries its previous run touched. Interleave
+// depth-bounded and unbounded runs on same-sized and differently-sized
+// graphs and pin every result to a fresh engine.
+TEST(BfsEngineReuse, SelectiveResetMatchesFreshEngine) {
+  Rng rng(0xC57);
+  const Graph big = makeConnectedErdosRenyi(40, 0.1, rng);
+  const Graph other = makeRandomTree(40, rng);  // same size, new shape
+  const Graph small = makeRandomTree(9, rng);
+  BfsEngine reused;
+  for (int round = 0; round < 5; ++round) {
+    for (const Graph* g : {&big, &other, &small, &big}) {
+      const auto s =
+          static_cast<NodeId>(rng.nextBounded(
+              static_cast<std::uint64_t>(g->nodeCount())));
+      const Dist depth = round % 2 == 0 ? 2 : -1;
+      const auto& got = reused.run(*g, s, depth);
+      BfsEngine fresh;
+      EXPECT_EQ(got, fresh.run(*g, s, depth));
+      EXPECT_EQ(reused.visited(), fresh.visited());
+    }
+  }
+}
+
+TEST(AllPairsOnCsr, MatchesGraphForm) {
+  Rng rng(0xC58);
+  const Graph g = makeConnectedErdosRenyi(20, 0.2, rng);
+  CsrGraph csr;
+  csr.assignFrom(g);
+  BfsEngine engine;
+  std::vector<Dist> fromGraph;
+  std::vector<Dist> fromCsr;
+  allPairsDistances(g, engine, fromGraph);
+  allPairsDistances(csr, engine, fromCsr);
+  EXPECT_EQ(fromGraph, fromCsr);
+}
+
+TEST(GraphEquality, InsertionOrderDoesNotMatter) {
+  Graph a(5);
+  a.addEdge(0, 1);
+  a.addEdge(1, 2);
+  a.addEdge(3, 4);
+  Graph b(5);
+  b.addEdge(3, 4);
+  b.addEdge(1, 2);
+  b.addEdge(0, 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(GraphEquality, SameDegreeSequenceDifferentEdgesDiffer) {
+  // Two disjoint triangles vs one 6-cycle: identical degree sequences,
+  // different adjacency.
+  Graph triangles(6);
+  triangles.addEdge(0, 1);
+  triangles.addEdge(1, 2);
+  triangles.addEdge(2, 0);
+  triangles.addEdge(3, 4);
+  triangles.addEdge(4, 5);
+  triangles.addEdge(5, 3);
+  Graph cycle(6);
+  for (NodeId i = 0; i < 6; ++i) cycle.addEdge(i, (i + 1) % 6);
+  EXPECT_FALSE(triangles == cycle);
+}
+
+TEST(GraphEquality, RandomMutationsDetected) {
+  Rng rng(0xC59);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = makeConnectedErdosRenyi(16, 0.2, rng);
+    Graph h(16);
+    for (NodeId u = 0; u < 16; ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        if (u < v) h.addEdge(u, v);
+      }
+    }
+    EXPECT_TRUE(g == h);
+    // Swap one edge for another: equality must notice.
+    for (NodeId u = 0; u < 16 && h.edgeCount() == g.edgeCount(); ++u) {
+      for (NodeId v = 0; v < 16; ++v) {
+        if (u != v && !h.hasEdge(u, v)) {
+          const NodeId w = h.neighbors(u).empty() ? -1 : h.neighbors(u)[0];
+          if (w >= 0 && w != v) {
+            h.removeEdge(u, w);
+            h.addEdge(u, v);
+            EXPECT_FALSE(g == h) << "trial " << trial;
+          }
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+TEST(GraphBasics, SetNeighborOrderAppliesPermutation) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(0, 3);
+  const NodeId order[3] = {3, 1, 2};
+  g.setNeighborOrder(0, order);
+  const auto row = g.neighbors(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 3);
+  EXPECT_EQ(row[1], 1);
+  EXPECT_EQ(row[2], 2);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_EQ(g.edgeCount(), 3u);
+}
+
+TEST(LocalViewCenterDist, MatchesViewGraphBfs) {
+  Rng rng(0xC5A);
+  const Graph g = makeConnectedErdosRenyi(22, 0.15, rng);
+  BfsEngine engine;
+  LocalView view;
+  for (const Dist k : {1, 2, 3}) {
+    buildView(g, 7, k, engine, view);
+    BfsEngine check;
+    const auto& dist = check.run(view.graph, view.center);
+    ASSERT_EQ(view.centerDist.size(), dist.size());
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      EXPECT_EQ(view.centerDist[i], dist[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ncg

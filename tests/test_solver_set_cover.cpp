@@ -274,5 +274,42 @@ TEST(GreedySetCover, PrefersBiggestGain) {
   EXPECT_EQ(result.chosen[0], 1);
 }
 
+// One scratch shared across many differently-shaped solves must return
+// exactly what fresh-scratch solves return (the dynamics loop reuses a
+// single scratch for every radius of every best response).
+TEST(SetCover, SharedScratchMatchesFreshScratch) {
+  Rng rng(97);
+  SetCoverScratch shared;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 6 + rng.nextBounded(60);
+    const std::size_t count = 3 + rng.nextBounded(20);
+    std::vector<DynBitset> sets;
+    for (std::size_t s = 0; s < count; ++s) {
+      DynBitset mask(n);
+      for (std::size_t e = 0; e < n; ++e) {
+        if (rng.nextBernoulli(0.3)) mask.set(e);
+      }
+      sets.push_back(mask);
+    }
+    DynBitset universe(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (rng.nextBernoulli(0.8)) universe.set(e);
+    }
+    const std::size_t cap = trial % 3 == 0 ? 2 : SIZE_MAX;
+
+    const auto viaShared = minSetCover(universe, sets, 0, cap, shared);
+    const auto fresh = minSetCover(universe, sets, 0, cap);
+    EXPECT_EQ(viaShared.feasible, fresh.feasible) << "trial " << trial;
+    EXPECT_EQ(viaShared.optimal, fresh.optimal) << "trial " << trial;
+    EXPECT_EQ(viaShared.withinCap, fresh.withinCap) << "trial " << trial;
+    EXPECT_EQ(viaShared.chosen, fresh.chosen) << "trial " << trial;
+
+    const auto greedyShared = greedySetCover(universe, sets, shared);
+    const auto greedyFresh = greedySetCover(universe, sets);
+    EXPECT_EQ(greedyShared.feasible, greedyFresh.feasible);
+    EXPECT_EQ(greedyShared.chosen, greedyFresh.chosen);
+  }
+}
+
 }  // namespace
 }  // namespace ncg
