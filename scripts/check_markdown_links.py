@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans README.md and docs/*.md (plus any paths given on the command line)
+for inline markdown links `[text](target)` and reference definitions
+`[label]: target`. External targets (http/https/mailto) are ignored —
+CI must not depend on third-party uptime — and so are pure in-page
+anchors (`#section`). Everything else must name an existing file or
+directory relative to the file containing the link; an optional
+`#fragment` is stripped before the check.
+
+Exits non-zero listing every broken link, so the CI step fails loudly
+when a doc rename or deletion leaves a dangling reference.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets_in(text: str):
+    for pattern in (INLINE_LINK, IMAGE_LINK, REFERENCE_DEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check_file(md: Path) -> list[str]:
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    for target in targets_in(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(f"{md}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = [Path(p) for p in sys.argv[1:]]
+    if not files:
+        files = [repo / "README.md"] + sorted((repo / "docs").glob("*.md"))
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("link check: input files missing: " + ", ".join(missing))
+        return 1
+    broken = []
+    for md in files:
+        broken.extend(check_file(md))
+    if broken:
+        print("\n".join(broken))
+        print(f"link check: {len(broken)} broken link(s)")
+        return 1
+    print(f"link check: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

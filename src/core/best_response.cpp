@@ -55,7 +55,9 @@ double centerStatusSum(const PlayerView& pv) {
 
 BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
                              const BestResponseOptions& options,
-                             BestResponseScratch& scratch) {
+                             BestResponseScratch& scratch,
+                             CoverInstanceCache& cover,
+                             std::uint64_t revision) {
   BestResponse res;
   res.strategyGlobal = currentGlobalStrategy(pv);
   res.currentCost = params.alpha * pv.alphaBought +
@@ -65,14 +67,32 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
   const NodeId m = pv.view.size();
   if (m <= 1) return res;  // nobody visible: no move possible
 
-  removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
-  const CsrGraph& h0 = scratch.h0;
-  const auto n0 = static_cast<std::size_t>(h0.nodeCount());
-
-  DynBitset freeMask(n0);
-  for (NodeId f : pv.freeNeighborsLocal) {
-    freeMask.set(static_cast<std::size_t>(f - 1));
+  // Reuse-vs-rebuild: a matching revision vouches that the view — and
+  // therefore every instance below, a pure function of it — is unchanged
+  // since the cache was filled, so already-built radii are served as-is.
+  // H₀ and the free-neighbor mask are only needed while constructing, so
+  // a fully-cached call touches neither. Construction state lives in
+  // locals mirroring the cache (synced after every extension) so the hot
+  // sweep loops run on registers, exactly like the pre-cache code.
+  const auto n0 = static_cast<std::size_t>(m - 1);
+  if (!cover.gate.reuse(revision)) {
+    cover.built = 0;
+    cover.saturated = false;
   }
+  std::size_t built = cover.built;
+  bool saturated = cover.saturated;
+  bool h0Ready = false;
+  const auto ensureBuildInputs = [&] {
+    if (h0Ready) return;
+    removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
+    NCG_ASSERT(static_cast<std::size_t>(scratch.h0.nodeCount()) == n0,
+               "H₀ node count mismatch");
+    scratch.coverFreeMask.reassign(n0);
+    for (NodeId f : pv.freeNeighborsLocal) {
+      scratch.coverFreeMask.set(static_cast<std::size_t>(f - 1));
+    }
+    h0Ready = true;
+  };
 
   double bestCost = res.currentCost;
   std::vector<NodeId> bestStrategy;  // H₀ ids; empty sentinel = keep current
@@ -82,61 +102,82 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
   // the residual universe once free neighbors have covered their balls.
   // Instances are built lazily in radius order — the radius-r balls come
   // from the radius-(r−1) balls by one closed-neighborhood union sweep —
-  // and cached in the scratch so (a) the greedy and the exact pass below
-  // share them and (b) their bitset storage is recycled across calls.
-  // Lazy building also bounds the radius range for free: the first sweep
-  // that leaves every ball unchanged has passed the largest finite
-  // pairwise distance (instanceAt returns nullptr from there on), so no
-  // all-pairs distance computation is needed up front.
-  using RadiusInstance = BestResponseScratch::CoverInstance;
-  std::size_t builtInstances = 0;  // radii filled during THIS call
-  bool ballsSaturated = false;
-  const auto instanceAt = [&](Dist r) -> const RadiusInstance* {
-    while (!ballsSaturated &&
-           static_cast<Dist>(builtInstances) <= r) {
-      if (builtInstances == 0) {
-        scratch.balls.resize(n0);
+  // and kept in the cover cache so (a) the greedy and the exact pass
+  // below share them, (b) their bitset storage is recycled across calls,
+  // and (c) a caller holding a per-player cache reuses them across clean
+  // wakeups without any construction at all. Lazy building also bounds
+  // the radius range for free: the first sweep that leaves every ball
+  // unchanged has passed the largest finite pairwise distance
+  // (instanceAt returns nullptr from there on), so no all-pairs distance
+  // computation is needed up front.
+  const auto instanceAt = [&](Dist r) -> CoverInstance* {
+    while (!saturated && static_cast<Dist>(built) <= r) {
+      ensureBuildInputs();
+      const CsrGraph& h0 = scratch.h0;
+      std::vector<DynBitset>& balls = cover.balls;
+      if (built == 0) {
+        balls.resize(n0);
+        cover.ballDone.assign(n0, 0);
+        cover.ballCount.assign(n0, 1);
         for (std::size_t v = 0; v < n0; ++v) {
-          scratch.balls[v].reassign(n0);
-          scratch.balls[v].set(v);
+          balls[v].reassign(n0);
+          balls[v].set(v);
         }
       } else {
-        // ball_{r}(v) = ∪_{w ∈ N[v]} ball_{r−1}(w).
+        // ball_{r}(v) = ∪_{w ∈ N[v]} ball_{r−1}(w), with one exact skip:
+        // the radius-r ball gains exactly the nodes at distance r from
+        // v, so it grows at every radius up to ecc(v) and then never
+        // again — the first sweep that leaves it unchanged proves it is
+        // finished for good (`ballDone`), and later sweeps carry it over
+        // without unions or popcounts. Growth detection is one popcount
+        // compare (a union only ever grows a ball), and the counts
+        // double as the maxBall input below, so no separate per-mask
+        // count pass runs at instance-build time.
         scratch.ballsNext.resize(n0);
+        std::uint8_t* done = cover.ballDone.data();
+        std::size_t* ballCount = cover.ballCount.data();
         bool changed = false;
         for (std::size_t v = 0; v < n0; ++v) {
           DynBitset& ball = scratch.ballsNext[v];
-          ball = scratch.balls[v];
+          ball = balls[v];
+          if (done[v] != 0) continue;
           for (NodeId w : h0.neighbors(static_cast<NodeId>(v))) {
-            ball |= scratch.balls[static_cast<std::size_t>(w)];
+            ball |= balls[static_cast<std::size_t>(w)];
           }
-          changed = changed || !(ball == scratch.balls[v]);
+          const std::size_t grown = ball.count();
+          if (grown == ballCount[v]) {
+            done[v] = 1;  // r exceeded ecc(v): finished for good
+          } else {
+            ballCount[v] = grown;
+            changed = true;
+          }
         }
         if (!changed) {
-          ballsSaturated = true;  // the previous radius reached everything
+          saturated = true;  // the previous radius reached everything
           break;
         }
-        std::swap(scratch.balls, scratch.ballsNext);
+        std::swap(balls, scratch.ballsNext);
       }
-      if (scratch.cover.size() <= builtInstances) {
-        scratch.cover.emplace_back();
+      if (cover.instances.size() <= built) {
+        cover.instances.emplace_back();
       }
-      RadiusInstance& inst = scratch.cover[builtInstances];
+      CoverInstance& inst = cover.instances[built];
       inst.universe.reassign(n0);
       inst.universe.setAll();
       for (NodeId f : pv.freeNeighborsLocal) {
-        inst.universe.andNot(scratch.balls[static_cast<std::size_t>(f - 1)]);
+        inst.universe.andNot(balls[static_cast<std::size_t>(f - 1)]);
       }
       inst.maxBall = 1;
+      inst.greedyDone = false;
       std::size_t count = 0;
       for (std::size_t v = 0; v < n0; ++v) {
-        if (!freeMask.test(v)) {
-          inst.maxBall = std::max(inst.maxBall, scratch.balls[v].count());
+        if (!scratch.coverFreeMask.test(v)) {
+          inst.maxBall = std::max(inst.maxBall, cover.ballCount[v]);
           if (inst.sets.size() <= count) {
-            inst.sets.push_back(scratch.balls[v]);
+            inst.sets.push_back(balls[v]);
             inst.setVertex.push_back(static_cast<NodeId>(v));
           } else {
-            inst.sets[count] = scratch.balls[v];
+            inst.sets[count] = balls[v];
             inst.setVertex[count] = static_cast<NodeId>(v);
           }
           ++count;
@@ -144,13 +185,16 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
       }
       inst.sets.resize(count);
       inst.setVertex.resize(count);
-      ++builtInstances;
+      ++built;
+      ++cover.constructions;
     }
-    if (static_cast<Dist>(builtInstances) <= r) return nullptr;
-    return &scratch.cover[static_cast<std::size_t>(r)];
+    cover.built = built;
+    cover.saturated = saturated;
+    if (static_cast<Dist>(built) <= r) return nullptr;
+    return &cover.instances[static_cast<std::size_t>(r)];
   };
 
-  const auto acceptCover = [&](const RadiusInstance& inst,
+  const auto acceptCover = [&](const CoverInstance& inst,
                                const std::vector<int>& chosen, double h) {
     const double cost =
         params.alpha * static_cast<double>(chosen.size()) + h;
@@ -173,14 +217,20 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
   // are remembered per radius: whenever the greedy already meets the
   // cardinality lower bound it is provably optimal, and pass B can skip
   // the exact solve for that radius outright (nothing strictly smaller
-  // exists, and acceptCover ignores equal-cost covers).
+  // exists, and acceptCover ignores equal-cost covers). For persistent
+  // (revision-keyed) callers the greedy cover itself is memoized inside
+  // the instance — a pure function of it — so reused instances skip the
+  // solve as well as the construction; one-shot callers (revision 0)
+  // would never read the memo back, so they keep the result local and
+  // skip the store.
   constexpr std::size_t kNoGreedy = SIZE_MAX;
+  const bool memoizeGreedy = revision != 0;
   std::vector<std::size_t>& greedySizeAt = scratch.coverGreedySize;
   greedySizeAt.clear();
   for (Dist r = 0;; ++r) {
     const double h = static_cast<double>(r) + 1.0;
     if (h >= bestCost - kCostEpsilon) break;
-    const RadiusInstance* inst = instanceAt(r);
+    CoverInstance* inst = instanceAt(r);
     if (inst == nullptr) break;  // past the largest finite distance
     greedySizeAt.push_back(kNoGreedy);
     if (inst->universe.none()) {
@@ -192,11 +242,23 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
     const std::size_t lower =
         (inst->universe.count() + inst->maxBall - 1) / inst->maxBall;
     if (lower > static_cast<std::size_t>(capDouble)) continue;
-    const SetCoverResult greedy =
-        greedySetCover(inst->universe, inst->sets, scratch.coverSolver);
-    if (greedy.feasible) {
-      greedySizeAt.back() = greedy.chosen.size();
-      acceptCover(*inst, greedy.chosen, h);
+    if (!memoizeGreedy) {
+      const SetCoverResult greedy =
+          greedySetCover(inst->universe, inst->sets, scratch.coverSolver);
+      if (greedy.feasible) {
+        greedySizeAt.back() = greedy.chosen.size();
+        acceptCover(*inst, greedy.chosen, h);
+      }
+      continue;
+    }
+    if (!inst->greedyDone) {
+      inst->greedy =
+          greedySetCover(inst->universe, inst->sets, scratch.coverSolver);
+      inst->greedyDone = true;
+    }
+    if (inst->greedy.feasible) {
+      greedySizeAt.back() = inst->greedy.chosen.size();
+      acceptCover(*inst, inst->greedy.chosen, h);
     }
   }
 
@@ -208,7 +270,7 @@ BestResponse maxBestResponse(const PlayerView& pv, const GameParams& params,
     // Even a zero-purchase strategy at this radius costs h; larger radii
     // only cost more, so stop once h alone can no longer win.
     if (h >= bestCost - kCostEpsilon) break;
-    const RadiusInstance* inst = instanceAt(r);
+    const CoverInstance* inst = instanceAt(r);
     if (inst == nullptr) break;  // past the largest finite distance
     if (inst->universe.none()) continue;  // handled in pass A
 
@@ -540,9 +602,18 @@ BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
 BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
                           const BestResponseOptions& options,
                           BestResponseScratch& scratch) {
+  // No view identity available: revision 0 rebuilds the scratch-owned
+  // cover cache (storage still recycled across calls).
+  return bestResponse(pv, params, options, scratch, scratch.cover, 0);
+}
+
+BestResponse bestResponse(const PlayerView& pv, const GameParams& params,
+                          const BestResponseOptions& options,
+                          BestResponseScratch& scratch,
+                          CoverInstanceCache& cover, std::uint64_t revision) {
   NCG_REQUIRE(params.alpha > 0.0, "α must be positive, got " << params.alpha);
   return params.kind == GameKind::kMax
-             ? maxBestResponse(pv, params, options, scratch)
+             ? maxBestResponse(pv, params, options, scratch, cover, revision)
              : sumBestResponse(pv, params, options, scratch);
 }
 

@@ -163,13 +163,13 @@ BestResponse greedyMoveOracle(const PlayerView& pv, const GameParams& params,
 
   // The oracle: the all-sources distance matrix of H₀, reused verbatim
   // when the caller vouches (via a matching non-zero revision) that the
-  // view is unchanged since the last build. The CSR form of H₀ is only
-  // needed while rebuilding, so it lives in the shared scratch rather
-  // than in each per-player oracle.
-  if (revision == 0 || oracle.revision != revision) {
+  // view is unchanged since the last build (the RevisionGate contract
+  // shared with the MaxNCG cover-instance cache). The CSR form of H₀ is
+  // only needed while rebuilding, so it lives in the shared scratch
+  // rather than in each per-player oracle.
+  if (!oracle.gate.reuse(revision)) {
     removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
     allPairsDistances(scratch.h0, scratch.bfs, oracle.dist);
-    oracle.revision = revision;
   }
   NCG_ASSERT(oracle.dist.size() == m0 * m0, "stale oracle for this view");
   const Dist* apd = oracle.dist.data();

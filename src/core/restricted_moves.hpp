@@ -45,12 +45,13 @@ BestResponse greedyMove(const PlayerView& pv, const GameParams& params);
 BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
                         BestResponseScratch& scratch);
 
-/// As above, with a caller-owned distance oracle tagged by `revision`
-/// (any non-zero caller-defined stamp of the view's identity): when
-/// `oracle.revision == revision` the H₀ rebuild and the all-sources BFS
-/// pass are skipped entirely — the dynamics cache passes its per-player
-/// view revision so oracle rows survive between a player's consecutive
-/// wakeups while her view is clean. revision == 0 always rebuilds.
+/// As above, with a caller-owned distance oracle keyed by `revision`
+/// (any non-zero caller-defined stamp of the view's identity, via the
+/// RevisionGate mechanism in core/revision_keyed.hpp): when the gate
+/// matches, the H₀ rebuild and the all-sources BFS pass are skipped
+/// entirely — the dynamics cache passes its per-player view revision so
+/// oracle rows survive between a player's consecutive wakeups while her
+/// view is clean. revision == 0 always rebuilds.
 BestResponse greedyMove(const PlayerView& pv, const GameParams& params,
                         BestResponseScratch& scratch,
                         MoveDistanceOracle& oracle, std::uint64_t revision);

@@ -1,0 +1,46 @@
+// Revision-keyed persistence for derived per-player solver state.
+//
+// The incremental dynamics engine stamps every cached player view with a
+// monotone revision (DynamicsCache::viewRevision). Anything computed
+// purely from that view — the greedy-move distance oracle's H₀ rows, the
+// MaxNCG per-radius cover instances — stays valid exactly as long as the
+// revision does, so per-player copies of such state can survive a
+// player's consecutive *clean* wakeups (view untouched since the last
+// solve) and be rebuilt only when the revision bumps. PR 3 introduced
+// the pattern ad hoc inside MoveDistanceOracle; this header is the
+// factored-out gate both caches now share.
+#pragma once
+
+#include <cstdint>
+
+namespace ncg {
+
+/// Reuse-vs-rebuild decision for state derived from a revision-stamped
+/// source (a player's cached view).
+///
+/// Contract: the caller presents the source's current revision before
+/// touching the derived state. A `true` return guarantees the state was
+/// last (re)built against exactly this revision and may be reused
+/// verbatim; on `false` the gate has already re-stamped itself and the
+/// caller must rebuild the state before use. Revision 0 is reserved for
+/// "no identity available" (reference paths, one-shot solves) and never
+/// reuses — and a gate holding stamp 0 never vouches for anything.
+struct RevisionGate {
+  /// Source revision the guarded state was last built against
+  /// (0 = never built, or built without an identity).
+  std::uint64_t revision = 0;
+
+  /// True iff state stamped `revision` is valid for source revision
+  /// `rev`; otherwise adopts `rev` as the new stamp and returns false
+  /// (the caller rebuilds). `rev == 0` always returns false.
+  bool reuse(std::uint64_t rev) {
+    if (rev != 0 && revision == rev) return true;
+    revision = rev;
+    return false;
+  }
+
+  /// Forgets the stamp: the next reuse() of any revision rebuilds.
+  void invalidate() { revision = 0; }
+};
+
+}  // namespace ncg

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/best_response.hpp"
 #include "core/player_view.hpp"
 #include "core/strategy.hpp"
 #include "graph/bfs.hpp"
@@ -31,7 +32,10 @@
 
 namespace ncg {
 
-/// Memoized per-player views with distance-<=k dirty tracking.
+/// Memoized per-player views with distance-<=k dirty tracking, plus the
+/// revision-keyed per-player solver state derived from those views (the
+/// greedy-move distance oracle and the MaxNCG cover-instance cache, both
+/// gated on viewRevision — see core/revision_keyed.hpp).
 /// Not thread-safe; one cache per dynamics run.
 class DynamicsCache {
  public:
@@ -66,12 +70,58 @@ class DynamicsCache {
                  const std::vector<NodeId>& newStrategy);
 
   /// Monotone stamp of u's cached view: bumped every time the view is
-  /// rebuilt, stable while it is reused. Never zero once the view has
-  /// been built, so it can key derived per-player state (the greedy-move
-  /// distance oracle) to the exact view it was computed from.
+  /// rebuilt, stable exactly while the cached copy is reused (a "clean
+  /// wakeup" presents the same revision the previous solve saw). Never
+  /// zero once the view has been built, so it can key derived per-player
+  /// state — anything computed purely from the view — to the exact view
+  /// it was computed from; revision 0 is the RevisionGate sentinel for
+  /// "no identity / never reusable" (see core/revision_keyed.hpp).
   std::uint64_t viewRevision(NodeId u) const {
     return revision_[static_cast<std::size_t>(u)];
   }
+
+  /// Largest view (node count, center included) whose derived per-player
+  /// solver state persists across clean wakeups. Beyond it the memory
+  /// would be dominated by the |H₀|² oracle rows / per-radius mask sets
+  /// (≈ MBs per player), so the accessors below evict the player's
+  /// stored payload and return nullptr — callers then fall back to the
+  /// shared scratch, which still reuses storage within a solve but not
+  /// across wakeups.
+  static constexpr NodeId kDerivedPersistLimit = 512;
+
+  /// Smallest view worth persisting. Below this the construction a reuse
+  /// would skip costs single-digit microseconds, while materializing the
+  /// per-player copy (cold allocations, n× memory footprint) costs about
+  /// as much as it ever saves — measured on the cache-off ablation
+  /// workloads, small-view engagement is a net loss. Solves on smaller
+  /// views always use the shared scratch.
+  static constexpr NodeId kDerivedPersistMinNodes = 128;
+
+  /// Per-player greedy-move distance oracle, revision-keyed persistence
+  /// across clean wakeups (pass `revision = viewRevision(u)`, then hand
+  /// the same revision to the greedyMove overload).
+  ///
+  /// Engagement is adaptive: the per-player copy is only handed out from
+  /// the third consecutive presentation of the same revision on — a
+  /// player provably in a streak of clean re-solves. Until then the
+  /// caller gets nullptr and uses the shared scratch, so workloads whose
+  /// views change on every wakeup (the settled-skip path, move-heavy
+  /// phases at large k where each move dirties everyone) pay none of the
+  /// per-player allocation churn, and neither does the single guaranteed
+  /// clean re-solve of every converged run (the final all-quiet round);
+  /// stable players reuse from their fourth consecutive clean wakeup.
+  /// Views past kDerivedPersistLimit always return nullptr and evict any
+  /// payload.
+  MoveDistanceOracle* greedyOracleFor(NodeId u, NodeId viewNodes,
+                                      std::uint64_t revision);
+
+  /// Per-player MaxNCG cover-instance cache, same contract and the same
+  /// adaptive streak-based engagement: pass the revision to the
+  /// bestResponse overload taking a CoverInstanceCache so clean wakeups
+  /// skip instance construction. nullptr (payload evicted) when the view
+  /// exceeds the size cap.
+  CoverInstanceCache* coverCacheFor(NodeId u, NodeId viewNodes,
+                                    std::uint64_t revision);
 
   /// View rebuilds performed so far (diagnostics for benches/tests).
   std::size_t rebuilds() const { return rebuilds_; }
@@ -85,6 +135,16 @@ class DynamicsCache {
   std::vector<bool> valid_;
   std::vector<bool> settled_;
   std::vector<std::uint64_t> revision_;
+  // Revision-keyed per-player solver state (lazily sized on first use,
+  // so runs that never ask pay nothing). Invalidation is implicit: a
+  // stale payload simply fails its gate at the next solve. derivedSeen_
+  // holds the last revision each player presented, backing the
+  // streak-based engagement rule (a run solves with exactly one of
+  // the two payload kinds, so one pair of arrays serves both).
+  std::vector<MoveDistanceOracle> oracles_;
+  std::vector<CoverInstanceCache> covers_;
+  std::vector<std::uint64_t> derivedSeen_;
+  std::vector<std::uint8_t> derivedStreak_;
   std::uint64_t revisionCounter_ = 0;
   CsrGraph mirror_;     ///< flat CSR copy of G, patched per applyMove
   bool mirrorValid_ = false;

@@ -31,24 +31,34 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
   DynamicsCache cache(incremental ? n : 0, config.params.k);
   Rng scheduleRng(config.scheduleSeed);
 
-  // Greedy rule, incremental engine: one distance oracle per player,
-  // keyed by the cache's view revision, so the H₀ all-sources rows are
-  // rebuilt only when the player's view actually changed. Views whose
-  // distance matrix would be large fall back to the shared scratch
-  // oracle — still one batched BFS pass per solve, just no cross-wakeup
-  // persistence — to bound memory at n · limit².
-  constexpr NodeId kOraclePersistLimit = 512;
-  std::vector<MoveDistanceOracle> oracles(
-      incremental && config.moveRule == MoveRule::kGreedy
-          ? static_cast<std::size_t>(n)
-          : 0);
-  const auto greedyOracleSolve = [&](const PlayerView& pv, NodeId u) {
-    if (pv.view.size() <= kOraclePersistLimit) {
-      return greedyMove(pv, config.params, scratch,
-                        oracles[static_cast<std::size_t>(u)],
+  // Incremental engine: per-player solver state derived from a view —
+  // the greedy rule's H₀ distance oracle, the MaxNCG per-radius cover
+  // instances — lives in the DynamicsCache keyed by its view revisions,
+  // so a clean wakeup re-solves without reconstructing any of it. The
+  // cache decides per solve whether the per-player payload is worth it
+  // (a streak of identical revisions + the [kDerivedPersistMinNodes,
+  // kDerivedPersistLimit] view-size window — see DynamicsCache) and
+  // returns nullptr otherwise; those solves fall
+  // back to the shared scratch — same batched algorithms, no
+  // cross-wakeup persistence. In reference mode both accessors always
+  // return nullptr.
+  const auto greedySolve = [&](const PlayerView& pv, NodeId u) {
+    if (MoveDistanceOracle* oracle = cache.greedyOracleFor(
+            u, pv.view.size(), cache.viewRevision(u))) {
+      return greedyMove(pv, config.params, scratch, *oracle,
                         cache.viewRevision(u));
     }
     return greedyMove(pv, config.params, scratch);
+  };
+  const auto bestResponseSolve = [&](const PlayerView& pv, NodeId u) {
+    if (config.params.kind == GameKind::kMax) {
+      if (CoverInstanceCache* cover = cache.coverCacheFor(
+              u, pv.view.size(), cache.viewRevision(u))) {
+        return bestResponse(pv, config.params, config.br, scratch, *cover,
+                            cache.viewRevision(u));
+      }
+    }
+    return bestResponse(pv, config.params, config.br, scratch);
   };
 
   // Cycle detection is only sound under a deterministic schedule: the
@@ -76,8 +86,8 @@ DynamicsResult runBestResponseDynamics(const StrategyProfile& initial,
 
   const auto solve = [&](const PlayerView& pv, NodeId u) {
     return config.moveRule == MoveRule::kBestResponse
-               ? bestResponse(pv, config.params, config.br, scratch)
-               : greedyOracleSolve(pv, u);
+               ? bestResponseSolve(pv, u)
+               : greedySolve(pv, u);
   };
   const auto recordMove = [&](int round, NodeId u, const BestResponse& br) {
     if (!config.collectMoves) return;

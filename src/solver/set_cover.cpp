@@ -249,19 +249,35 @@ SetCoverResult minSetCover(const DynBitset& universe,
       }
     }
   } else {
+    // General path (universe > 128 bits): same subsumption decisions,
+    // but the kept masks are mirrored into one flat row-major word
+    // array so each subset test streams contiguous memory instead of
+    // chasing per-DynBitset allocations. Duplicate sets (equal-coverage
+    // dedup) fall out of the same scan: an equal mask is subsumed by
+    // its earlier copy.
+    std::vector<std::uint64_t>& keptFlat = scratch.keptWordsFlat;
+    keptFlat.clear();
     for (int original : order) {
       const DynBitset& candidate = sets[static_cast<std::size_t>(original)];
       if (scratch.setCount[static_cast<std::size_t>(original)] == 0) {
         continue;
       }
+      const auto words = candidate.words();
       bool subsumed = false;
-      for (std::size_t k = 0; k < keptSize; ++k) {
-        if (candidate.isSubsetOf(kept[k])) {
-          subsumed = true;
-          break;
+      for (std::size_t k = 0; k < keptSize && !subsumed; ++k) {
+        const std::uint64_t* kw = keptFlat.data() + k * universeWords;
+        subsumed = true;
+        for (std::size_t w = 0; w < universeWords; ++w) {
+          if ((words[w] & ~kw[w]) != 0) {
+            subsumed = false;
+            break;
+          }
         }
       }
-      if (!subsumed) acceptKept(candidate, original);
+      if (!subsumed) {
+        acceptKept(candidate, original);
+        keptFlat.insert(keptFlat.end(), words.begin(), words.end());
+      }
     }
   }
   kept.resize(keptSize);
@@ -330,6 +346,46 @@ SetCoverResult minSetCover(const DynBitset& universe,
         // by index so identical pairs drop exactly one.
         if ((s1 & ~s2) != 0) continue;
         if (std::popcount(s1) < c2 || e1 < e2) {
+          reducedUniverse.reset(e2);
+          break;
+        }
+      }
+    }
+  } else if (keptSize <= 128) {
+    // Two-word packed signatures: identical domination decisions to the
+    // single-word tier (strict subset, or equal tie-broken by index),
+    // with subset tests staying register-resident for instances of up
+    // to 128 reduced sets. Popcounts are precomputed per element so the
+    // pair loop rejects impossible dominators on one integer compare,
+    // like the wide tier's count pre-check.
+    std::vector<std::uint64_t>& sigLow = scratch.signature64;
+    std::vector<std::uint64_t>& sigHigh = scratch.signature64High;
+    sigLow.assign(elementCount, 0);
+    sigHigh.assign(elementCount, 0);
+    for (std::size_t s = 0; s < keptSize; ++s) {
+      std::vector<std::uint64_t>& half = s < 64 ? sigLow : sigHigh;
+      const std::uint64_t bit = std::uint64_t{1} << (s & 63);
+      kept[s].forEachSetBit([&half, bit](std::size_t e) { half[e] |= bit; });
+    }
+    scratch.signatureCount.resize(elementCount);
+    for (std::size_t e : active) {
+      scratch.signatureCount[e] = static_cast<std::size_t>(
+          std::popcount(sigLow[e]) + std::popcount(sigHigh[e]));
+    }
+    for (std::size_t e2 : active) {
+      const std::uint64_t lo2 = sigLow[e2];
+      const std::uint64_t hi2 = sigHigh[e2];
+      const std::size_t c2 = scratch.signatureCount[e2];
+      for (std::size_t e1 : active) {
+        if (e1 == e2) continue;
+        if (scratch.signatureCount[e1] > c2) continue;
+        if (!reducedUniverse.test(e1)) continue;
+        const std::uint64_t lo1 = sigLow[e1];
+        const std::uint64_t hi1 = sigHigh[e1];
+        // e2 dominated by e1: sig(e1) ⊆ sig(e2), strict or tie-broken
+        // by index so identical pairs drop exactly one.
+        if (((lo1 & ~lo2) | (hi1 & ~hi2)) != 0) continue;
+        if (scratch.signatureCount[e1] < c2 || e1 < e2) {
           reducedUniverse.reset(e2);
           break;
         }

@@ -11,7 +11,13 @@
 // never needed), and dominated elements are dropped (if every set covering
 // e1 also covers e2, covering e1 covers e2 for free). On the ball-mask
 // instances arising from views these reductions routinely remove most of
-// the instance.
+// the instance. Both reductions run on packed machine words at every
+// instance size: set subsumption streams a flat row-major mask array
+// (two registers when the universe fits 128 bits), and element
+// domination compares one- or two-word packed signatures whenever the
+// reduced set list fits 64/128 sets, falling back to bitsets only
+// beyond that. All paths make identical decisions — the reductions are
+// part of the solver's deterministic result contract, not heuristics.
 //
 // The solver is exact but carries an explicit exploration budget so callers
 // can bound worst-case latency; when the budget trips, the best incumbent
@@ -57,11 +63,13 @@ struct SetCoverScratch {
   std::vector<int> keptOriginal;       ///< reduced index -> original index
   std::vector<std::uint64_t> keptWordsLow;   ///< flat kept masks (<=128b)
   std::vector<std::uint64_t> keptWordsHigh;
+  std::vector<std::uint64_t> keptWordsFlat;  ///< row-major masks (>128b)
   std::vector<std::int32_t> coverStart;  ///< flat element→sets index rows
   std::vector<std::int32_t> coverCursor;
   std::vector<int> coverData;
   std::vector<DynBitset> signature;    ///< per-element covering-set masks
   std::vector<std::uint64_t> signature64;  ///< packed form when kept <= 64
+  std::vector<std::uint64_t> signature64High;  ///< second word, kept <= 128
   std::vector<std::size_t> signatureCount;
   DynBitset reducedUniverse;
   DynBitset greedyUncovered;

@@ -159,7 +159,7 @@ TEST(GreedyOracleDifferential, PersistentOracleReuseAcrossWakeups) {
     const std::uint64_t revision = static_cast<std::uint64_t>(u) + 1;
     const BestResponse first =
         greedyMove(pv, params, scratch, oracle, revision);
-    EXPECT_EQ(oracle.revision, revision);
+    EXPECT_EQ(oracle.gate.revision, revision);
     // Second call with the same revision: rows are reused verbatim.
     const BestResponse second =
         greedyMove(pv, params, scratch, oracle, revision);
