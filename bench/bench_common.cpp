@@ -2,39 +2,11 @@
 
 #include <cstdio>
 
-#include "gen/erdos_renyi.hpp"
-#include "gen/random_tree.hpp"
+#include "runtime/scenario.hpp"
 #include "stats/experiment.hpp"
-#include "support/error.hpp"
 #include "support/string_util.hpp"
 
 namespace ncg::bench {
-
-Graph makeInitialGraph(const TrialSpec& spec, Rng& rng) {
-  switch (spec.source) {
-    case Source::kRandomTree:
-      return makeRandomTree(spec.n, rng);
-    case Source::kErdosRenyi:
-      return makeConnectedErdosRenyi(spec.n, spec.p, rng);
-  }
-  throw Error("unknown source");
-}
-
-TrialOutcome runTrial(const TrialSpec& spec, Rng& rng) {
-  const Graph initial = makeInitialGraph(spec, rng);
-  const StrategyProfile profile =
-      StrategyProfile::randomOwnership(initial, rng);
-  DynamicsConfig config;
-  config.params = spec.params;
-  config.maxRounds = spec.maxRounds;
-  const DynamicsResult result = runBestResponseDynamics(profile, config);
-  TrialOutcome outcome;
-  outcome.outcome = result.outcome;
-  outcome.rounds = result.rounds;
-  outcome.features =
-      computeFeatures(result.graph, result.profile, spec.params);
-  return outcome;
-}
 
 std::vector<TrialOutcome> runTrials(ThreadPool& pool, const TrialSpec& spec,
                                     int trials, std::uint64_t baseSeed,
@@ -44,40 +16,13 @@ std::vector<TrialOutcome> runTrials(ThreadPool& pool, const TrialSpec& spec,
       [&spec](int, Rng& rng) { return runTrial(spec, rng); }, shardSize);
 }
 
-int trialsFromEnv() { return envInt("NCG_TRIALS", 8); }
-
-std::size_t threadsFromEnv() {
-  const int threads = envInt("NCG_THREADS", 0);
-  return threads > 0 ? static_cast<std::size_t>(threads) : 0;
-}
-
-bool fullScale() { return envInt("NCG_SCALE", 0) == 1; }
-
 std::string ciCell(const RunningStat& stat, int decimals) {
   return formatWithCi(stat.mean(), stat.ci95HalfWidth(), decimals);
 }
 
 void printHeader(const std::string& title, const std::string& paperRef) {
-  std::printf("=== %s ===\n", title.c_str());
-  std::printf("reproduces: %s\n", paperRef.c_str());
-  std::printf("trials per point: %d%s\n\n", trialsFromEnv(),
-              fullScale() ? " (full scale)" : " (reduced; NCG_SCALE=1 for "
-                                              "the paper grid)");
-}
-
-std::vector<double> alphaGrid() {
-  if (fullScale()) {
-    return {0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7,
-            1.0,   1.5,  2.0, 3.0, 5.0, 7.0, 10.0};
-  }
-  return {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
-}
-
-std::vector<Dist> kGrid() {
-  if (fullScale()) {
-    return {2, 3, 4, 5, 6, 7, 10, 15, 20, 25, 30, 1000};
-  }
-  return {2, 3, 4, 5, 7, 1000};
+  const std::string text = runtime::headerText(title, paperRef);
+  std::fputs(text.c_str(), stdout);
 }
 
 }  // namespace ncg::bench

@@ -3,10 +3,12 @@
 // Every harness runs seeded best-response-dynamics trials over a
 // parameter grid and prints paper-style rows (mean ± 95% CI). Trials are
 // sharded over a ThreadPool with one RNG stream per trial, so the printed
-// numbers are bitwise identical for any thread count. Three env knobs:
-//   NCG_TRIALS  — trials per grid point (default 8; the paper used 20)
-//   NCG_SCALE   — 1 enables the paper's full grids (default: reduced)
-//   NCG_THREADS — worker threads (default 0 = one per hardware thread)
+// numbers are bitwise identical for any thread count. Env knobs
+// (NCG_TRIALS / NCG_SCALE / NCG_THREADS) are parsed once in
+// support/env.hpp — shared with the runtime scenario layer, which adds
+// NCG_PROCS — and the trial bodies/grids live in runtime/trial.hpp so
+// registered scenarios run exactly what the harnesses run; this header
+// re-exports both under the historical ncg::bench names.
 #pragma once
 
 #include <cstddef>
@@ -14,43 +16,26 @@
 #include <string>
 #include <vector>
 
-#include "core/game.hpp"
-#include "dynamics/round_robin.hpp"
-#include "graph/graph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "runtime/trial.hpp"
 #include "stats/accumulator.hpp"
+#include "support/env.hpp"
 #include "support/random.hpp"
 
 namespace ncg::bench {
 
-/// Initial-network family for a trial.
-enum class Source {
-  kRandomTree,
-  kErdosRenyi,
-};
+// The trial vocabulary, re-exported from the runtime layer.
+using runtime::Source;
+using runtime::TrialOutcome;
+using runtime::TrialSpec;
+using runtime::makeInitialGraph;
+using runtime::runTrial;
 
-/// One grid point of an experiment.
-struct TrialSpec {
-  Source source = Source::kRandomTree;
-  NodeId n = 100;
-  double p = 0.1;  ///< only for kErdosRenyi
-  GameParams params;
-  int maxRounds = 60;
-};
+/// The α grid of §5.1 (reduced unless NCG_SCALE=1).
+using runtime::alphaGrid;
 
-/// Result of one dynamics trial.
-struct TrialOutcome {
-  DynamicsOutcome outcome = DynamicsOutcome::kConverged;
-  int rounds = 0;
-  NetworkFeatures features;  ///< features of the final state
-};
-
-/// Samples the initial network of a spec (connected by construction).
-Graph makeInitialGraph(const TrialSpec& spec, Rng& rng);
-
-/// Runs one trial: sample graph, coin-toss ownership, round-robin
-/// dynamics, final-state features.
-TrialOutcome runTrial(const TrialSpec& spec, Rng& rng);
+/// The k grid of §5.1 (reduced unless NCG_SCALE=1); 1000 = full view.
+using runtime::kGrid;
 
 /// Runs `trials` seeded trials of a spec, sharded over the pool; results
 /// in trial order (bitwise deterministic for a given baseSeed, whatever
@@ -70,25 +55,19 @@ RunningStat statOver(const std::vector<TrialOutcome>& outcomes, F&& f) {
 }
 
 /// NCG_TRIALS (default 8, paper used 20).
-int trialsFromEnv();
+inline int trialsFromEnv() { return env::trials(); }
 
 /// NCG_THREADS (default 0 = one worker per hardware thread); pass the
 /// result to the ThreadPool constructor.
-std::size_t threadsFromEnv();
+inline std::size_t threadsFromEnv() { return env::threads(); }
 
 /// True when NCG_SCALE=1 requests the paper's full grids.
-bool fullScale();
+inline bool fullScale() { return env::fullScale(); }
 
 /// "mean ± ci" cell with the given decimals.
 std::string ciCell(const RunningStat& stat, int decimals = 2);
 
 /// Prints a standard harness header line.
 void printHeader(const std::string& title, const std::string& paperRef);
-
-/// The α grid of §5.1 (reduced unless NCG_SCALE=1).
-std::vector<double> alphaGrid();
-
-/// The k grid of §5.1 (reduced unless NCG_SCALE=1); 1000 = full view.
-std::vector<Dist> kGrid();
 
 }  // namespace ncg::bench

@@ -1,85 +1,12 @@
 // Figure 10: rounds needed to converge — vs α at n = 100 (left) and vs n
 // at α = 2 (right), on random trees. Also reports best-response cycles,
 // which the paper found in only 5 of ~36 000 dynamics.
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry (PR 5): the grid, trial
+// body and rendering live in src/runtime/scenarios_builtin.cpp, and
+// this main is byte-identical to the pre-port harness output (pinned
+// by tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS) and checkpoint/resume.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-int main() {
-  bench::printHeader("Figure 10 — convergence time (trees)",
-                     "Bilò et al., Locality-based NCGs, Fig. 10");
-
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  int cycles = 0;
-  int nonConverged = 0;
-  int total = 0;
-
-  std::printf("--- rounds vs α (n = 100) ---\n");
-  TextTable leftTable({"k", "alpha", "rounds"});
-  for (const Dist k : bench::kGrid()) {
-    for (const double alpha : bench::alphaGrid()) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kRandomTree;
-      spec.n = 100;
-      spec.params = GameParams::max(alpha, k);
-      const auto outcomes = bench::runTrials(
-          pool, spec, trials,
-          0xF161000ULL + static_cast<std::uint64_t>(k * 101) +
-              static_cast<std::uint64_t>(alpha * 5407));
-      RunningStat rounds;
-      for (const auto& o : outcomes) {
-        ++total;
-        if (o.outcome == DynamicsOutcome::kCycleDetected) ++cycles;
-        if (o.outcome == DynamicsOutcome::kRoundLimit) ++nonConverged;
-        if (o.outcome == DynamicsOutcome::kConverged) {
-          rounds.push(static_cast<double>(o.rounds));
-        }
-      }
-      leftTable.addRow({std::to_string(k), formatFixed(alpha, 3),
-                        bench::ciCell(rounds)});
-    }
-  }
-  std::printf("%s\n", leftTable.toString().c_str());
-
-  std::printf("--- rounds vs n (α = 2) ---\n");
-  TextTable rightTable({"k", "n", "rounds"});
-  const std::vector<NodeId> ns =
-      bench::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
-                         : std::vector<NodeId>{20, 50, 100};
-  for (const Dist k : bench::kGrid()) {
-    for (const NodeId n : ns) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kRandomTree;
-      spec.n = n;
-      spec.params = GameParams::max(2.0, k);
-      const auto outcomes = bench::runTrials(
-          pool, spec, trials,
-          0xF161001ULL + static_cast<std::uint64_t>(k * 103) +
-              static_cast<std::uint64_t>(n * 10007));
-      RunningStat rounds;
-      for (const auto& o : outcomes) {
-        ++total;
-        if (o.outcome == DynamicsOutcome::kCycleDetected) ++cycles;
-        if (o.outcome == DynamicsOutcome::kRoundLimit) ++nonConverged;
-        if (o.outcome == DynamicsOutcome::kConverged) {
-          rounds.push(static_cast<double>(o.rounds));
-        }
-      }
-      rightTable.addRow({std::to_string(k), std::to_string(n),
-                         bench::ciCell(rounds)});
-    }
-  }
-  std::printf("%s\n", rightTable.toString().c_str());
-  std::printf("dynamics run: %d | best-response cycles: %d | "
-              "round-limit hits: %d\n",
-              total, cycles, nonConverged);
-  std::printf("paper claims: >95%% of runs converge within 7 rounds; "
-              "cycles are extremely rare (5 in ~36000).\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("fig10_convergence"); }

@@ -18,6 +18,7 @@
 
 #include "bench_common.hpp"
 #include "core/best_response.hpp"
+#include "support/build_info.hpp"
 #include "core/player_view.hpp"
 #include "dynamics/round_robin.hpp"
 #include "gen/random_tree.hpp"
@@ -185,7 +186,19 @@ int main() {
     std::fprintf(stderr, "perf_smoke: cannot write %s\n", jsonPath.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"bench\": \"perf_smoke\",\n  \"cases\": [\n");
+  // Provenance: which commit produced these numbers, when, and under
+  // which env knobs (the workload itself is pinned and ignores them,
+  // but the uploaded trajectory must be self-describing).
+  std::fprintf(out,
+               "{\n  \"bench\": \"perf_smoke\",\n"
+               "  \"commit\": \"%s\",\n"
+               "  \"generated_utc\": \"%s\",\n"
+               "  \"ncg_scale\": %d,\n"
+               "  \"ncg_trials\": %d,\n"
+               "  \"pinned_workload\": true,\n"
+               "  \"cases\": [\n",
+               buildGitCommit(), utcTimestamp().c_str(),
+               bench::fullScale() ? 1 : 0, bench::trialsFromEnv());
   for (std::size_t i = 0; i < cases.size(); ++i) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"seconds\": %.6f, "

@@ -1,44 +1,11 @@
 // Table I: statistics of the random trees used as initial networks —
 // diameter, max degree, max bought edges, for n in {20,30,50,70,100,200}.
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry (PR 5): the grid, trial
+// body and rendering live in src/runtime/scenarios_builtin.cpp, and
+// this main is byte-identical to the pre-port harness output (pinned
+// by tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS) and checkpoint/resume.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "gen/random_tree.hpp"
-#include "graph/metrics.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-int main() {
-  bench::printHeader("Table I — random tree statistics",
-                     "Bilò et al., Locality-based NCGs, Table I");
-  const int trials = std::max(bench::trialsFromEnv(), 20);
-
-  TextTable table({"n", "Diameter", "Max. degree", "Max. Bought Edges"});
-  for (const NodeId n : {20, 30, 50, 70, 100, 200}) {
-    RunningStat diameterStat;
-    RunningStat degreeStat;
-    RunningStat boughtStat;
-    for (int trial = 0; trial < trials; ++trial) {
-      Rng rng(deriveSeed(0x7AB1E100ULL + static_cast<std::uint64_t>(n),
-                         static_cast<std::uint64_t>(trial)));
-      const Graph tree = makeRandomTree(n, rng);
-      const StrategyProfile profile =
-          StrategyProfile::randomOwnership(tree, rng);
-      diameterStat.push(static_cast<double>(diameter(tree)));
-      degreeStat.push(static_cast<double>(tree.maxDegree()));
-      NodeId maxBought = 0;
-      for (NodeId u = 0; u < n; ++u) {
-        maxBought = std::max(maxBought, profile.boughtCount(u));
-      }
-      boughtStat.push(static_cast<double>(maxBought));
-    }
-    table.addRow({std::to_string(n), bench::ciCell(diameterStat),
-                  bench::ciCell(degreeStat), bench::ciCell(boughtStat)});
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf("paper (n=20): 10.65 ± 0.76 | 4.00 ± 0.26 | 2.75 ± 0.34\n");
-  std::printf("paper (n=200): 43.20 ± 3.95 | 5.30 ± 0.31 | 3.85 ± 0.31\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("table1_random_trees"); }

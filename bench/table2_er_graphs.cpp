@@ -1,61 +1,11 @@
 // Table II: statistics of the Erdős–Rényi initial networks — edges,
 // diameter, max degree, max bought edges for the six (n,p) combinations.
-#include <algorithm>
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry (PR 5): the grid, trial
+// body and rendering live in src/runtime/scenarios_builtin.cpp, and
+// this main is byte-identical to the pre-port harness output (pinned
+// by tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS) and checkpoint/resume.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "gen/erdos_renyi.hpp"
-#include "graph/metrics.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-int main() {
-  bench::printHeader("Table II — Erdős–Rényi graph statistics",
-                     "Bilò et al., Locality-based NCGs, Table II");
-  const int trials = std::max(bench::trialsFromEnv(), 20);
-
-  struct Combo {
-    NodeId n;
-    double p;
-  };
-  const Combo combos[] = {{100, 0.060}, {100, 0.100}, {100, 0.200},
-                          {200, 0.035}, {200, 0.050}, {200, 0.100}};
-
-  TextTable table({"n", "p", "Edges", "Diameter", "Max. degree",
-                   "Max. Bought Edges"});
-  for (const Combo& combo : combos) {
-    RunningStat edgesStat;
-    RunningStat diameterStat;
-    RunningStat degreeStat;
-    RunningStat boughtStat;
-    for (int trial = 0; trial < trials; ++trial) {
-      Rng rng(deriveSeed(0x7AB1E200ULL + static_cast<std::uint64_t>(combo.n) +
-                             static_cast<std::uint64_t>(combo.p * 1e4),
-                         static_cast<std::uint64_t>(trial)));
-      const Graph g = makeConnectedErdosRenyi(combo.n, combo.p, rng);
-      const StrategyProfile profile =
-          StrategyProfile::randomOwnership(g, rng);
-      edgesStat.push(static_cast<double>(g.edgeCount()));
-      diameterStat.push(static_cast<double>(diameter(g)));
-      degreeStat.push(static_cast<double>(g.maxDegree()));
-      NodeId maxBought = 0;
-      for (NodeId u = 0; u < combo.n; ++u) {
-        maxBought = std::max(maxBought, profile.boughtCount(u));
-      }
-      boughtStat.push(static_cast<double>(maxBought));
-    }
-    table.addRow({std::to_string(combo.n), formatFixed(combo.p, 3),
-                  bench::ciCell(edgesStat), bench::ciCell(diameterStat),
-                  bench::ciCell(degreeStat), bench::ciCell(boughtStat)});
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf(
-      "paper (100, 0.060): 301.10 ± 7.51 | 5.30 ± 0.22 | 12.50 ± 0.67 | "
-      "7.90 ± 0.43\n");
-  std::printf(
-      "paper (200, 0.100): 2005.55 ± 12.87 | 3.00 ± 0.00 | 32.80 ± 1.11 | "
-      "18.95 ± 0.54\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("table2_er_graphs"); }

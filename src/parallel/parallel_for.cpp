@@ -5,6 +5,10 @@
 
 namespace ncg {
 
+std::size_t defaultGrain(std::size_t n, std::size_t workers) {
+  return std::max<std::size_t>(1, n / (std::max<std::size_t>(workers, 1) * 4));
+}
+
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& body,
                  std::size_t grain) {
@@ -15,9 +19,7 @@ void parallelFor(ThreadPool& pool, std::size_t n,
     return;
   }
   if (grain == 0) {
-    // Aim for ~4 chunks per worker to absorb imbalance without
-    // excessive queue traffic.
-    grain = std::max<std::size_t>(1, n / (workers * 4));
+    grain = defaultGrain(n, workers);
   }
 
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);

@@ -15,9 +15,16 @@
 
 namespace ncg {
 
+/// The shard-size heuristic behind grain 0: ~4 contiguous chunks per
+/// worker, so imbalance is absorbed without excessive queue traffic.
+/// Shared by parallelFor and the multi-process scenario runner
+/// (runtime/runner.cpp), which partitions trial units with the same
+/// math across processes instead of threads.
+std::size_t defaultGrain(std::size_t n, std::size_t workers);
+
 /// Runs body(i) for each i in [0, n) across the pool's workers.
 /// `grain` indices are claimed at a time (dynamic scheduling); grain 0
-/// picks a heuristic based on n and the pool size.
+/// picks defaultGrain(n, pool size).
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& body,
                  std::size_t grain = 0);

@@ -1,0 +1,107 @@
+#include "runtime/checkpoint.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace ncg::runtime {
+
+CheckpointLoad loadCheckpoint(const std::string& path) {
+  CheckpointLoad load;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return load;
+
+  std::string line;
+  bool first = true;
+  char buffer[4096];
+  const auto consume = [&] {
+    if (first) {
+      first = false;
+      if (auto header = decodeHeaderLine(line)) {
+        load.headerValid = true;
+        load.header = std::move(*header);
+      } else {
+        ++load.malformedLines;
+      }
+    } else if (auto record = decodeTrialLine(line)) {
+      load.records.push_back(std::move(*record));
+    } else {
+      ++load.malformedLines;
+    }
+    line.clear();
+  };
+
+  bool sawAny = false;
+  while (std::fgets(buffer, sizeof buffer, file) != nullptr) {
+    sawAny = true;
+    line += buffer;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      consume();
+    }
+  }
+  if (!line.empty()) {
+    // Unterminated final line: a kill landed mid-write. Skip it.
+    ++load.malformedLines;
+  }
+  std::fclose(file);
+  load.exists = sawAny;
+  return load;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const ResultHeader& header) {
+  // If a kill left the file with an unterminated final line, start the
+  // resume's appends on a fresh line — otherwise the first new record
+  // would merge into the torn fragment and be lost to every future
+  // load as one undecodable line.
+  bool needsNewline = false;
+  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
+    if (std::fseek(existing, -1, SEEK_END) == 0) {
+      needsNewline = std::fgetc(existing) != '\n';
+    }
+    std::fclose(existing);
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    throw Error("cannot open checkpoint file '" + path + "' for appending");
+  }
+  if (std::ftell(file_) == 0) {
+    const std::string line = encodeHeaderLine(header) + "\n";
+    std::fputs(line.c_str(), file_);
+    std::fflush(file_);
+  } else if (needsNewline) {
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)) {}
+
+CheckpointWriter& CheckpointWriter::operator=(
+    CheckpointWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = std::exchange(other.file_, nullptr);
+  }
+  return *this;
+}
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+void CheckpointWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void CheckpointWriter::append(const TrialRecord& record) {
+  if (file_ == nullptr) return;
+  const std::string line = encodeTrialLine(record) + "\n";
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace ncg::runtime

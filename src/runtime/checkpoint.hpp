@@ -1,0 +1,66 @@
+// Completed-trial manifest for kill/resume of long scenario runs.
+//
+// The manifest is a JSONL file: one header line identifying the grid
+// (scenario name + fingerprint), then one line per completed trial in
+// completion order, appended and flushed as results arrive. Resuming
+// loads every decodable line, refuses a manifest whose fingerprint
+// does not match the grid about to run (the env knobs changed the
+// grid), and silently skips a truncated final line — the expected
+// debris of a kill mid-write. Because trial seeds depend only on
+// (point, trial), a resumed run finishes with results bitwise
+// identical to an uninterrupted one (pinned by the differential
+// suite).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/result_io.hpp"
+#include "runtime/scenario.hpp"
+
+namespace ncg::runtime {
+
+/// What loading a manifest file found.
+struct CheckpointLoad {
+  bool exists = false;      ///< file present and non-empty
+  bool headerValid = false; ///< first line decoded as a header
+  ResultHeader header;
+  std::vector<TrialRecord> records;  ///< every decodable trial line
+  std::size_t malformedLines = 0;    ///< skipped (typically a torn tail)
+};
+
+/// Reads a manifest; never throws on content (missing file → !exists).
+CheckpointLoad loadCheckpoint(const std::string& path);
+
+/// Append-side of the manifest. Opens in append mode and writes the
+/// header only when the file is empty, so open → kill → open again
+/// yields one header and a growing record log.
+class CheckpointWriter {
+ public:
+  /// No-op writer (checkpointing disabled).
+  CheckpointWriter() = default;
+
+  /// Opens `path` for appending and writes `header` if the file is
+  /// new/empty. Throws ncg::Error when the file cannot be opened.
+  CheckpointWriter(const std::string& path, const ResultHeader& header);
+
+  CheckpointWriter(CheckpointWriter&& other) noexcept;
+  CheckpointWriter& operator=(CheckpointWriter&& other) noexcept;
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+  ~CheckpointWriter();
+
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Appends one trial line and flushes it to the OS, so a kill loses
+  /// at most the line being written.
+  void append(const TrialRecord& record);
+
+ private:
+  void close();
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace ncg::runtime

@@ -1,0 +1,216 @@
+// ncg_run — the scenario runner CLI.
+//
+//   ncg_run list
+//       List registered scenarios with their current grid sizes (grids
+//       honour NCG_TRIALS / NCG_SCALE, so the numbers reflect the
+//       environment the command runs in).
+//
+//   ncg_run run <scenario> [options]
+//       Run a scenario and print its rendering (for the ported legacy
+//       scenarios: byte-identical to the original bench harness).
+//       Options:
+//         --procs=N        worker processes (default $NCG_PROCS, then 1)
+//         --checkpoint=P   JSONL manifest; an interrupted run resumes
+//                          from it with bitwise-identical final results
+//         --format=F       stdout format: legacy (default), jsonl, csv
+//         --out=P          additionally write JSONL results to file P
+//         --shard-size=N   units per worker shard (default: heuristic)
+//         --max-units=N    stop after N new trials (testing hook that
+//                          simulates a mid-grid kill; exits 0 with a
+//                          resume hint on stderr)
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "runtime/runner.hpp"
+#include "runtime/result_io.hpp"
+#include "runtime/scenario.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using namespace ncg;
+using namespace ncg::runtime;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s run <scenario> [--procs=N] [--checkpoint=PATH]\n"
+               "           [--format=legacy|jsonl|csv] [--out=PATH]\n"
+               "           [--shard-size=N] [--max-units=N]\n",
+               argv0, argv0);
+  return 2;
+}
+
+int listScenarios() {
+  for (const Scenario& scenario : scenarioRegistry()) {
+    const std::vector<ScenarioPoint> points = scenario.makePoints();
+    std::size_t trials = 0;
+    for (const ScenarioPoint& point : points) {
+      trials += static_cast<std::size_t>(point.trials);
+    }
+    std::printf("%-22s %4zu points %6zu trials  %s\n", scenario.name.c_str(),
+                points.size(), trials, scenario.description.c_str());
+  }
+  return 0;
+}
+
+/// Parses "--key=value" into `value`; true when `arg` starts with the
+/// key prefix.
+bool keyValue(const std::string& arg, const char* prefix,
+              std::string& value) {
+  const std::size_t len = std::strlen(prefix);
+  if (arg.compare(0, len, prefix) != 0) return false;
+  value = arg.substr(len);
+  return true;
+}
+
+std::string jsonlText(const Scenario& scenario, const RunReport& report) {
+  const ResultHeader header{
+      scenario.name, scenarioFingerprint(scenario, report.points),
+      report.points.size(), report.results.totalTrials()};
+  std::string out = encodeHeaderLine(header) + "\n";
+  for (const TrialRecord& record : report.results.records()) {
+    out += encodeTrialLine(record);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string csvText(const Scenario& scenario, const RunReport& report) {
+  // Columns are the union of param labels over the grid (points may
+  // carry different label sets, e.g. fig10's two panels); a point
+  // without a label leaves that cell empty.
+  const std::vector<std::string> labels = paramLabels(report.points);
+  std::string out = "point,trial";
+  for (const std::string& label : labels) {
+    out += "," + label;
+  }
+  for (const std::string& metric : scenario.metricNames) {
+    out += "," + metric;
+  }
+  out += "\n";
+  char buffer[40];
+  for (const TrialRecord& record : report.results.records()) {
+    out += std::to_string(record.point) + "," + std::to_string(record.trial);
+    const ScenarioPoint& point =
+        report.points[static_cast<std::size_t>(record.point)];
+    for (const std::string& label : labels) {
+      const auto value = point.tryParam(label);
+      if (value.has_value()) {
+        std::snprintf(buffer, sizeof buffer, ",%.17g", *value);
+        out += buffer;
+      } else {
+        out += ",";
+      }
+    }
+    for (const double metric : record.metrics) {
+      std::snprintf(buffer, sizeof buffer, ",%.17g", metric);
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+int runCommand(const std::string& name, const RunOptions& options,
+               const std::string& format, const std::string& outPath) {
+  const Scenario* scenario = findScenario(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: ncg_run list)\n",
+                 name.c_str());
+    return 2;
+  }
+  const RunReport report = runScenario(*scenario, options);
+
+  if (!outPath.empty()) {
+    std::FILE* out = std::fopen(outPath.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+      return 1;
+    }
+    const std::string text = jsonlText(*scenario, report);
+    std::fputs(text.c_str(), out);
+    std::fclose(out);
+  }
+
+  if (!report.complete) {
+    std::fprintf(stderr,
+                 "incomplete: %zu/%zu trials done (%zu from checkpoint, %zu "
+                 "this run); %s\n",
+                 report.results.completedTrials(),
+                 report.results.totalTrials(), report.unitsFromCheckpoint,
+                 report.unitsRun,
+                 options.checkpointPath.empty()
+                     ? "no --checkpoint was given, so these results are "
+                       "discarded — pass --checkpoint=PATH to make "
+                       "--max-units resumable"
+                     : "rerun with the same --checkpoint to resume");
+    return 0;
+  }
+
+  std::string text;
+  if (format == "legacy") {
+    text = scenario->render
+               ? scenario->render(*scenario, report.points, report.results)
+               : renderGenericTable(*scenario, report.points, report.results);
+  } else if (format == "jsonl") {
+    text = jsonlText(*scenario, report);
+  } else if (format == "csv") {
+    text = csvText(*scenario, report);
+  } else {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  try {
+    if (command == "list") {
+      if (argc != 2) return usage(argv[0]);
+      return listScenarios();
+    }
+    if (command == "run") {
+      if (argc < 3) return usage(argv[0]);
+      const std::string name = argv[2];
+      RunOptions options;
+      std::string format = "legacy";
+      std::string outPath;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (keyValue(arg, "--procs=", value)) {
+          options.procs = std::stoi(value);
+        } else if (keyValue(arg, "--checkpoint=", value)) {
+          options.checkpointPath = value;
+        } else if (keyValue(arg, "--format=", value)) {
+          format = value;
+        } else if (keyValue(arg, "--out=", value)) {
+          outPath = value;
+        } else if (keyValue(arg, "--shard-size=", value)) {
+          options.shardSize = static_cast<std::size_t>(std::stoul(value));
+        } else if (keyValue(arg, "--max-units=", value)) {
+          options.maxUnits = static_cast<std::size_t>(std::stoul(value));
+        } else {
+          std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+          return usage(argv[0]);
+        }
+      }
+      return runCommand(name, options, format, outPath);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ncg_run: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

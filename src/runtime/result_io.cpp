@@ -1,0 +1,180 @@
+#include "runtime/result_io.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncg::runtime {
+
+namespace {
+
+void appendHex(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016llX",
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+/// Advances `pos` past `token` (which must start there); false on
+/// mismatch or truncation.
+bool expect(std::string_view line, std::size_t& pos,
+            std::string_view token) {
+  if (line.size() - pos < token.size()) return false;
+  if (line.substr(pos, token.size()) != token) return false;
+  pos += token.size();
+  return true;
+}
+
+/// Parses a non-negative decimal integer at `pos`.
+bool parseU64(std::string_view line, std::size_t& pos,
+              std::uint64_t& out) {
+  std::size_t digits = 0;
+  std::uint64_t value = 0;
+  while (pos + digits < line.size() && line[pos + digits] >= '0' &&
+         line[pos + digits] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[pos + digits] - '0');
+    ++digits;
+  }
+  if (digits == 0 || digits > 20) return false;
+  pos += digits;
+  out = value;
+  return true;
+}
+
+/// Parses a quoted "0x<16 hex digits>" bit pattern at `pos`.
+bool parseHexBits(std::string_view line, std::size_t& pos,
+                  std::uint64_t& out) {
+  if (!expect(line, pos, "\"0x")) return false;
+  std::uint64_t value = 0;
+  std::size_t digits = 0;
+  while (pos + digits < line.size() && digits < 16) {
+    const char c = line[pos + digits];
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      break;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(nibble);
+    ++digits;
+  }
+  if (digits != 16) return false;
+  pos += digits;
+  if (!expect(line, pos, "\"")) return false;
+  out = value;
+  return true;
+}
+
+/// Parses a quoted string (no escape handling — our writers never emit
+/// escapes) at `pos`.
+bool parseQuoted(std::string_view line, std::size_t& pos,
+                 std::string& out) {
+  if (!expect(line, pos, "\"")) return false;
+  const std::size_t end = line.find('"', pos);
+  if (end == std::string_view::npos) return false;
+  out.assign(line.substr(pos, end - pos));
+  pos = end + 1;
+  return true;
+}
+
+}  // namespace
+
+std::string encodeHeaderLine(const ResultHeader& header) {
+  std::string out = "{\"ncg_run\":1,\"scenario\":\"";
+  out += header.scenario;
+  out += "\",\"fingerprint\":\"";
+  appendHex(out, header.fingerprint);
+  out += "\",\"points\":" + std::to_string(header.points);
+  out += ",\"trials\":" + std::to_string(header.trialsTotal);
+  out += "}";
+  return out;
+}
+
+std::optional<ResultHeader> decodeHeaderLine(std::string_view line) {
+  std::size_t pos = 0;
+  ResultHeader header;
+  std::uint64_t points = 0;
+  std::uint64_t trials = 0;
+  if (!expect(line, pos, "{\"ncg_run\":1,\"scenario\":") ||
+      !parseQuoted(line, pos, header.scenario) ||
+      !expect(line, pos, ",\"fingerprint\":") ||
+      !parseHexBits(line, pos, header.fingerprint) ||
+      !expect(line, pos, ",\"points\":") || !parseU64(line, pos, points) ||
+      !expect(line, pos, ",\"trials\":") || !parseU64(line, pos, trials) ||
+      !expect(line, pos, "}")) {
+    return std::nullopt;
+  }
+  header.points = points;
+  header.trialsTotal = trials;
+  return header;
+}
+
+std::string encodeTrialLine(const TrialRecord& record) {
+  std::string out = "{\"point\":" + std::to_string(record.point);
+  out += ",\"trial\":" + std::to_string(record.trial);
+  out += ",\"bits\":[";
+  for (std::size_t i = 0; i < record.metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    appendHex(out, std::bit_cast<std::uint64_t>(record.metrics[i]));
+    out += "\"";
+  }
+  out += "],\"values\":[";
+  char buffer[40];
+  for (std::size_t i = 0; i < record.metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    // %.17g would print bare nan/inf tokens, which are not JSON; the
+    // readable array degrades to null there ("bits" keeps the exact
+    // pattern).
+    if (std::isfinite(record.metrics[i])) {
+      std::snprintf(buffer, sizeof buffer, "%.17g", record.metrics[i]);
+      out += buffer;
+    } else {
+      out += "null";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<TrialRecord> decodeTrialLine(std::string_view line) {
+  std::size_t pos = 0;
+  std::uint64_t point = 0;
+  std::uint64_t trial = 0;
+  if (!expect(line, pos, "{\"point\":") || !parseU64(line, pos, point) ||
+      !expect(line, pos, ",\"trial\":") || !parseU64(line, pos, trial) ||
+      !expect(line, pos, ",\"bits\":[")) {
+    return std::nullopt;
+  }
+  TrialRecord record;
+  record.point = static_cast<int>(point);
+  record.trial = static_cast<int>(trial);
+  if (pos < line.size() && line[pos] != ']') {
+    for (;;) {
+      std::uint64_t bits = 0;
+      if (!parseHexBits(line, pos, bits)) return std::nullopt;
+      record.metrics.push_back(std::bit_cast<double>(bits));
+      if (pos >= line.size()) return std::nullopt;
+      if (line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+  }
+  // The "values" tail is for humans; require it to be present and the
+  // line to close, so a truncated write is rejected as a whole.
+  if (!expect(line, pos, "],\"values\":[")) return std::nullopt;
+  const std::size_t close = line.find("]}", pos);
+  if (close == std::string_view::npos || close + 2 != line.size()) {
+    return std::nullopt;
+  }
+  return record;
+}
+
+}  // namespace ncg::runtime

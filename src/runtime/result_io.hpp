@@ -1,0 +1,45 @@
+// JSON-lines wire/persistence format for trial results.
+//
+// One line per completed trial, carrying every metric twice: as a
+// human-readable decimal ("values") and as the IEEE-754 bit pattern in
+// hex ("bits"). Decoding reconstructs the doubles from the bit
+// patterns, so a metric survives a worker pipe or a checkpoint file
+// *bitwise* — the property the multi-process determinism guarantee
+// (same results for any NCG_PROCS) rests on. Decoders return false on
+// anything malformed instead of throwing: a killed run legitimately
+// leaves a truncated final line, and resume must skip it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runtime/scenario.hpp"
+
+namespace ncg::runtime {
+
+/// Identifies the grid a stream of trial lines belongs to.
+struct ResultHeader {
+  std::string scenario;
+  std::uint64_t fingerprint = 0;  ///< scenarioFingerprint of the grid
+  std::size_t points = 0;
+  std::size_t trialsTotal = 0;
+
+  friend bool operator==(const ResultHeader&, const ResultHeader&) = default;
+};
+
+/// {"ncg_run":1,"scenario":...,"fingerprint":"0x...","points":N,"trials":T}
+std::string encodeHeaderLine(const ResultHeader& header);
+
+/// Parses a header line; nullopt when the line is not a valid header.
+std::optional<ResultHeader> decodeHeaderLine(std::string_view line);
+
+/// {"point":P,"trial":T,"bits":["0x...",...],"values":[...]}
+std::string encodeTrialLine(const TrialRecord& record);
+
+/// Parses a trial line (metrics from "bits"); nullopt when malformed
+/// or truncated.
+std::optional<TrialRecord> decodeTrialLine(std::string_view line);
+
+}  // namespace ncg::runtime

@@ -1,0 +1,325 @@
+#include "runtime/runner.hpp"
+
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/result_io.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace ncg::runtime {
+
+namespace {
+
+/// One unit of work: trial `trial` of grid point `point`.
+struct Unit {
+  int point = 0;
+  int trial = 0;
+};
+
+TrialRecord computeUnit(const Scenario& scenario,
+                        const std::vector<ScenarioPoint>& points,
+                        const Unit& unit) {
+  const ScenarioPoint& point = points[static_cast<std::size_t>(unit.point)];
+  Rng rng(deriveSeed(point.baseSeed, static_cast<std::uint64_t>(unit.trial)));
+  TrialRecord record{unit.point, unit.trial,
+                     scenario.runTrialFn(point, unit.trial, rng)};
+  NCG_REQUIRE(record.metrics.size() == scenario.metricNames.size(),
+              "scenario '" << scenario.name << "' returned "
+                           << record.metrics.size() << " metrics, expected "
+                           << scenario.metricNames.size());
+  return record;
+}
+
+void writeAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("worker pipe write failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// Body of a forked worker: compute every unit of the shards assigned
+/// to worker `workerIndex` (shard s goes to worker s % workers) and
+/// stream one JSON line per result. Returns the exit code.
+int workerBody(const Scenario& scenario,
+               const std::vector<ScenarioPoint>& points,
+               const std::vector<Unit>& units, std::size_t shardSize,
+               std::size_t workers, std::size_t workerIndex, int fd) {
+  try {
+    const std::size_t shardCount = (units.size() + shardSize - 1) / shardSize;
+    for (std::size_t shard = workerIndex; shard < shardCount;
+         shard += workers) {
+      const std::size_t begin = shard * shardSize;
+      const std::size_t end = std::min(units.size(), begin + shardSize);
+      for (std::size_t i = begin; i < end; ++i) {
+        const TrialRecord record = computeUnit(scenario, points, units[i]);
+        const std::string line = encodeTrialLine(record) + "\n";
+        writeAll(fd, line.data(), line.size());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ncg_run worker %zu: %s\n", workerIndex, e.what());
+    return 1;
+  }
+}
+
+/// A worker process as the parent sees it.
+struct WorkerHandle {
+  pid_t pid = -1;
+  int fd = -1;           ///< read end of the result pipe
+  std::string buffer;    ///< partial-line carry-over
+  bool open = false;
+};
+
+void drainLines(WorkerHandle& worker, ScenarioResults& results,
+                CheckpointWriter& writer, std::size_t& unitsRun) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = worker.buffer.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string_view line(worker.buffer.data() + start, nl - start);
+    const auto record = decodeTrialLine(line);
+    NCG_REQUIRE(record.has_value(), "malformed result line from worker");
+    results.record(*record);
+    writer.append(*record);
+    ++unitsRun;
+    start = nl + 1;
+  }
+  worker.buffer.erase(0, start);
+}
+
+void runForked(const Scenario& scenario,
+               const std::vector<ScenarioPoint>& points,
+               const std::vector<Unit>& units, std::size_t shardSize,
+               int procs, ScenarioResults& results, CheckpointWriter& writer,
+               std::size_t& unitsRun) {
+  const std::size_t shardCount = (units.size() + shardSize - 1) / shardSize;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(procs), shardCount);
+
+  // fork() duplicates stdio buffers; flush so no worker can replay
+  // buffered parent output.
+  std::fflush(nullptr);
+
+  std::vector<WorkerHandle> handles;
+  handles.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    int fds[2];
+    if (::pipe(fds) != 0) throw Error("pipe() failed");
+    const pid_t pid = ::fork();
+    if (pid < 0) throw Error("fork() failed");
+    if (pid == 0) {
+      // Child: keep only the write end of its own pipe.
+      ::close(fds[0]);
+      for (const WorkerHandle& h : handles) ::close(h.fd);
+      const int code = workerBody(scenario, points, units, shardSize,
+                                  workers, w, fds[1]);
+      ::close(fds[1]);
+      ::_exit(code);
+    }
+    ::close(fds[1]);
+    handles.push_back({pid, fds[0], std::string(), true});
+  }
+
+  // Demultiplex result lines as they arrive; placement is by (point,
+  // trial) index, so arrival order cannot affect the results. On any
+  // demux failure the workers must still be reaped — closing the read
+  // ends makes their writes fail, so waitpid cannot hang.
+  const auto reapAll = [&handles] {
+    for (WorkerHandle& h : handles) {
+      if (h.open) {
+        ::close(h.fd);
+        h.open = false;
+      }
+    }
+    for (const WorkerHandle& h : handles) {
+      int status = 0;
+      (void)::waitpid(h.pid, &status, 0);
+    }
+  };
+  struct Reaper {
+    const decltype(reapAll)& reap;
+    bool armed = true;
+    ~Reaper() {
+      if (armed) reap();
+    }
+  } reaper{reapAll};
+
+  std::vector<pollfd> pollSet;
+  for (;;) {
+    pollSet.clear();
+    for (const WorkerHandle& h : handles) {
+      if (h.open) pollSet.push_back({h.fd, POLLIN, 0});
+    }
+    if (pollSet.empty()) break;
+    const int ready = ::poll(pollSet.data(), pollSet.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw Error("poll() on worker pipes failed");
+    }
+    for (const pollfd& p : pollSet) {
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerHandle* worker = nullptr;
+      for (WorkerHandle& h : handles) {
+        if (h.open && h.fd == p.fd) worker = &h;
+      }
+      if (worker == nullptr) continue;
+      char buf[65536];
+      const ssize_t n = ::read(worker->fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error("read() from worker pipe failed");
+      }
+      if (n == 0) {
+        ::close(worker->fd);
+        worker->open = false;
+        continue;
+      }
+      worker->buffer.append(buf, static_cast<std::size_t>(n));
+      drainLines(*worker, results, writer, unitsRun);
+    }
+  }
+
+  reaper.armed = false;
+  bool failed = false;
+  for (const WorkerHandle& h : handles) {
+    int status = 0;
+    if (::waitpid(h.pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      failed = true;
+    }
+    if (!h.buffer.empty()) failed = true;  // torn final line
+  }
+  NCG_REQUIRE(!failed, "a scenario worker process failed");
+}
+
+}  // namespace
+
+RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
+  NCG_REQUIRE(static_cast<bool>(scenario.makePoints) &&
+                  static_cast<bool>(scenario.runTrialFn),
+              "scenario '" << scenario.name << "' is not runnable");
+  std::vector<ScenarioPoint> points = scenario.makePoints();
+  ScenarioResults results(points);
+  RunReport report{std::move(points), std::move(results), 0, 0, false};
+  const std::vector<ScenarioPoint>& grid = report.points;
+
+  const std::uint64_t fingerprint = scenarioFingerprint(scenario, grid);
+  const ResultHeader header{scenario.name, fingerprint, grid.size(),
+                            report.results.totalTrials()};
+
+  CheckpointWriter writer;
+  if (!options.checkpointPath.empty()) {
+    const CheckpointLoad load = loadCheckpoint(options.checkpointPath);
+    if (load.exists) {
+      NCG_REQUIRE(load.headerValid,
+                  "checkpoint '" << options.checkpointPath
+                                 << "' has no valid header line");
+      NCG_REQUIRE(load.header.scenario == scenario.name &&
+                      load.header.fingerprint == fingerprint,
+                  "checkpoint '"
+                      << options.checkpointPath
+                      << "' was written for a different grid (scenario or "
+                         "env knobs changed); delete it to start over");
+      for (const TrialRecord& record : load.records) {
+        const bool inRange =
+            record.point >= 0 &&
+            static_cast<std::size_t>(record.point) < grid.size() &&
+            record.trial >= 0 &&
+            record.trial < grid[static_cast<std::size_t>(record.point)].trials;
+        if (inRange &&
+            record.metrics.size() == scenario.metricNames.size()) {
+          report.results.record(record);
+        }
+      }
+      report.unitsFromCheckpoint = report.results.completedTrials();
+    }
+    writer = CheckpointWriter(options.checkpointPath, header);
+  }
+
+  std::vector<Unit> units;
+  units.reserve(report.results.totalTrials() - report.unitsFromCheckpoint);
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    for (int t = 0; t < grid[p].trials; ++t) {
+      if (!report.results.has(static_cast<int>(p), t)) {
+        units.push_back({static_cast<int>(p), t});
+      }
+    }
+  }
+  if (options.maxUnits > 0 && units.size() > options.maxUnits) {
+    units.resize(options.maxUnits);
+  }
+
+  const int procs =
+      options.procs > 0 ? options.procs : std::max(env::procs(), 1);
+
+  if (!units.empty()) {
+    if (procs <= 1) {
+      // Single process: shard over an NCG_THREADS thread pool, exactly
+      // like the legacy harnesses' in-process trial runner. Results
+      // are placed by (point, trial) slot, so the thread count cannot
+      // change them; the lock only serializes bookkeeping and the
+      // checkpoint append.
+      ThreadPool pool(env::threads());
+      std::mutex mutex;
+      parallelFor(
+          pool, units.size(),
+          [&](std::size_t i) {
+            const TrialRecord record = computeUnit(scenario, grid, units[i]);
+            const std::scoped_lock lock(mutex);
+            report.results.record(record);
+            writer.append(record);
+            ++report.unitsRun;
+          },
+          options.shardSize);
+    } else {
+      const std::size_t shardSize =
+          options.shardSize > 0
+              ? options.shardSize
+              : defaultGrain(units.size(), static_cast<std::size_t>(procs));
+      runForked(scenario, grid, units, shardSize, procs, report.results,
+                writer, report.unitsRun);
+      NCG_REQUIRE(report.unitsRun == units.size(),
+                  "workers returned " << report.unitsRun << " of "
+                                      << units.size() << " expected results");
+    }
+  }
+
+  report.complete = report.results.complete();
+  return report;
+}
+
+int runLegacyHarness(const std::string& name) {
+  const Scenario* scenario = findScenario(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+    return 2;
+  }
+  const RunReport report = runScenario(*scenario);
+  const std::string text =
+      scenario->render
+          ? scenario->render(*scenario, report.points, report.results)
+          : renderGenericTable(*scenario, report.points, report.results);
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace ncg::runtime

@@ -1,0 +1,62 @@
+// Multi-process sharded scenario executor.
+//
+// runScenario() enumerates a scenario's (point, trial) units, subtracts
+// whatever a checkpoint manifest already holds, and computes the rest —
+// in-process when procs == 1, otherwise on fork()ed workers. Units are
+// grouped into contiguous shards (the same shard math the in-process
+// trial runner uses, parallel/parallel_for.hpp:defaultGrain) and shards
+// are assigned to workers round-robin, statically; each worker streams
+// one JSON line per finished trial back over its pipe, and the parent
+// demultiplexes lines into the result matrix by (point, trial) index
+// while appending them to the checkpoint. Because every trial runs on
+// the RNG stream deriveSeed(point.baseSeed, trial) and metrics travel
+// as IEEE-754 bit patterns, the final ScenarioResults is bitwise
+// identical for any NCG_PROCS value and for any kill/resume split —
+// pinned by tests/test_runtime_runner_determinism.cpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/scenario.hpp"
+
+namespace ncg::runtime {
+
+/// Execution options of one runScenario call.
+struct RunOptions {
+  /// Worker processes; 0 reads NCG_PROCS (default 1). 1 = in-process.
+  int procs = 0;
+  /// Manifest path; "" disables checkpointing. A non-empty existing
+  /// manifest must match the grid's fingerprint (else ncg::Error).
+  std::string checkpointPath;
+  /// Contiguous units per shard; 0 picks the defaultGrain heuristic
+  /// (~4 shards per worker — process workers when procs > 1, thread
+  /// pool workers in the in-process path).
+  std::size_t shardSize = 0;
+  /// Stop after computing this many new units (0 = no limit). This is
+  /// the deterministic stand-in for a mid-grid kill: combined with
+  /// checkpointPath it leaves a resumable manifest exactly like a real
+  /// SIGKILL between two trial completions would.
+  std::size_t maxUnits = 0;
+};
+
+/// Outcome of one runScenario call.
+struct RunReport {
+  std::vector<ScenarioPoint> points;  ///< the grid that was run
+  ScenarioResults results;
+  std::size_t unitsFromCheckpoint = 0;  ///< slots pre-filled on resume
+  std::size_t unitsRun = 0;             ///< computed by this call
+  bool complete = false;                ///< every slot filled
+};
+
+/// Runs `scenario` per `options` (see file comment). Throws ncg::Error
+/// on worker failure or checkpoint mismatch.
+RunReport runScenario(const Scenario& scenario,
+                      const RunOptions& options = {});
+
+/// The entire main() of a ported legacy harness: look up `name`, run it
+/// honouring NCG_PROCS, print the scenario's rendering to stdout.
+/// Returns the process exit code.
+int runLegacyHarness(const std::string& name);
+
+}  // namespace ncg::runtime

@@ -1,0 +1,235 @@
+#include "runtime/scenario.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "stats/accumulator.hpp"
+#include "stats/table.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace ncg::runtime {
+
+namespace detail {
+// Defined in scenarios_builtin.cpp; called once to seed the registry.
+// A direct call (rather than static-initializer registration) so the
+// static library linker can never drop the built-ins.
+void appendBuiltinScenarios(std::vector<Scenario>& registry);
+}  // namespace detail
+
+double ScenarioPoint::param(std::string_view name) const {
+  const std::optional<double> value = tryParam(name);
+  if (!value.has_value()) {
+    throw Error("scenario point has no parameter '" + std::string(name) +
+                "'");
+  }
+  return *value;
+}
+
+std::optional<double> ScenarioPoint::tryParam(std::string_view name) const {
+  for (const auto& [label, value] : params) {
+    if (label == name) return value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> paramLabels(
+    const std::vector<ScenarioPoint>& points) {
+  std::vector<std::string> labels;
+  for (const ScenarioPoint& point : points) {
+    for (const auto& [label, value] : point.params) {
+      (void)value;
+      if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+        labels.push_back(label);
+      }
+    }
+  }
+  return labels;
+}
+
+ScenarioResults::ScenarioResults(const std::vector<ScenarioPoint>& points) {
+  trialsPerPoint_.reserve(points.size());
+  offsets_.reserve(points.size());
+  for (const ScenarioPoint& point : points) {
+    NCG_REQUIRE(point.trials >= 0, "negative trial count");
+    trialsPerPoint_.push_back(point.trials);
+    offsets_.push_back(total_);
+    total_ += static_cast<std::size_t>(point.trials);
+  }
+  metrics_.resize(total_);
+  filled_.assign(total_, 0);
+}
+
+std::size_t ScenarioResults::slot(int point, int trial) const {
+  NCG_REQUIRE(point >= 0 &&
+                  static_cast<std::size_t>(point) < trialsPerPoint_.size(),
+              "point index " << point << " out of range");
+  NCG_REQUIRE(trial >= 0 && trial < trialsPerPoint_[point],
+              "trial index " << trial << " out of range for point " << point);
+  return offsets_[static_cast<std::size_t>(point)] +
+         static_cast<std::size_t>(trial);
+}
+
+void ScenarioResults::record(const TrialRecord& r) {
+  const std::size_t s = slot(r.point, r.trial);
+  if (!filled_[s]) {
+    ++completed_;
+    filled_[s] = 1;
+  }
+  metrics_[s] = r.metrics;
+}
+
+bool ScenarioResults::has(int point, int trial) const {
+  return filled_[slot(point, trial)] != 0;
+}
+
+const std::vector<double>& ScenarioResults::metrics(int point,
+                                                    int trial) const {
+  const std::size_t s = slot(point, trial);
+  NCG_REQUIRE(filled_[s], "trial (" << point << ", " << trial
+                                    << ") has no recorded result");
+  return metrics_[s];
+}
+
+std::vector<TrialRecord> ScenarioResults::records() const {
+  std::vector<TrialRecord> out;
+  out.reserve(completed_);
+  for (std::size_t p = 0; p < trialsPerPoint_.size(); ++p) {
+    for (int t = 0; t < trialsPerPoint_[p]; ++t) {
+      const std::size_t s = offsets_[p] + static_cast<std::size_t>(t);
+      if (!filled_[s]) continue;
+      out.push_back({static_cast<int>(p), t, metrics_[s]});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<Scenario>& mutableRegistry() {
+  static std::vector<Scenario> registry = [] {
+    std::vector<Scenario> builtins;
+    detail::appendBuiltinScenarios(builtins);
+    return builtins;
+  }();
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarioRegistry() { return mutableRegistry(); }
+
+void registerScenario(Scenario scenario) {
+  NCG_REQUIRE(!scenario.name.empty(), "scenario name must be non-empty");
+  NCG_REQUIRE(findScenario(scenario.name) == nullptr,
+              "scenario '" << scenario.name << "' already registered");
+  NCG_REQUIRE(static_cast<bool>(scenario.makePoints) &&
+                  static_cast<bool>(scenario.runTrialFn),
+              "scenario '" << scenario.name
+                           << "' needs makePoints and runTrialFn");
+  mutableRegistry().push_back(std::move(scenario));
+}
+
+const Scenario* findScenario(std::string_view name) {
+  for (const Scenario& scenario : mutableRegistry()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// FNV-1a over bytes; order-sensitive by construction.
+void hashBytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+}
+
+void hashString(std::uint64_t& h, const std::string& s) {
+  const std::size_t size = s.size();
+  hashBytes(h, &size, sizeof size);
+  hashBytes(h, s.data(), s.size());
+}
+
+void hashU64(std::uint64_t& h, std::uint64_t v) {
+  hashBytes(h, &v, sizeof v);
+}
+
+}  // namespace
+
+std::uint64_t scenarioFingerprint(const Scenario& scenario,
+                                  const std::vector<ScenarioPoint>& points) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  hashString(h, scenario.name);
+  // Metric names are part of a record's meaning: reordering or
+  // renaming them must invalidate old manifests even when the grid is
+  // unchanged (the loader only checks metric *count* per record).
+  hashU64(h, scenario.metricNames.size());
+  for (const std::string& metric : scenario.metricNames) {
+    hashString(h, metric);
+  }
+  hashU64(h, points.size());
+  for (const ScenarioPoint& point : points) {
+    hashU64(h, point.params.size());
+    for (const auto& [label, value] : point.params) {
+      hashString(h, label);
+      hashU64(h, std::bit_cast<std::uint64_t>(value));
+    }
+    hashU64(h, point.baseSeed);
+    hashU64(h, static_cast<std::uint64_t>(point.trials));
+  }
+  return h;
+}
+
+std::string headerText(const std::string& title,
+                       const std::string& paperRef) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "trials per point: %d%s\n\n",
+                env::trials(),
+                env::fullScale() ? " (full scale)"
+                                 : " (reduced; NCG_SCALE=1 for "
+                                   "the paper grid)");
+  return "=== " + title + " ===\n" + "reproduces: " + paperRef + "\n" +
+         buffer;
+}
+
+std::string renderGenericTable(const Scenario& scenario,
+                               const std::vector<ScenarioPoint>& points,
+                               const ScenarioResults& results) {
+  std::string out;
+  if (!scenario.title.empty()) {
+    out += headerText(scenario.title, scenario.paperRef);
+  }
+  const std::vector<std::string> labels = paramLabels(points);
+  std::vector<std::string> headers = labels;
+  for (const std::string& metric : scenario.metricNames) {
+    headers.push_back(metric);
+  }
+  TextTable table(headers);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<std::string> row;
+    for (const std::string& label : labels) {
+      const std::optional<double> value = points[p].tryParam(label);
+      row.push_back(value.has_value() ? formatFixed(*value, 3) : "");
+    }
+    for (std::size_t m = 0; m < scenario.metricNames.size(); ++m) {
+      RunningStat stat;
+      for (int t = 0; t < points[p].trials; ++t) {
+        if (!results.has(static_cast<int>(p), t)) continue;
+        stat.push(results.metrics(static_cast<int>(p), t)[m]);
+      }
+      row.push_back(formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2));
+    }
+    table.addRow(std::move(row));
+  }
+  out += table.toString();
+  out += "\n";
+  return out;
+}
+
+}  // namespace ncg::runtime

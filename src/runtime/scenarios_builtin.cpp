@@ -1,0 +1,343 @@
+// Built-in scenarios: the ported legacy harnesses plus the CI smoke
+// grid.
+//
+// The ported scenarios (table1_random_trees, table2_er_graphs,
+// fig10_convergence) replicate their bench/ harnesses exactly — same
+// seed formulas, same trial bodies in the same RNG draw order, same
+// aggregation order, same printf formats — so their rendering is
+// byte-identical to what the hand-rolled mains printed before the
+// port (pinned by tests/test_runtime_scenario.cpp, which keeps a copy
+// of the legacy loops as the reference).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/strategy.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "graph/metrics.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/trial.hpp"
+#include "stats/accumulator.hpp"
+#include "stats/table.hpp"
+#include "support/env.hpp"
+#include "support/string_util.hpp"
+
+namespace ncg::runtime {
+namespace detail {
+
+namespace {
+
+std::string ciCell(const RunningStat& stat) {
+  return formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2);
+}
+
+/// max_u |σ_u| of a fresh random-ownership profile — the "Max. Bought
+/// Edges" column of Tables I/II.
+double maxBoughtOf(const StrategyProfile& profile, NodeId n) {
+  NodeId maxBought = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    maxBought = std::max(maxBought, profile.boughtCount(u));
+  }
+  return static_cast<double>(maxBought);
+}
+
+Scenario makeTable1() {
+  Scenario s;
+  s.name = "table1_random_trees";
+  s.description =
+      "Table I: diameter / max degree / max bought edges of the random-tree "
+      "initial networks";
+  s.title = "Table I — random tree statistics";
+  s.paperRef = "Bilò et al., Locality-based NCGs, Table I";
+  s.metricNames = {"diameter", "max_degree", "max_bought"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    const int trials = std::max(env::trials(), 20);
+    for (const NodeId n : {20, 30, 50, 70, 100, 200}) {
+      ScenarioPoint point;
+      point.params = {{"n", static_cast<double>(n)}};
+      point.baseSeed = 0x7AB1E100ULL + static_cast<std::uint64_t>(n);
+      point.trials = trials;
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    const NodeId n = static_cast<NodeId>(point.param("n"));
+    const Graph tree = makeRandomTree(n, rng);
+    const StrategyProfile profile = StrategyProfile::randomOwnership(tree, rng);
+    return std::vector<double>{static_cast<double>(diameter(tree)),
+                               static_cast<double>(tree.maxDegree()),
+                               maxBoughtOf(profile, n)};
+  };
+  s.render = [](const Scenario& scenario,
+                const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    std::string out = headerText(scenario.title, scenario.paperRef);
+    TextTable table({"n", "Diameter", "Max. degree", "Max. Bought Edges"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      RunningStat diameterStat;
+      RunningStat degreeStat;
+      RunningStat boughtStat;
+      for (int t = 0; t < points[p].trials; ++t) {
+        const std::vector<double>& m = results.metrics(static_cast<int>(p), t);
+        diameterStat.push(m[0]);
+        degreeStat.push(m[1]);
+        boughtStat.push(m[2]);
+      }
+      table.addRow({std::to_string(static_cast<NodeId>(points[p].param("n"))),
+                    ciCell(diameterStat), ciCell(degreeStat),
+                    ciCell(boughtStat)});
+    }
+    out += table.toString();
+    out += "\n";
+    out += "paper (n=20): 10.65 ± 0.76 | 4.00 ± 0.26 | 2.75 ± 0.34\n";
+    out += "paper (n=200): 43.20 ± 3.95 | 5.30 ± 0.31 | 3.85 ± 0.31\n";
+    return out;
+  };
+  return s;
+}
+
+Scenario makeTable2() {
+  Scenario s;
+  s.name = "table2_er_graphs";
+  s.description =
+      "Table II: edges / diameter / max degree / max bought edges of the "
+      "Erdős–Rényi initial networks";
+  s.title = "Table II — Erdős–Rényi graph statistics";
+  s.paperRef = "Bilò et al., Locality-based NCGs, Table II";
+  s.metricNames = {"edges", "diameter", "max_degree", "max_bought"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    const int trials = std::max(env::trials(), 20);
+    struct Combo {
+      NodeId n;
+      double p;
+    };
+    const Combo combos[] = {{100, 0.060}, {100, 0.100}, {100, 0.200},
+                            {200, 0.035}, {200, 0.050}, {200, 0.100}};
+    for (const Combo& combo : combos) {
+      ScenarioPoint point;
+      point.params = {{"n", static_cast<double>(combo.n)}, {"p", combo.p}};
+      point.baseSeed = 0x7AB1E200ULL +
+                       static_cast<std::uint64_t>(combo.n) +
+                       static_cast<std::uint64_t>(combo.p * 1e4);
+      point.trials = trials;
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    const NodeId n = static_cast<NodeId>(point.param("n"));
+    const Graph g = makeConnectedErdosRenyi(n, point.param("p"), rng);
+    const StrategyProfile profile = StrategyProfile::randomOwnership(g, rng);
+    return std::vector<double>{static_cast<double>(g.edgeCount()),
+                               static_cast<double>(diameter(g)),
+                               static_cast<double>(g.maxDegree()),
+                               maxBoughtOf(profile, n)};
+  };
+  s.render = [](const Scenario& scenario,
+                const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    std::string out = headerText(scenario.title, scenario.paperRef);
+    TextTable table({"n", "p", "Edges", "Diameter", "Max. degree",
+                     "Max. Bought Edges"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      RunningStat edgesStat;
+      RunningStat diameterStat;
+      RunningStat degreeStat;
+      RunningStat boughtStat;
+      for (int t = 0; t < points[p].trials; ++t) {
+        const std::vector<double>& m = results.metrics(static_cast<int>(p), t);
+        edgesStat.push(m[0]);
+        diameterStat.push(m[1]);
+        degreeStat.push(m[2]);
+        boughtStat.push(m[3]);
+      }
+      table.addRow({std::to_string(static_cast<NodeId>(points[p].param("n"))),
+                    formatFixed(points[p].param("p"), 3), ciCell(edgesStat),
+                    ciCell(diameterStat), ciCell(degreeStat),
+                    ciCell(boughtStat)});
+    }
+    out += table.toString();
+    out += "\n";
+    out +=
+        "paper (100, 0.060): 301.10 ± 7.51 | 5.30 ± 0.22 | 12.50 ± 0.67 | "
+        "7.90 ± 0.43\n";
+    out +=
+        "paper (200, 0.100): 2005.55 ± 12.87 | 3.00 ± 0.00 | 32.80 ± 1.11 | "
+        "18.95 ± 0.54\n";
+    return out;
+  };
+  return s;
+}
+
+/// Outcome encoding used by the dynamics scenarios' first metric.
+double outcomeCode(DynamicsOutcome outcome) {
+  switch (outcome) {
+    case DynamicsOutcome::kConverged:
+      return 0.0;
+    case DynamicsOutcome::kCycleDetected:
+      return 1.0;
+    case DynamicsOutcome::kRoundLimit:
+      return 2.0;
+  }
+  return 2.0;
+}
+
+Scenario makeFig10() {
+  Scenario s;
+  s.name = "fig10_convergence";
+  s.description =
+      "Figure 10: rounds to convergence vs α (n=100) and vs n (α=2) on "
+      "random trees, plus cycle counts";
+  s.title = "Figure 10 — convergence time (trees)";
+  s.paperRef = "Bilò et al., Locality-based NCGs, Fig. 10";
+  s.metricNames = {"outcome", "rounds"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    const int trials = env::trials();
+    // Part 0 — rounds vs α at n = 100; seeds exactly as the legacy
+    // harness derived them.
+    for (const Dist k : kGrid()) {
+      for (const double alpha : alphaGrid()) {
+        ScenarioPoint point;
+        point.params = {{"part", 0.0},
+                        {"k", static_cast<double>(k)},
+                        {"alpha", alpha}};
+        point.baseSeed = 0xF161000ULL + static_cast<std::uint64_t>(k * 101) +
+                         static_cast<std::uint64_t>(alpha * 5407);
+        point.trials = trials;
+        points.push_back(std::move(point));
+      }
+    }
+    // Part 1 — rounds vs n at α = 2.
+    const std::vector<NodeId> ns =
+        env::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
+                         : std::vector<NodeId>{20, 50, 100};
+    for (const Dist k : kGrid()) {
+      for (const NodeId n : ns) {
+        ScenarioPoint point;
+        point.params = {{"part", 1.0},
+                        {"k", static_cast<double>(k)},
+                        {"n", static_cast<double>(n)}};
+        point.baseSeed = 0xF161001ULL + static_cast<std::uint64_t>(k * 103) +
+                         static_cast<std::uint64_t>(n * 10007);
+        point.trials = trials;
+        points.push_back(std::move(point));
+      }
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    const bool left = point.param("part") == 0.0;
+    TrialSpec spec;
+    spec.source = Source::kRandomTree;
+    spec.n = left ? 100 : static_cast<NodeId>(point.param("n"));
+    spec.params = GameParams::max(left ? point.param("alpha") : 2.0,
+                                  static_cast<Dist>(point.param("k")));
+    const TrialOutcome outcome = runTrial(spec, rng);
+    return std::vector<double>{outcomeCode(outcome.outcome),
+                               static_cast<double>(outcome.rounds)};
+  };
+  s.render = [](const Scenario& scenario,
+                const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    std::string out = headerText(scenario.title, scenario.paperRef);
+    int cycles = 0;
+    int nonConverged = 0;
+    int total = 0;
+    const auto addRows = [&](TextTable& table, double part,
+                             const char* secondLabel) {
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (points[p].param("part") != part) continue;
+        RunningStat rounds;
+        for (int t = 0; t < points[p].trials; ++t) {
+          const std::vector<double>& m =
+              results.metrics(static_cast<int>(p), t);
+          ++total;
+          if (m[0] == 1.0) ++cycles;
+          if (m[0] == 2.0) ++nonConverged;
+          if (m[0] == 0.0) rounds.push(m[1]);
+        }
+        const Dist k = static_cast<Dist>(points[p].param("k"));
+        const std::string second =
+            part == 0.0
+                ? formatFixed(points[p].param("alpha"), 3)
+                : std::to_string(
+                      static_cast<NodeId>(points[p].param(secondLabel)));
+        table.addRow({std::to_string(k), second, ciCell(rounds)});
+      }
+    };
+    out += "--- rounds vs α (n = 100) ---\n";
+    TextTable leftTable({"k", "alpha", "rounds"});
+    addRows(leftTable, 0.0, "alpha");
+    out += leftTable.toString();
+    out += "\n";
+    out += "--- rounds vs n (α = 2) ---\n";
+    TextTable rightTable({"k", "n", "rounds"});
+    addRows(rightTable, 1.0, "n");
+    out += rightTable.toString();
+    out += "\n";
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer,
+                  "dynamics run: %d | best-response cycles: %d | "
+                  "round-limit hits: %d\n",
+                  total, cycles, nonConverged);
+    out += buffer;
+    out += "paper claims: >95% of runs converge within 7 rounds; "
+           "cycles are extremely rare (5 in ~36000).\n";
+    return out;
+  };
+  return s;
+}
+
+/// Tiny pinned grid for CI and the determinism suite: env-independent
+/// (fixed trial count), seconds to run, exercises the full trial path.
+Scenario makeSmoke() {
+  Scenario s;
+  s.name = "smoke_dynamics";
+  s.description =
+      "CI smoke: pinned 2×2 MaxNCG dynamics grid on 24-node trees "
+      "(env-independent, runs in seconds)";
+  s.metricNames = {"outcome", "rounds", "social_cost", "edges"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    for (const Dist k : {2, 3}) {
+      for (const double alpha : {1.0, 2.0}) {
+        ScenarioPoint point;
+        point.params = {{"k", static_cast<double>(k)}, {"alpha", alpha}};
+        point.baseSeed = 0x5C0CEULL + static_cast<std::uint64_t>(k * 131) +
+                         static_cast<std::uint64_t>(alpha * 8191);
+        point.trials = 3;
+        points.push_back(std::move(point));
+      }
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    TrialSpec spec;
+    spec.source = Source::kRandomTree;
+    spec.n = 24;
+    spec.params = GameParams::max(point.param("alpha"),
+                                  static_cast<Dist>(point.param("k")));
+    const TrialOutcome outcome = runTrial(spec, rng);
+    return std::vector<double>{outcomeCode(outcome.outcome),
+                               static_cast<double>(outcome.rounds),
+                               outcome.features.socialCost,
+                               static_cast<double>(outcome.features.edges)};
+  };
+  return s;  // generic renderer
+}
+
+}  // namespace
+
+void appendBuiltinScenarios(std::vector<Scenario>& registry) {
+  registry.push_back(makeTable1());
+  registry.push_back(makeTable2());
+  registry.push_back(makeFig10());
+  registry.push_back(makeSmoke());
+}
+
+}  // namespace detail
+}  // namespace ncg::runtime

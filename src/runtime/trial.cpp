@@ -1,0 +1,51 @@
+#include "runtime/trial.hpp"
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/random_tree.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace ncg::runtime {
+
+Graph makeInitialGraph(const TrialSpec& spec, Rng& rng) {
+  switch (spec.source) {
+    case Source::kRandomTree:
+      return makeRandomTree(spec.n, rng);
+    case Source::kErdosRenyi:
+      return makeConnectedErdosRenyi(spec.n, spec.p, rng);
+  }
+  throw Error("unknown source");
+}
+
+TrialOutcome runTrial(const TrialSpec& spec, Rng& rng) {
+  const Graph initial = makeInitialGraph(spec, rng);
+  const StrategyProfile profile =
+      StrategyProfile::randomOwnership(initial, rng);
+  DynamicsConfig config;
+  config.params = spec.params;
+  config.maxRounds = spec.maxRounds;
+  const DynamicsResult result = runBestResponseDynamics(profile, config);
+  TrialOutcome outcome;
+  outcome.outcome = result.outcome;
+  outcome.rounds = result.rounds;
+  outcome.features =
+      computeFeatures(result.graph, result.profile, spec.params);
+  return outcome;
+}
+
+std::vector<double> alphaGrid() {
+  if (env::fullScale()) {
+    return {0.025, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7,
+            1.0,   1.5,  2.0, 3.0, 5.0, 7.0, 10.0};
+  }
+  return {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+}
+
+std::vector<Dist> kGrid() {
+  if (env::fullScale()) {
+    return {2, 3, 4, 5, 6, 7, 10, 15, 20, 25, 30, 1000};
+  }
+  return {2, 3, 4, 5, 7, 1000};
+}
+
+}  // namespace ncg::runtime

@@ -1,0 +1,22 @@
+#include "support/build_info.hpp"
+
+#include <ctime>
+
+namespace ncg {
+
+#ifndef NCG_GIT_COMMIT
+#define NCG_GIT_COMMIT "unknown"
+#endif
+
+const char* buildGitCommit() { return NCG_GIT_COMMIT; }
+
+std::string utcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+}  // namespace ncg

@@ -1,0 +1,17 @@
+// Build/run provenance for machine-readable artifacts
+// (BENCH_perf_smoke.json, ncg_run result files).
+#pragma once
+
+#include <string>
+
+namespace ncg {
+
+/// Git commit the build was configured from (captured by CMake at
+/// configure time; "unknown" outside a git checkout). Note: stale
+/// until the next CMake configure, which CI always performs fresh.
+const char* buildGitCommit();
+
+/// Current UTC wall time as ISO-8601 "YYYY-MM-DDTHH:MM:SSZ".
+std::string utcTimestamp();
+
+}  // namespace ncg

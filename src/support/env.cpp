@@ -1,0 +1,18 @@
+#include "support/env.hpp"
+
+#include "support/string_util.hpp"
+
+namespace ncg::env {
+
+int trials() { return envInt("NCG_TRIALS", 8); }
+
+bool fullScale() { return envInt("NCG_SCALE", 0) == 1; }
+
+std::size_t threads() {
+  const int threads = envInt("NCG_THREADS", 0);
+  return threads > 0 ? static_cast<std::size_t>(threads) : 0;
+}
+
+int procs() { return envInt("NCG_PROCS", 1); }
+
+}  // namespace ncg::env

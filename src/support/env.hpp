@@ -1,0 +1,30 @@
+// The environment knobs every experiment entry point honours.
+//
+// Historically each bench harness parsed NCG_TRIALS / NCG_SCALE /
+// NCG_THREADS through bench_common; with the runtime layer (scenario
+// registry + multi-process runner) reading the same knobs, the parsing
+// lives here once. All knobs are read at call time (no caching), so
+// tests may setenv/unsetenv between calls.
+#pragma once
+
+#include <cstddef>
+
+namespace ncg::env {
+
+/// NCG_TRIALS — seeded trials per grid point (default 8; the paper
+/// used 20).
+int trials();
+
+/// True when NCG_SCALE=1 requests the paper's full (α, k, n) grids.
+bool fullScale();
+
+/// NCG_THREADS — worker threads for the in-process sharded trial
+/// runner; 0 means one per hardware thread (the ThreadPool default).
+std::size_t threads();
+
+/// NCG_PROCS — worker processes for the multi-process scenario runner
+/// (`runtime/runner.hpp`); default 1 = run in-process. Results are
+/// bitwise identical for any value.
+int procs();
+
+}  // namespace ncg::env

@@ -1,0 +1,173 @@
+// The JSONL result codec and the checkpoint manifest: doubles must
+// survive encode/decode *bitwise* (the multi-process determinism and
+// kill/resume guarantees rest on it), and the loader must tolerate the
+// debris a SIGKILL leaves — a truncated final line — while refusing
+// nothing else silently.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "runtime/checkpoint.hpp"
+#include "runtime/result_io.hpp"
+#include "support/error.hpp"
+
+namespace ncg::runtime {
+namespace {
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "ncg_checkpoint_test_" + name + ".jsonl";
+}
+
+TEST(ResultIo, TrialLineRoundTripsBitwise) {
+  const std::vector<double> exotic = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0 / 3.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      6.02214076e23,
+  };
+  const TrialRecord record{7, 3, exotic};
+  const auto decoded = decodeTrialLine(encodeTrialLine(record));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->point, 7);
+  EXPECT_EQ(decoded->trial, 3);
+  ASSERT_EQ(decoded->metrics.size(), exotic.size());
+  for (std::size_t i = 0; i < exotic.size(); ++i) {
+    // Bit-pattern comparison: exact for NaN and signed zero too.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->metrics[i]),
+              std::bit_cast<std::uint64_t>(exotic[i]))
+        << "metric " << i;
+  }
+}
+
+TEST(ResultIo, EmptyMetricsRoundTrip) {
+  const TrialRecord record{0, 0, {}};
+  const auto decoded = decodeTrialLine(encodeTrialLine(record));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->metrics.empty());
+}
+
+TEST(ResultIo, RejectsMalformedAndTruncatedTrialLines) {
+  const std::string good = encodeTrialLine({1, 2, {1.5, -2.5}});
+  ASSERT_TRUE(decodeTrialLine(good).has_value());
+  // Every strict prefix is rejected — a torn write can never half-count.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(decodeTrialLine(good.substr(0, len)).has_value())
+        << "prefix length " << len;
+  }
+  EXPECT_FALSE(decodeTrialLine(good + "x").has_value());
+  EXPECT_FALSE(decodeTrialLine("{}").has_value());
+  EXPECT_FALSE(decodeTrialLine("").has_value());
+  EXPECT_FALSE(
+      decodeTrialLine("{\"point\":-1,\"trial\":0,\"bits\":[],\"values\":[]}")
+          .has_value());
+}
+
+TEST(ResultIo, HeaderLineRoundTrips) {
+  const ResultHeader header{"fig10_convergence", 0xDEADBEEFCAFEF00DULL, 54,
+                            432};
+  const auto decoded = decodeHeaderLine(encodeHeaderLine(header));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, header);
+  EXPECT_FALSE(decodeHeaderLine("not a header").has_value());
+  EXPECT_FALSE(
+      decodeHeaderLine(encodeTrialLine({0, 0, {1.0}})).has_value());
+}
+
+TEST(Checkpoint, WriteThenLoadRestoresHeaderAndRecords) {
+  const std::string path = tempPath("roundtrip");
+  std::remove(path.c_str());
+  const ResultHeader header{"smoke_dynamics", 42, 4, 12};
+  {
+    CheckpointWriter writer(path, header);
+    ASSERT_TRUE(writer.enabled());
+    writer.append({0, 0, {1.0, 2.0}});
+    writer.append({3, 2, {-0.5}});
+  }
+  const CheckpointLoad load = loadCheckpoint(path);
+  EXPECT_TRUE(load.exists);
+  ASSERT_TRUE(load.headerValid);
+  EXPECT_EQ(load.header, header);
+  ASSERT_EQ(load.records.size(), 2U);
+  EXPECT_EQ(load.records[0], (TrialRecord{0, 0, {1.0, 2.0}}));
+  EXPECT_EQ(load.records[1], (TrialRecord{3, 2, {-0.5}}));
+  EXPECT_EQ(load.malformedLines, 0U);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReopenAppendsWithoutDuplicatingTheHeader) {
+  const std::string path = tempPath("reopen");
+  std::remove(path.c_str());
+  const ResultHeader header{"smoke_dynamics", 42, 4, 12};
+  {
+    CheckpointWriter writer(path, header);
+    writer.append({0, 0, {1.0}});
+  }
+  {
+    CheckpointWriter writer(path, header);  // simulated resume
+    writer.append({0, 1, {2.0}});
+  }
+  const CheckpointLoad load = loadCheckpoint(path);
+  ASSERT_TRUE(load.headerValid);
+  ASSERT_EQ(load.records.size(), 2U);
+  EXPECT_EQ(load.malformedLines, 0U);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFinalLineIsSkippedNotFatal) {
+  const std::string path = tempPath("torn");
+  std::remove(path.c_str());
+  {
+    CheckpointWriter writer(path, {"s", 1, 1, 2});
+    writer.append({0, 0, {1.0}});
+  }
+  {
+    // A kill mid-write: append half a line, no newline.
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"point\":0,\"trial\":1,\"bits\":[\"0x3FF0", f);
+    std::fclose(f);
+  }
+  const CheckpointLoad load = loadCheckpoint(path);
+  ASSERT_TRUE(load.headerValid);
+  ASSERT_EQ(load.records.size(), 1U);
+  EXPECT_EQ(load.malformedLines, 1U);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileAndGarbageFileAreReportedNotThrown) {
+  const CheckpointLoad missing = loadCheckpoint(tempPath("does_not_exist"));
+  EXPECT_FALSE(missing.exists);
+  EXPECT_FALSE(missing.headerValid);
+
+  const std::string path = tempPath("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not\na manifest\n", f);
+    std::fclose(f);
+  }
+  const CheckpointLoad garbage = loadCheckpoint(path);
+  EXPECT_TRUE(garbage.exists);
+  EXPECT_FALSE(garbage.headerValid);
+  EXPECT_TRUE(garbage.records.empty());
+  EXPECT_EQ(garbage.malformedLines, 2U);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WriterThrowsWhenPathIsUnwritable) {
+  EXPECT_THROW(
+      CheckpointWriter("/nonexistent-dir/ck.jsonl", ResultHeader{}), Error);
+}
+
+}  // namespace
+}  // namespace ncg::runtime

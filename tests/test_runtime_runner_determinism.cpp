@@ -1,0 +1,225 @@
+// The multi-process scenario runner must be bitwise deterministic: a
+// registered scenario run with 1, 2 or 8 worker processes produces
+// identical results (mirroring tests/test_parallel_determinism.cpp one
+// layer up — processes instead of threads), and a run killed mid-grid
+// and resumed from its checkpoint equals an uninterrupted run exactly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/checkpoint.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/trial.hpp"
+#include "support/error.hpp"
+
+namespace ncg::runtime {
+namespace {
+
+/// A small but real scenario: 3×2 grid of MaxNCG dynamics on 16-node
+/// trees, 4 trials each — 24 units, enough to spread over 8 workers
+/// and to split at an interesting point for resume.
+const Scenario& testScenario() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Scenario s;
+    s.name = "runner_determinism_fixture";
+    s.description = "test fixture";
+    s.metricNames = {"outcome", "rounds", "social_cost"};
+    s.makePoints = [] {
+      std::vector<ScenarioPoint> points;
+      for (const Dist k : {2, 3, 1000}) {
+        for (const double alpha : {0.5, 2.0}) {
+          ScenarioPoint point;
+          point.params = {{"k", static_cast<double>(k)}, {"alpha", alpha}};
+          point.baseSeed = 0x7E57ULL + static_cast<std::uint64_t>(k * 17) +
+                           static_cast<std::uint64_t>(alpha * 1009);
+          point.trials = 4;
+          points.push_back(std::move(point));
+        }
+      }
+      return points;
+    };
+    s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+      TrialSpec spec;
+      spec.source = Source::kRandomTree;
+      spec.n = 16;
+      spec.params = GameParams::max(point.param("alpha"),
+                                    static_cast<Dist>(point.param("k")));
+      const TrialOutcome outcome = runTrial(spec, rng);
+      return std::vector<double>{
+          static_cast<double>(static_cast<int>(outcome.outcome)),
+          static_cast<double>(outcome.rounds), outcome.features.socialCost};
+    };
+    registerScenario(std::move(s));
+  });
+  const Scenario* scenario = findScenario("runner_determinism_fixture");
+  EXPECT_NE(scenario, nullptr);
+  return *scenario;
+}
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "ncg_runner_test_" + name + ".jsonl";
+}
+
+/// Bit-pattern view of a full result set — equality means *bitwise*
+/// identical, including any signed zeros.
+std::vector<std::uint64_t> bitPatterns(const ScenarioResults& results) {
+  std::vector<std::uint64_t> bits;
+  for (const TrialRecord& record : results.records()) {
+    bits.push_back(static_cast<std::uint64_t>(record.point));
+    bits.push_back(static_cast<std::uint64_t>(record.trial));
+    for (const double metric : record.metrics) {
+      bits.push_back(std::bit_cast<std::uint64_t>(metric));
+    }
+  }
+  return bits;
+}
+
+RunReport runWithProcs(int procs, std::size_t shardSize = 0) {
+  RunOptions options;
+  options.procs = procs;
+  options.shardSize = shardSize;
+  return runScenario(testScenario(), options);
+}
+
+TEST(RunnerDeterminism, ProcessCountDoesNotChangeResults) {
+  const RunReport one = runWithProcs(1);
+  const RunReport two = runWithProcs(2);
+  const RunReport eight = runWithProcs(8);
+  ASSERT_TRUE(one.complete);
+  ASSERT_TRUE(two.complete);
+  ASSERT_TRUE(eight.complete);
+  EXPECT_EQ(bitPatterns(one.results), bitPatterns(two.results));
+  EXPECT_EQ(bitPatterns(one.results), bitPatterns(eight.results));
+}
+
+TEST(RunnerDeterminism, ShardSizeDoesNotChangeResults) {
+  const std::vector<std::uint64_t> reference =
+      bitPatterns(runWithProcs(1).results);
+  for (const std::size_t shardSize : {1UL, 3UL, 7UL, 64UL}) {
+    for (const int procs : {2, 5}) {
+      EXPECT_EQ(reference, bitPatterns(runWithProcs(procs, shardSize).results))
+          << "procs=" << procs << " shardSize=" << shardSize;
+    }
+  }
+}
+
+TEST(RunnerDeterminism, MoreWorkersThanShardsIsFine) {
+  // 24 units in one giant shard → 1 of 8 workers gets all the work.
+  const RunReport report = runWithProcs(8, 1000);
+  ASSERT_TRUE(report.complete);
+  EXPECT_EQ(bitPatterns(report.results),
+            bitPatterns(runWithProcs(1).results));
+}
+
+TEST(RunnerDeterminism, BuiltinSmokeScenarioIsProcessCountInvariant) {
+  const Scenario* smoke = findScenario("smoke_dynamics");
+  ASSERT_NE(smoke, nullptr);
+  RunOptions one;
+  one.procs = 1;
+  RunOptions eight;
+  eight.procs = 8;
+  EXPECT_EQ(bitPatterns(runScenario(*smoke, one).results),
+            bitPatterns(runScenario(*smoke, eight).results));
+}
+
+TEST(CheckpointResume, KillAndResumeEqualsUninterruptedRun) {
+  const std::vector<std::uint64_t> uninterrupted =
+      bitPatterns(runWithProcs(1).results);
+
+  for (const std::size_t killAfter : {1UL, 5UL, 11UL, 23UL}) {
+    const std::string path = tempPath("resume");
+    std::remove(path.c_str());
+
+    RunOptions first;
+    first.procs = 2;
+    first.checkpointPath = path;
+    first.maxUnits = killAfter;
+    const RunReport partial = runScenario(testScenario(), first);
+    EXPECT_FALSE(partial.complete) << "killAfter=" << killAfter;
+    EXPECT_EQ(partial.unitsRun, killAfter);
+
+    RunOptions resume;
+    resume.procs = 4;  // resume with a different worker count
+    resume.checkpointPath = path;
+    const RunReport resumed = runScenario(testScenario(), resume);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.unitsFromCheckpoint, killAfter);
+    EXPECT_EQ(resumed.unitsRun, 24U - killAfter);
+    EXPECT_EQ(bitPatterns(resumed.results), uninterrupted)
+        << "killAfter=" << killAfter;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CheckpointResume, TornFinalLineIsIgnoredOnResume) {
+  const std::string path = tempPath("torn_resume");
+  std::remove(path.c_str());
+  RunOptions first;
+  first.procs = 1;
+  first.checkpointPath = path;
+  first.maxUnits = 6;
+  (void)runScenario(testScenario(), first);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"point\":2,\"trial\":1,\"bits\":[\"0x40", f);  // torn
+    std::fclose(f);
+  }
+  RunOptions resume;
+  resume.procs = 3;
+  resume.checkpointPath = path;
+  const RunReport resumed = runScenario(testScenario(), resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.unitsFromCheckpoint, 6U);
+  EXPECT_EQ(bitPatterns(resumed.results),
+            bitPatterns(runWithProcs(1).results));
+  // The resume must not have merged its first append into the torn
+  // fragment: reloading the manifest finds every trial decodable (the
+  // fragment stays quarantined as the single malformed line).
+  const CheckpointLoad reloaded = loadCheckpoint(path);
+  EXPECT_TRUE(reloaded.headerValid);
+  EXPECT_EQ(reloaded.records.size(), 24U);
+  EXPECT_EQ(reloaded.malformedLines, 1U);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, ResumingACompletedRunRecomputesNothing) {
+  const std::string path = tempPath("noop_resume");
+  std::remove(path.c_str());
+  RunOptions options;
+  options.procs = 2;
+  options.checkpointPath = path;
+  const RunReport full = runScenario(testScenario(), options);
+  ASSERT_TRUE(full.complete);
+  const RunReport again = runScenario(testScenario(), options);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.unitsRun, 0U);
+  EXPECT_EQ(again.unitsFromCheckpoint, 24U);
+  EXPECT_EQ(bitPatterns(again.results), bitPatterns(full.results));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MismatchedManifestIsRefused) {
+  const std::string path = tempPath("mismatch");
+  std::remove(path.c_str());
+  RunOptions options;
+  options.checkpointPath = path;
+  options.maxUnits = 2;
+  (void)runScenario(testScenario(), options);
+
+  const Scenario* smoke = findScenario("smoke_dynamics");
+  ASSERT_NE(smoke, nullptr);
+  RunOptions other;
+  other.checkpointPath = path;
+  EXPECT_THROW(runScenario(*smoke, other), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ncg::runtime
