@@ -1,52 +1,13 @@
 // Figure 5: minimum and average number of vertices in the players' views
 // on stable networks, as a function of α for the various k (random
 // trees, n = 100).
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry (PR 6): the grid, trial
+// body and rendering live in src/runtime/scenarios_builtin.cpp, and
+// this main is byte-identical to the pre-port harness output (pinned
+// by tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS) and checkpoint/resume, or serve
+// it to a worker fleet with `ncg_serve`.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-int main() {
-  bench::printHeader(
-      "Figure 5 — view size at equilibrium vs α (trees, n=100)",
-      "Bilò et al., Locality-based NCGs, Fig. 5");
-
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  const NodeId n = 100;
-
-  TextTable table({"k", "alpha", "avg view", "min view", "converged"});
-  for (const Dist k : bench::kGrid()) {
-    for (const double alpha : bench::alphaGrid()) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kRandomTree;
-      spec.n = n;
-      spec.params = GameParams::max(alpha, k);
-      const auto outcomes = bench::runTrials(
-          pool, spec, trials,
-          0xF160500ULL + static_cast<std::uint64_t>(k * 131) +
-              static_cast<std::uint64_t>(alpha * 1000));
-      RunningStat avgView;
-      RunningStat minView;
-      int converged = 0;
-      for (const auto& o : outcomes) {
-        if (o.outcome != DynamicsOutcome::kConverged) continue;
-        ++converged;
-        avgView.push(o.features.avgViewSize);
-        minView.push(static_cast<double>(o.features.minViewSize));
-      }
-      table.addRow({std::to_string(k), formatFixed(alpha, 3),
-                    bench::ciCell(avgView), bench::ciCell(minView),
-                    std::to_string(converged) + "/" +
-                        std::to_string(trials)});
-    }
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf("paper claims: at k=7 avg view > 99 and min view > 93; view "
-              "shrinks as α grows, grows fast with k.\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("fig5_view_size"); }

@@ -1,56 +1,13 @@
 // Figure 6: quality of the stable networks (social cost / optimum) as a
 // function of n for various k, at α = 1 (left panel) and α = 10 (right
 // panel), on random trees.
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry (PR 6): the grid, trial
+// body and rendering live in src/runtime/scenarios_builtin.cpp, and
+// this main is byte-identical to the pre-port harness output (pinned
+// by tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS) and checkpoint/resume, or serve
+// it to a worker fleet with `ncg_serve`.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-int main() {
-  bench::printHeader("Figure 6 — quality of equilibrium vs n (trees)",
-                     "Bilò et al., Locality-based NCGs, Fig. 6");
-
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  const std::vector<NodeId> ns =
-      bench::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
-                         : std::vector<NodeId>{20, 30, 50, 70, 100};
-  const std::vector<Dist> ks = {2, 3, 4, 5, 6, 1000};
-
-  for (const double alpha : {1.0, 10.0}) {
-    std::printf("--- α = %.0f ---\n", alpha);
-    TextTable table({"k", "n", "quality", "converged"});
-    for (const Dist k : ks) {
-      for (const NodeId n : ns) {
-        bench::TrialSpec spec;
-        spec.source = bench::Source::kRandomTree;
-        spec.n = n;
-        spec.params = GameParams::max(alpha, k);
-        const auto outcomes = bench::runTrials(
-            pool, spec, trials,
-            0xF160600ULL + static_cast<std::uint64_t>(k * 977) +
-                static_cast<std::uint64_t>(n * 31) +
-                static_cast<std::uint64_t>(alpha));
-        RunningStat quality;
-        int converged = 0;
-        for (const auto& o : outcomes) {
-          if (o.outcome != DynamicsOutcome::kConverged) continue;
-          ++converged;
-          quality.push(o.features.quality);
-        }
-        table.addRow({std::to_string(k), std::to_string(n),
-                      bench::ciCell(quality),
-                      std::to_string(converged) + "/" +
-                          std::to_string(trials)});
-      }
-    }
-    std::printf("%s\n", table.toString().c_str());
-  }
-  std::printf("paper claims: for small k quality degrades ~linearly in n; "
-              "for k >= 5 (α=1) / k >= 6-7 (α=10) it is almost constant.\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("fig6_quality_vs_n"); }

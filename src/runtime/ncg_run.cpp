@@ -18,6 +18,11 @@
 //         --max-units=N    stop after N new trials (testing hook that
 //                          simulates a mid-grid kill; exits 0 with a
 //                          resume hint on stderr)
+//         --connect=ADDR   run as a worker for an ncg_serve instance at
+//                          ADDR (host:port or unix:/path) instead of
+//                          executing locally: lease shards, stream
+//                          results, exit 0 when the server says done.
+//                          Mutually exclusive with every other option.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 #include <cstdio>
@@ -27,8 +32,8 @@
 #include <vector>
 
 #include "runtime/runner.hpp"
-#include "runtime/result_io.hpp"
 #include "runtime/scenario.hpp"
+#include "runtime/serve.hpp"
 #include "support/string_util.hpp"
 
 namespace {
@@ -41,8 +46,9 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s run <scenario> [--procs=N] [--checkpoint=PATH]\n"
                "           [--format=legacy|jsonl|csv] [--out=PATH]\n"
-               "           [--shard-size=N] [--max-units=N]\n",
-               argv0, argv0);
+               "           [--shard-size=N] [--max-units=N]\n"
+               "       %s run <scenario> --connect=ADDR\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -69,60 +75,16 @@ bool keyValue(const std::string& arg, const char* prefix,
   return true;
 }
 
-std::string jsonlText(const Scenario& scenario, const RunReport& report) {
-  const ResultHeader header{
-      scenario.name, scenarioFingerprint(scenario, report.points),
-      report.points.size(), report.results.totalTrials()};
-  std::string out = encodeHeaderLine(header) + "\n";
-  for (const TrialRecord& record : report.results.records()) {
-    out += encodeTrialLine(record);
-    out += "\n";
-  }
-  return out;
-}
-
-std::string csvText(const Scenario& scenario, const RunReport& report) {
-  // Columns are the union of param labels over the grid (points may
-  // carry different label sets, e.g. fig10's two panels); a point
-  // without a label leaves that cell empty.
-  const std::vector<std::string> labels = paramLabels(report.points);
-  std::string out = "point,trial";
-  for (const std::string& label : labels) {
-    out += "," + label;
-  }
-  for (const std::string& metric : scenario.metricNames) {
-    out += "," + metric;
-  }
-  out += "\n";
-  char buffer[40];
-  for (const TrialRecord& record : report.results.records()) {
-    out += std::to_string(record.point) + "," + std::to_string(record.trial);
-    const ScenarioPoint& point =
-        report.points[static_cast<std::size_t>(record.point)];
-    for (const std::string& label : labels) {
-      const auto value = point.tryParam(label);
-      if (value.has_value()) {
-        std::snprintf(buffer, sizeof buffer, ",%.17g", *value);
-        out += buffer;
-      } else {
-        out += ",";
-      }
-    }
-    for (const double metric : record.metrics) {
-      std::snprintf(buffer, sizeof buffer, ",%.17g", metric);
-      out += buffer;
-    }
-    out += "\n";
-  }
-  return out;
-}
-
 int runCommand(const std::string& name, const RunOptions& options,
                const std::string& format, const std::string& outPath) {
   const Scenario* scenario = findScenario(name);
   if (scenario == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s' (try: ncg_run list)\n",
                  name.c_str());
+    return 2;
+  }
+  if (format != "legacy" && format != "jsonl" && format != "csv") {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
     return 2;
   }
   const RunReport report = runScenario(*scenario, options);
@@ -133,7 +95,8 @@ int runCommand(const std::string& name, const RunOptions& options,
       std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
       return 1;
     }
-    const std::string text = jsonlText(*scenario, report);
+    const std::string text =
+        renderResults(*scenario, report.points, report.results, "jsonl");
     std::fputs(text.c_str(), out);
     std::fclose(out);
   }
@@ -153,21 +116,31 @@ int runCommand(const std::string& name, const RunOptions& options,
     return 0;
   }
 
-  std::string text;
-  if (format == "legacy") {
-    text = scenario->render
-               ? scenario->render(*scenario, report.points, report.results)
-               : renderGenericTable(*scenario, report.points, report.results);
-  } else if (format == "jsonl") {
-    text = jsonlText(*scenario, report);
-  } else if (format == "csv") {
-    text = csvText(*scenario, report);
-  } else {
-    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
-    return 2;
-  }
+  const std::string text =
+      renderResults(*scenario, report.points, report.results, format);
   std::fputs(text.c_str(), stdout);
   return 0;
+}
+
+int connectCommand(const std::string& name, const std::string& address) {
+  const Scenario* scenario = findScenario(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: ncg_run list)\n",
+                 name.c_str());
+    return 2;
+  }
+  WorkerReport report;
+  const int code = runConnectedWorker(*scenario, address, {}, &report);
+  std::fprintf(stderr,
+               "worker done: %zu units over %zu leases (%zu reconnects)\n",
+               report.unitsComputed, report.leases, report.reconnects);
+  if (code != 0) {
+    std::fprintf(stderr,
+                 "worker failed: server at '%s' unreachable or serving a "
+                 "different grid\n",
+                 address.c_str());
+  }
+  return code;
 }
 
 }  // namespace
@@ -186,25 +159,44 @@ int main(int argc, char** argv) {
       RunOptions options;
       std::string format = "legacy";
       std::string outPath;
+      std::string connectAddress;
+      bool localOptions = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
         if (keyValue(arg, "--procs=", value)) {
           options.procs = std::stoi(value);
+          localOptions = true;
         } else if (keyValue(arg, "--checkpoint=", value)) {
           options.checkpointPath = value;
+          localOptions = true;
         } else if (keyValue(arg, "--format=", value)) {
           format = value;
+          localOptions = true;
         } else if (keyValue(arg, "--out=", value)) {
           outPath = value;
+          localOptions = true;
         } else if (keyValue(arg, "--shard-size=", value)) {
           options.shardSize = static_cast<std::size_t>(std::stoul(value));
+          localOptions = true;
         } else if (keyValue(arg, "--max-units=", value)) {
           options.maxUnits = static_cast<std::size_t>(std::stoul(value));
+          localOptions = true;
+        } else if (keyValue(arg, "--connect=", value)) {
+          connectAddress = value;
         } else {
           std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
           return usage(argv[0]);
         }
+      }
+      if (!connectAddress.empty()) {
+        if (localOptions) {
+          std::fprintf(stderr,
+                       "--connect runs under the server's configuration and "
+                       "takes no other options\n");
+          return usage(argv[0]);
+        }
+        return connectCommand(name, connectAddress);
       }
       return runCommand(name, options, format, outPath);
     }

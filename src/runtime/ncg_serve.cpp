@@ -1,0 +1,118 @@
+// ncg_serve — the shard-lease server CLI.
+//
+//   ncg_serve <scenario> [options]
+//       Own a scenario grid: listen for ncg_run --connect workers,
+//       lease them shards, collect their results, and print the final
+//       rendering to stdout — byte-identical to `ncg_run run <scenario>`
+//       with NCG_PROCS=1, for any worker fleet and crash schedule.
+//       Options:
+//         --addr=A          listen address: host:port (port 0 picks an
+//                           ephemeral port) or unix:/path
+//                           (default $NCG_SERVE_ADDR, then 127.0.0.1:0)
+//         --checkpoint=P    JSONL manifest; killing the server and
+//                           restarting with the same manifest resumes
+//         --heartbeat-ms=N  lease TTL: a worker silent for N ms loses
+//                           its shards to re-leasing
+//                           (default $NCG_HEARTBEAT_MS, then 5000)
+//         --shard-size=N    units per lease (default: heuristic)
+//         --linger-ms=N     after completion, keep answering workers
+//                           for N ms so they exit cleanly (default 1000)
+//         --format=F        stdout format: legacy (default), jsonl, csv
+//
+// The bound address is printed to stderr as "listening on ADDR" before
+// the first lease, so scripts using an ephemeral port can scrape it.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "runtime/runner.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/serve.hpp"
+
+namespace {
+
+using namespace ncg;
+using namespace ncg::runtime;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario> [--addr=HOST:PORT|unix:PATH]\n"
+               "           [--checkpoint=PATH] [--heartbeat-ms=N]\n"
+               "           [--shard-size=N] [--linger-ms=N]\n"
+               "           [--format=legacy|jsonl|csv]\n",
+               argv0);
+  return 2;
+}
+
+bool keyValue(const std::string& arg, const char* prefix,
+              std::string& value) {
+  const std::size_t len = std::strlen(prefix);
+  if (arg.compare(0, len, prefix) != 0) return false;
+  value = arg.substr(len);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string name = argv[1];
+  ServeOptions options;
+  std::string format = "legacy";
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string value;
+      if (keyValue(arg, "--addr=", value)) {
+        options.address = value;
+      } else if (keyValue(arg, "--checkpoint=", value)) {
+        options.checkpointPath = value;
+      } else if (keyValue(arg, "--heartbeat-ms=", value)) {
+        options.heartbeatMs = std::stoi(value);
+      } else if (keyValue(arg, "--shard-size=", value)) {
+        options.shardSize = static_cast<std::size_t>(std::stoul(value));
+      } else if (keyValue(arg, "--linger-ms=", value)) {
+        options.lingerMs = std::stoi(value);
+      } else if (keyValue(arg, "--format=", value)) {
+        format = value;
+      } else {
+        std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+    if (format != "legacy" && format != "jsonl" && format != "csv") {
+      std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+      return usage(argv[0]);
+    }
+    const Scenario* scenario = findScenario(name);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try: ncg_run list)\n",
+                   name.c_str());
+      return 2;
+    }
+
+    ShardServer server(*scenario, options);
+    std::fprintf(stderr, "listening on %s\n", server.address().c_str());
+    std::fprintf(stderr, "%zu/%zu trials from checkpoint, waiting for "
+                         "ncg_run --connect workers\n",
+                 server.stats().unitsFromCheckpoint,
+                 server.results().totalTrials());
+    server.serveUntilComplete();
+    const ShardServer::Stats stats = server.stats();
+    std::fprintf(stderr,
+                 "complete: %zu recorded this run, %zu duplicates deduped, "
+                 "%zu re-leases, %zu dropped connections\n",
+                 stats.unitsRecorded, stats.duplicateResults, stats.reLeases,
+                 stats.droppedConnections);
+
+    const std::string text = renderResults(*scenario, server.points(),
+                                           server.results(), format);
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ncg_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -32,15 +32,7 @@ struct Unit {
 TrialRecord computeUnit(const Scenario& scenario,
                         const std::vector<ScenarioPoint>& points,
                         const Unit& unit) {
-  const ScenarioPoint& point = points[static_cast<std::size_t>(unit.point)];
-  Rng rng(deriveSeed(point.baseSeed, static_cast<std::uint64_t>(unit.trial)));
-  TrialRecord record{unit.point, unit.trial,
-                     scenario.runTrialFn(point, unit.trial, rng)};
-  NCG_REQUIRE(record.metrics.size() == scenario.metricNames.size(),
-              "scenario '" << scenario.name << "' returned "
-                           << record.metrics.size() << " metrics, expected "
-                           << scenario.metricNames.size());
-  return record;
+  return computeScenarioUnit(scenario, points, unit.point, unit.trial);
 }
 
 void writeAll(int fd, const char* data, std::size_t size) {
@@ -213,6 +205,76 @@ void runForked(const Scenario& scenario,
 
 }  // namespace
 
+TrialRecord computeScenarioUnit(const Scenario& scenario,
+                                const std::vector<ScenarioPoint>& points,
+                                int point, int trial) {
+  const ScenarioPoint& p = points[static_cast<std::size_t>(point)];
+  Rng rng(deriveSeed(p.baseSeed, static_cast<std::uint64_t>(trial)));
+  TrialRecord record{point, trial, scenario.runTrialFn(p, trial, rng)};
+  NCG_REQUIRE(record.metrics.size() == scenario.metricNames.size(),
+              "scenario '" << scenario.name << "' returned "
+                           << record.metrics.size() << " metrics, expected "
+                           << scenario.metricNames.size());
+  return record;
+}
+
+std::string renderResults(const Scenario& scenario,
+                          const std::vector<ScenarioPoint>& points,
+                          const ScenarioResults& results,
+                          const std::string& format) {
+  if (format == "legacy") {
+    return scenario.render ? scenario.render(scenario, points, results)
+                           : renderGenericTable(scenario, points, results);
+  }
+  if (format == "jsonl") {
+    const ResultHeader header{scenario.name,
+                              scenarioFingerprint(scenario, points),
+                              points.size(), results.totalTrials()};
+    std::string out = encodeHeaderLine(header) + "\n";
+    for (const TrialRecord& record : results.records()) {
+      out += encodeTrialLine(record);
+      out += "\n";
+    }
+    return out;
+  }
+  if (format == "csv") {
+    // Columns are the union of param labels over the grid (points may
+    // carry different label sets, e.g. fig10's two panels); a point
+    // without a label leaves that cell empty.
+    const std::vector<std::string> labels = paramLabels(points);
+    std::string out = "point,trial";
+    for (const std::string& label : labels) {
+      out += "," + label;
+    }
+    for (const std::string& metric : scenario.metricNames) {
+      out += "," + metric;
+    }
+    out += "\n";
+    char buffer[40];
+    for (const TrialRecord& record : results.records()) {
+      out += std::to_string(record.point) + "," + std::to_string(record.trial);
+      const ScenarioPoint& point =
+          points[static_cast<std::size_t>(record.point)];
+      for (const std::string& label : labels) {
+        const auto value = point.tryParam(label);
+        if (value.has_value()) {
+          std::snprintf(buffer, sizeof buffer, ",%.17g", *value);
+          out += buffer;
+        } else {
+          out += ",";
+        }
+      }
+      for (const double metric : record.metrics) {
+        std::snprintf(buffer, sizeof buffer, ",%.17g", metric);
+        out += buffer;
+      }
+      out += "\n";
+    }
+    return out;
+  }
+  throw Error("unknown results format '" + format + "'");
+}
+
 RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
   NCG_REQUIRE(static_cast<bool>(scenario.makePoints) &&
                   static_cast<bool>(scenario.runTrialFn),
@@ -315,9 +377,7 @@ int runLegacyHarness(const std::string& name) {
   }
   const RunReport report = runScenario(*scenario);
   const std::string text =
-      scenario->render
-          ? scenario->render(*scenario, report.points, report.results)
-          : renderGenericTable(*scenario, report.points, report.results);
+      renderResults(*scenario, report.points, report.results, "legacy");
   std::fputs(text.c_str(), stdout);
   return 0;
 }

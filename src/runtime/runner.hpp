@@ -49,6 +49,24 @@ struct RunReport {
   bool complete = false;                ///< every slot filled
 };
 
+/// Computes one (point, trial) unit exactly the way every executor
+/// must: a fresh Rng on stream deriveSeed(point.baseSeed, trial), then
+/// the scenario's trial body. Shared by the in-process runner, the
+/// forked workers and the socket workers (runtime/serve.hpp) — one
+/// definition is what keeps them bitwise interchangeable.
+TrialRecord computeScenarioUnit(const Scenario& scenario,
+                                const std::vector<ScenarioPoint>& points,
+                                int point, int trial);
+
+/// Renders a finished result set in one of the ncg_run / ncg_serve
+/// stdout formats: "legacy" (the scenario's renderer, or the generic
+/// table), "jsonl" (header + one trial line each) or "csv". Throws
+/// ncg::Error on an unknown format name.
+std::string renderResults(const Scenario& scenario,
+                          const std::vector<ScenarioPoint>& points,
+                          const ScenarioResults& results,
+                          const std::string& format);
+
 /// Runs `scenario` per `options` (see file comment). Throws ncg::Error
 /// on worker failure or checkpoint mismatch.
 RunReport runScenario(const Scenario& scenario,

@@ -292,6 +292,153 @@ Scenario makeFig10() {
   return s;
 }
 
+Scenario makeFig5() {
+  Scenario s;
+  s.name = "fig5_view_size";
+  s.description =
+      "Figure 5: minimum and average view size on stable networks vs α for "
+      "the various k (random trees, n=100)";
+  s.title = "Figure 5 — view size at equilibrium vs α (trees, n=100)";
+  s.paperRef = "Bilò et al., Locality-based NCGs, Fig. 5";
+  s.metricNames = {"outcome", "avg_view", "min_view"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    const int trials = env::trials();
+    for (const Dist k : kGrid()) {
+      for (const double alpha : alphaGrid()) {
+        ScenarioPoint point;
+        point.params = {{"k", static_cast<double>(k)}, {"alpha", alpha}};
+        point.baseSeed = 0xF160500ULL + static_cast<std::uint64_t>(k * 131) +
+                         static_cast<std::uint64_t>(alpha * 1000);
+        point.trials = trials;
+        points.push_back(std::move(point));
+      }
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    TrialSpec spec;
+    spec.source = Source::kRandomTree;
+    spec.n = 100;
+    spec.params = GameParams::max(point.param("alpha"),
+                                  static_cast<Dist>(point.param("k")));
+    const TrialOutcome outcome = runTrial(spec, rng);
+    return std::vector<double>{
+        outcomeCode(outcome.outcome), outcome.features.avgViewSize,
+        static_cast<double>(outcome.features.minViewSize)};
+  };
+  s.render = [](const Scenario& scenario,
+                const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    std::string out = headerText(scenario.title, scenario.paperRef);
+    TextTable table({"k", "alpha", "avg view", "min view", "converged"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      RunningStat avgView;
+      RunningStat minView;
+      int converged = 0;
+      for (int t = 0; t < points[p].trials; ++t) {
+        const std::vector<double>& m = results.metrics(static_cast<int>(p), t);
+        if (m[0] != 0.0) continue;
+        ++converged;
+        avgView.push(m[1]);
+        minView.push(m[2]);
+      }
+      table.addRow({std::to_string(static_cast<Dist>(points[p].param("k"))),
+                    formatFixed(points[p].param("alpha"), 3),
+                    ciCell(avgView), ciCell(minView),
+                    std::to_string(converged) + "/" +
+                        std::to_string(points[p].trials)});
+    }
+    out += table.toString();
+    out += "\n";
+    out += "paper claims: at k=7 avg view > 99 and min view > 93; view "
+           "shrinks as α grows, grows fast with k.\n";
+    return out;
+  };
+  return s;
+}
+
+Scenario makeFig6() {
+  Scenario s;
+  s.name = "fig6_quality_vs_n";
+  s.description =
+      "Figure 6: quality of the stable networks (social cost / optimum) vs "
+      "n for various k, at α = 1 and α = 10 (random trees)";
+  s.title = "Figure 6 — quality of equilibrium vs n (trees)";
+  s.paperRef = "Bilò et al., Locality-based NCGs, Fig. 6";
+  s.metricNames = {"outcome", "quality"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    const int trials = env::trials();
+    const std::vector<NodeId> ns =
+        env::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
+                         : std::vector<NodeId>{20, 30, 50, 70, 100};
+    const std::vector<Dist> ks = {2, 3, 4, 5, 6, 1000};
+    for (const double alpha : {1.0, 10.0}) {
+      for (const Dist k : ks) {
+        for (const NodeId n : ns) {
+          ScenarioPoint point;
+          point.params = {{"alpha", alpha},
+                          {"k", static_cast<double>(k)},
+                          {"n", static_cast<double>(n)}};
+          point.baseSeed = 0xF160600ULL +
+                           static_cast<std::uint64_t>(k * 977) +
+                           static_cast<std::uint64_t>(n * 31) +
+                           static_cast<std::uint64_t>(alpha);
+          point.trials = trials;
+          points.push_back(std::move(point));
+        }
+      }
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    TrialSpec spec;
+    spec.source = Source::kRandomTree;
+    spec.n = static_cast<NodeId>(point.param("n"));
+    spec.params = GameParams::max(point.param("alpha"),
+                                  static_cast<Dist>(point.param("k")));
+    const TrialOutcome outcome = runTrial(spec, rng);
+    return std::vector<double>{outcomeCode(outcome.outcome),
+                               outcome.features.quality};
+  };
+  s.render = [](const Scenario& scenario,
+                const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    std::string out = headerText(scenario.title, scenario.paperRef);
+    for (const double alpha : {1.0, 10.0}) {
+      char heading[32];
+      std::snprintf(heading, sizeof heading, "--- α = %.0f ---\n", alpha);
+      out += heading;
+      TextTable table({"k", "n", "quality", "converged"});
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (points[p].param("alpha") != alpha) continue;
+        RunningStat quality;
+        int converged = 0;
+        for (int t = 0; t < points[p].trials; ++t) {
+          const std::vector<double>& m =
+              results.metrics(static_cast<int>(p), t);
+          if (m[0] != 0.0) continue;
+          ++converged;
+          quality.push(m[1]);
+        }
+        table.addRow(
+            {std::to_string(static_cast<Dist>(points[p].param("k"))),
+             std::to_string(static_cast<NodeId>(points[p].param("n"))),
+             ciCell(quality),
+             std::to_string(converged) + "/" +
+                 std::to_string(points[p].trials)});
+      }
+      out += table.toString();
+      out += "\n";
+    }
+    out += "paper claims: for small k quality degrades ~linearly in n; "
+           "for k >= 5 (α=1) / k >= 6-7 (α=10) it is almost constant.\n";
+    return out;
+  };
+  return s;
+}
+
 /// Tiny pinned grid for CI and the determinism suite: env-independent
 /// (fixed trial count), seconds to run, exercises the full trial path.
 Scenario makeSmoke() {
@@ -335,6 +482,8 @@ Scenario makeSmoke() {
 void appendBuiltinScenarios(std::vector<Scenario>& registry) {
   registry.push_back(makeTable1());
   registry.push_back(makeTable2());
+  registry.push_back(makeFig5());
+  registry.push_back(makeFig6());
   registry.push_back(makeFig10());
   registry.push_back(makeSmoke());
 }

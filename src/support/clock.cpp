@@ -1,0 +1,25 @@
+#include "support/clock.hpp"
+
+#include <chrono>
+
+namespace ncg {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  std::int64_t nowMs() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+Clock& steadyClock() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace ncg

@@ -1,0 +1,39 @@
+// Monotonic time as an injectable seam.
+//
+// The shard-lease server (runtime/serve.hpp) tracks per-lease heartbeat
+// deadlines on a monotonic millisecond clock. Production code uses
+// steadyClock() (std::chrono::steady_clock); tests inject a ManualClock
+// so lease expiry, heartbeat refresh and re-lease ordering can be
+// exercised at exact instants without sleeping.
+#pragma once
+
+#include <cstdint>
+
+namespace ncg {
+
+/// Source of monotonic milliseconds. Never goes backwards; the epoch is
+/// arbitrary (only differences are meaningful).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t nowMs() = 0;
+};
+
+/// The process-wide real monotonic clock (steady_clock under the hood).
+Clock& steadyClock();
+
+/// Hand-cranked clock for tests: time moves only via advance()/set().
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t startMs = 0) : now_(startMs) {}
+
+  std::int64_t nowMs() override { return now_; }
+
+  void advance(std::int64_t ms) { now_ += ms; }
+  void set(std::int64_t ms) { now_ = ms; }
+
+ private:
+  std::int64_t now_;
+};
+
+}  // namespace ncg

@@ -1,5 +1,7 @@
 #include "support/env.hpp"
 
+#include <cstdlib>
+
 #include "support/string_util.hpp"
 
 namespace ncg::env {
@@ -14,5 +16,12 @@ std::size_t threads() {
 }
 
 int procs() { return envInt("NCG_PROCS", 1); }
+
+std::string serveAddress() {
+  const char* value = std::getenv("NCG_SERVE_ADDR");
+  return value != nullptr && value[0] != '\0' ? value : "127.0.0.1:0";
+}
+
+int heartbeatMs() { return envInt("NCG_HEARTBEAT_MS", 5000); }
 
 }  // namespace ncg::env

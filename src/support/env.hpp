@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace ncg::env {
 
@@ -26,5 +27,15 @@ std::size_t threads();
 /// (`runtime/runner.hpp`); default 1 = run in-process. Results are
 /// bitwise identical for any value.
 int procs();
+
+/// NCG_SERVE_ADDR — listen/connect address of the shard-lease service
+/// (`runtime/serve.hpp`): "host:port" TCP (port 0 = ephemeral) or
+/// "unix:/path". Default "127.0.0.1:0".
+std::string serveAddress();
+
+/// NCG_HEARTBEAT_MS — lease time-to-live of the shard-lease service: a
+/// worker whose lease sees no frame for this long is presumed dead and
+/// its shards are re-leased. Default 5000.
+int heartbeatMs();
 
 }  // namespace ncg::env

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@ namespace {
 
 TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   for (const char* name : {"table1_random_trees", "table2_er_graphs",
+                           "fig5_view_size", "fig6_quality_vs_n",
                            "fig10_convergence", "smoke_dynamics"}) {
     const Scenario* scenario = findScenario(name);
     ASSERT_NE(scenario, nullptr) << name;
@@ -306,6 +308,97 @@ std::string legacyFig10Text() {
   return out;
 }
 
+std::string legacyFig5Text() {
+  std::string out =
+      headerText("Figure 5 — view size at equilibrium vs α (trees, n=100)",
+                 "Bilò et al., Locality-based NCGs, Fig. 5");
+  const int trials = env::trials();
+  const auto cell = [](const RunningStat& stat) {
+    return formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2);
+  };
+  TextTable table({"k", "alpha", "avg view", "min view", "converged"});
+  for (const Dist k : kGrid()) {
+    for (const double alpha : alphaGrid()) {
+      TrialSpec spec;
+      spec.source = Source::kRandomTree;
+      spec.n = 100;
+      spec.params = GameParams::max(alpha, k);
+      const std::uint64_t base =
+          0xF160500ULL + static_cast<std::uint64_t>(k * 131) +
+          static_cast<std::uint64_t>(alpha * 1000);
+      RunningStat avgView;
+      RunningStat minView;
+      int converged = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(deriveSeed(base, static_cast<std::uint64_t>(trial)));
+        const TrialOutcome o = runTrial(spec, rng);
+        if (o.outcome != DynamicsOutcome::kConverged) continue;
+        ++converged;
+        avgView.push(o.features.avgViewSize);
+        minView.push(static_cast<double>(o.features.minViewSize));
+      }
+      table.addRow({std::to_string(k), formatFixed(alpha, 3), cell(avgView),
+                    cell(minView),
+                    std::to_string(converged) + "/" +
+                        std::to_string(trials)});
+    }
+  }
+  out += table.toString();
+  out += "\n";
+  out += "paper claims: at k=7 avg view > 99 and min view > 93; view "
+         "shrinks as α grows, grows fast with k.\n";
+  return out;
+}
+
+std::string legacyFig6Text() {
+  std::string out =
+      headerText("Figure 6 — quality of equilibrium vs n (trees)",
+                 "Bilò et al., Locality-based NCGs, Fig. 6");
+  const int trials = env::trials();
+  const auto cell = [](const RunningStat& stat) {
+    return formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2);
+  };
+  const std::vector<NodeId> ns =
+      env::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
+                       : std::vector<NodeId>{20, 30, 50, 70, 100};
+  const std::vector<Dist> ks = {2, 3, 4, 5, 6, 1000};
+  for (const double alpha : {1.0, 10.0}) {
+    char heading[32];
+    std::snprintf(heading, sizeof heading, "--- α = %.0f ---\n", alpha);
+    out += heading;
+    TextTable table({"k", "n", "quality", "converged"});
+    for (const Dist k : ks) {
+      for (const NodeId n : ns) {
+        TrialSpec spec;
+        spec.source = Source::kRandomTree;
+        spec.n = n;
+        spec.params = GameParams::max(alpha, k);
+        const std::uint64_t base =
+            0xF160600ULL + static_cast<std::uint64_t>(k * 977) +
+            static_cast<std::uint64_t>(n * 31) +
+            static_cast<std::uint64_t>(alpha);
+        RunningStat quality;
+        int converged = 0;
+        for (int trial = 0; trial < trials; ++trial) {
+          Rng rng(deriveSeed(base, static_cast<std::uint64_t>(trial)));
+          const TrialOutcome o = runTrial(spec, rng);
+          if (o.outcome != DynamicsOutcome::kConverged) continue;
+          ++converged;
+          quality.push(o.features.quality);
+        }
+        table.addRow({std::to_string(k), std::to_string(n), cell(quality),
+                      std::to_string(converged) + "/" +
+                          std::to_string(trials)});
+      }
+    }
+    out += table.toString();
+    out += "\n";
+  }
+  out += "paper claims: for small k quality degrades ~linearly in n; "
+         "for k >= 5 (α=1) / k >= 6-7 (α=10) it is almost constant.\n";
+  return out;
+}
+
 std::string renderScenario(const char* name) {
   const Scenario* scenario = findScenario(name);
   EXPECT_NE(scenario, nullptr) << name;
@@ -322,20 +415,37 @@ TEST(PortFidelity, Table2RenderingIsByteIdenticalToLegacyHarness) {
   EXPECT_EQ(renderScenario("table2_er_graphs"), legacyTable2Text());
 }
 
-TEST(PortFidelity, Fig10RenderingIsByteIdenticalToLegacyHarness) {
-  // Pin NCG_TRIALS to keep the double-execution (scenario + reference)
-  // affordable; restore the caller's value afterwards.
+/// Runs `render` with NCG_TRIALS pinned to 2 — the expensive figure
+/// pins double-execute their grids (scenario + verbatim reference) —
+/// and restores the caller's value afterwards.
+std::string withPinnedTrials(const std::function<std::string()>& render) {
   const char* previous = std::getenv("NCG_TRIALS");
   const std::string saved = previous != nullptr ? previous : "";
   setenv("NCG_TRIALS", "2", 1);
-  const std::string expected = legacyFig10Text();
-  const std::string actual = renderScenario("fig10_convergence");
+  const std::string text = render();
   if (previous != nullptr) {
     setenv("NCG_TRIALS", saved.c_str(), 1);
   } else {
     unsetenv("NCG_TRIALS");
   }
-  EXPECT_EQ(actual, expected);
+  return text;
+}
+
+TEST(PortFidelity, Fig5RenderingIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(withPinnedTrials([] { return renderScenario("fig5_view_size"); }),
+            withPinnedTrials(legacyFig5Text));
+}
+
+TEST(PortFidelity, Fig6RenderingIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(
+      withPinnedTrials([] { return renderScenario("fig6_quality_vs_n"); }),
+      withPinnedTrials(legacyFig6Text));
+}
+
+TEST(PortFidelity, Fig10RenderingIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(
+      withPinnedTrials([] { return renderScenario("fig10_convergence"); }),
+      withPinnedTrials(legacyFig10Text));
 }
 
 TEST(GenericRenderer, ProducesHeaderlessTableWithParamsAndMetrics) {

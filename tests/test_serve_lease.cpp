@@ -1,0 +1,299 @@
+// Lease-state unit tests on an injected fake clock: expiry at exactly
+// the deadline instant, heartbeat refresh, deterministic re-lease
+// ordering, shard retirement, completion dedupe — and at the server
+// level, that a worker streaming result frames can never lose its
+// lease to expiry (every frame refreshes the deadline).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/runner.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/serve.hpp"
+#include "runtime/trial.hpp"
+#include "runtime/wire.hpp"
+#include "support/clock.hpp"
+
+namespace ncg::runtime {
+namespace {
+
+// -------------------------------------------------------------------
+// LeaseTable
+
+TEST(LeaseTable, AcquireGrantsLowestPendingShardWithItsUnits) {
+  LeaseTable table(10, 3, 100);  // shards [0,3) [3,6) [6,9) [9,10)
+  const auto first = table.acquire(1, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->shard, 0U);
+  EXPECT_EQ(first->units, (std::vector<std::uint64_t>{0, 1, 2}));
+  const auto second = table.acquire(1, 0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->shard, 1U);
+  EXPECT_NE(second->leaseId, first->leaseId);
+  EXPECT_EQ(table.leasedShards(), 2U);
+  EXPECT_EQ(table.pendingShards(), 2U);
+}
+
+TEST(LeaseTable, CompletedUnitsAreExcludedFromGrants) {
+  LeaseTable table(6, 3, 100);
+  EXPECT_TRUE(table.markCompleted(1));
+  EXPECT_FALSE(table.markCompleted(1));  // dedupe on replay too
+  const auto grant = table.acquire(1, 0);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->units, (std::vector<std::uint64_t>{0, 2}));
+}
+
+TEST(LeaseTable, FullyPrefilledShardIsNeverGranted) {
+  LeaseTable table(6, 3, 100);
+  for (const std::size_t unit : {0U, 1U, 2U}) {
+    EXPECT_TRUE(table.markCompleted(unit));
+  }
+  const auto grant = table.acquire(1, 0);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->shard, 1U);  // shard 0 is done, not just empty
+  EXPECT_FALSE(table.acquire(1, 0).has_value());
+}
+
+TEST(LeaseTable, ExpiryHappensAtExactlyTheDeadline) {
+  LeaseTable table(4, 2, 100);
+  ASSERT_TRUE(table.acquire(1, 0).has_value());  // deadline = 100
+  EXPECT_EQ(table.expireLeases(99), 0U);
+  EXPECT_EQ(table.leasedShards(), 1U);
+  EXPECT_EQ(table.expireLeases(100), 1U);  // deadline <= now: expired
+  EXPECT_EQ(table.leasedShards(), 0U);
+  EXPECT_EQ(table.pendingShards(), 2U);
+  EXPECT_EQ(table.reLeases(), 1U);
+}
+
+TEST(LeaseTable, HeartbeatPushesTheDeadlineOut) {
+  LeaseTable table(4, 2, 100);
+  ASSERT_TRUE(table.acquire(7, 0).has_value());
+  table.heartbeat(7, 60);  // deadline now 160
+  EXPECT_EQ(table.expireLeases(100), 0U);
+  EXPECT_EQ(table.expireLeases(159), 0U);
+  EXPECT_EQ(table.expireLeases(160), 1U);
+}
+
+TEST(LeaseTable, HeartbeatRefreshesEveryLeaseOfTheOwner) {
+  LeaseTable table(8, 2, 100);
+  ASSERT_TRUE(table.acquire(7, 0).has_value());
+  ASSERT_TRUE(table.acquire(7, 10).has_value());
+  ASSERT_TRUE(table.acquire(8, 20).has_value());  // other owner
+  table.heartbeat(7, 90);
+  EXPECT_EQ(table.expireLeases(130), 1U);  // only owner 8's lease
+  EXPECT_EQ(table.expireLeases(189), 0U);
+  EXPECT_EQ(table.expireLeases(190), 2U);
+}
+
+TEST(LeaseTable, ReleaseOwnerRequeuesAllItsShards) {
+  LeaseTable table(8, 2, 100);
+  ASSERT_TRUE(table.acquire(7, 0).has_value());
+  ASSERT_TRUE(table.acquire(7, 0).has_value());
+  ASSERT_TRUE(table.acquire(8, 0).has_value());
+  EXPECT_EQ(table.releaseOwner(7), 2U);
+  EXPECT_EQ(table.pendingShards(), 3U);  // shards 0, 1 back + shard 3
+  EXPECT_EQ(table.leasedShards(), 1U);
+  EXPECT_EQ(table.reLeases(), 2U);
+  EXPECT_EQ(table.releaseOwner(7), 0U);  // idempotent
+}
+
+TEST(LeaseTable, ReLeaseOrderingIsDeterministic) {
+  // Three owners lease shards 0,1,2; all expire at once. Regardless of
+  // the order leases were handed out, re-acquisition walks ascending
+  // shard indices — so a restarted fleet reproduces the same schedule.
+  LeaseTable table(6, 2, 100);
+  ASSERT_EQ(table.acquire(3, 0)->shard, 0U);
+  ASSERT_EQ(table.acquire(1, 5)->shard, 1U);
+  ASSERT_EQ(table.acquire(2, 9)->shard, 2U);
+  EXPECT_EQ(table.expireLeases(200), 3U);
+  EXPECT_EQ(table.acquire(9, 200)->shard, 0U);
+  EXPECT_EQ(table.acquire(9, 200)->shard, 1U);
+  EXPECT_EQ(table.acquire(9, 200)->shard, 2U);
+}
+
+TEST(LeaseTable, CompletingTheLastUnitRetiresShardAndLease) {
+  LeaseTable table(4, 2, 100);
+  ASSERT_TRUE(table.acquire(1, 0).has_value());
+  EXPECT_TRUE(table.completeUnit(0));
+  EXPECT_EQ(table.leasedShards(), 1U);  // one unit left
+  EXPECT_TRUE(table.completeUnit(1));
+  EXPECT_EQ(table.leasedShards(), 0U);  // retired, not re-queued
+  EXPECT_EQ(table.pendingShards(), 1U);
+  EXPECT_FALSE(table.nextDeadline().has_value());
+  // A retired shard no longer expires.
+  EXPECT_EQ(table.expireLeases(10000), 0U);
+}
+
+TEST(LeaseTable, CompleteUnitDedupesSecondCompletion) {
+  LeaseTable table(4, 2, 100);
+  EXPECT_TRUE(table.completeUnit(2));
+  EXPECT_FALSE(table.completeUnit(2));
+  EXPECT_EQ(table.completedUnits(), 1U);
+  EXPECT_FALSE(table.allComplete());
+  for (const std::size_t unit : {0U, 1U, 3U}) {
+    EXPECT_TRUE(table.completeUnit(unit));
+  }
+  EXPECT_TRUE(table.allComplete());
+  EXPECT_EQ(table.completedUnits(), 4U);
+}
+
+TEST(LeaseTable, NextDeadlineIsTheEarliestLiveOne) {
+  LeaseTable table(8, 2, 100);
+  EXPECT_FALSE(table.nextDeadline().has_value());
+  ASSERT_TRUE(table.acquire(1, 50).has_value());   // deadline 150
+  ASSERT_TRUE(table.acquire(2, 20).has_value());   // deadline 120
+  EXPECT_EQ(table.nextDeadline(), 120);
+  table.heartbeat(2, 200);  // now 300
+  EXPECT_EQ(table.nextDeadline(), 150);
+}
+
+TEST(LeaseTable, UnevenTailShardHasTheRightUnits) {
+  LeaseTable table(7, 3, 100);  // shards [0,3) [3,6) [6,7)
+  (void)table.acquire(1, 0);
+  (void)table.acquire(1, 0);
+  const auto tail = table.acquire(1, 0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->units, (std::vector<std::uint64_t>{6}));
+}
+
+// -------------------------------------------------------------------
+// Server-level heartbeat semantics on a ManualClock
+
+const Scenario& leaseScenario() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Scenario s;
+    s.name = "serve_lease_fixture";
+    s.description = "test fixture";
+    s.metricNames = {"outcome", "rounds", "social_cost"};
+    s.makePoints = [] {
+      std::vector<ScenarioPoint> points;
+      ScenarioPoint point;
+      point.params = {{"k", 3.0}, {"alpha", 1.0}};
+      point.baseSeed = 0x1EA5EULL;
+      point.trials = 6;
+      points.push_back(std::move(point));
+      return points;
+    };
+    s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+      TrialSpec spec;
+      spec.source = Source::kRandomTree;
+      spec.n = 12;
+      spec.params = GameParams::max(point.param("alpha"),
+                                    static_cast<Dist>(point.param("k")));
+      const TrialOutcome outcome = runTrial(spec, rng);
+      return std::vector<double>{
+          static_cast<double>(static_cast<int>(outcome.outcome)),
+          static_cast<double>(outcome.rounds), outcome.features.socialCost};
+    };
+    registerScenario(std::move(s));
+  });
+  return *findScenario("serve_lease_fixture");
+}
+
+struct RawWorker {
+  int fd = -1;
+  FrameReader reader;
+
+  void connect(const ShardServer& server) {
+    fd = connectToServeAddress(server.address(), 1, 0);
+    ASSERT_GE(fd, 0);
+  }
+  ~RawWorker() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TEST(ServeHeartbeat, ResultFramesKeepTheLeaseAliveWithoutHeartbeats) {
+  const Scenario& scenario = leaseScenario();
+  ManualClock clock(1000);
+  ServeOptions options;
+  options.address = "127.0.0.1:0";
+  options.heartbeatMs = 100;
+  options.shardSize = 6;  // the whole grid in one lease
+  options.clock = &clock;
+  ShardServer server(scenario, options);
+  const std::vector<ScenarioPoint> points = server.points();
+
+  RawWorker worker;
+  worker.connect(server);
+  ASSERT_TRUE(sendFrameBlocking(worker.fd, FrameType::kHello,
+                                scenario.name));
+  ASSERT_TRUE(sendFrameBlocking(worker.fd, FrameType::kLeaseRequest, ""));
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  ASSERT_EQ(readFrameBlocking(worker.fd, worker.reader)->type,
+            FrameType::kWelcome);
+  const auto grant = readFrameBlocking(worker.fd, worker.reader);
+  ASSERT_TRUE(grant.has_value());
+  ASSERT_EQ(grant->type, FrameType::kLeaseGrant);
+
+  // Stream one result every 90 fake ms — always inside the 100 ms TTL
+  // because each frame refreshes the deadline. Never send kHeartbeat.
+  for (int trial = 0; trial < 6; ++trial) {
+    clock.advance(90);
+    const TrialRecord record =
+        computeScenarioUnit(scenario, points, 0, trial);
+    ASSERT_TRUE(sendFrameBlocking(worker.fd, FrameType::kResult,
+                                  encodeTrialLine(record)));
+    for (int i = 0; i < 5; ++i) server.pollOnce(20);
+    EXPECT_EQ(server.stats().reLeases, 0U) << "trial " << trial;
+  }
+  EXPECT_TRUE(server.complete());
+  EXPECT_EQ(server.stats().unitsRecorded, 6U);
+  EXPECT_EQ(server.stats().duplicateResults, 0U);
+}
+
+TEST(ServeHeartbeat, SilentWorkerLosesItsLeaseAtTheDeadline) {
+  const Scenario& scenario = leaseScenario();
+  ManualClock clock(0);
+  ServeOptions options;
+  options.address = "127.0.0.1:0";
+  options.heartbeatMs = 100;
+  options.shardSize = 6;
+  options.clock = &clock;
+  ShardServer server(scenario, options);
+
+  RawWorker silent;
+  silent.connect(server);
+  ASSERT_TRUE(sendFrameBlocking(silent.fd, FrameType::kHello,
+                                scenario.name));
+  ASSERT_TRUE(sendFrameBlocking(silent.fd, FrameType::kLeaseRequest, ""));
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  ASSERT_EQ(readFrameBlocking(silent.fd, silent.reader)->type,
+            FrameType::kWelcome);
+  ASSERT_EQ(readFrameBlocking(silent.fd, silent.reader)->type,
+            FrameType::kLeaseGrant);
+  const std::int64_t leasedAt = clock.nowMs();
+
+  // One tick before the deadline: still leased.
+  clock.set(leasedAt + 99);
+  server.pollOnce(0);
+  EXPECT_EQ(server.stats().reLeases, 0U);
+
+  // At the deadline: expired, and a second worker inherits the shard.
+  clock.set(leasedAt + 100);
+  server.pollOnce(0);
+  EXPECT_EQ(server.stats().reLeases, 1U);
+
+  RawWorker heir;
+  heir.connect(server);
+  ASSERT_TRUE(
+      sendFrameBlocking(heir.fd, FrameType::kHello, scenario.name));
+  ASSERT_TRUE(sendFrameBlocking(heir.fd, FrameType::kLeaseRequest, ""));
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  ASSERT_EQ(readFrameBlocking(heir.fd, heir.reader)->type,
+            FrameType::kWelcome);
+  const auto regrant = readFrameBlocking(heir.fd, heir.reader);
+  ASSERT_TRUE(regrant.has_value());
+  EXPECT_EQ(regrant->type, FrameType::kLeaseGrant);
+  const auto decoded = decodeLeaseGrant(regrant->payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->units.size(), 6U);
+}
+
+}  // namespace
+}  // namespace ncg::runtime
