@@ -1,88 +1,13 @@
 // Figure 7: quality of stable networks as a function of k at α = 2, on
 // random trees (several n, left panel) and on G(100, 0.2) (right panel),
 // with the theoretical f(k) = k / 2^{log2² k} trend printed alongside.
-#include <cmath>
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry (PR 7): the grid, trial
+// body and rendering live in src/runtime/scenarios_builtin.cpp, and
+// this main is byte-identical to the pre-port harness output (pinned
+// by tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS), checkpoint/resume and the
+// per-unit timing sidecar.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-namespace {
-
-/// The paper's Fig. 7 benchmark curve: the k-dependence of the upper
-/// bound O(nk / (α·2^{Θ(log²(k/α))})) with n, α fixed.
-double theoreticalTrend(double k, double alpha) {
-  const double ratio = std::max(k / alpha, 1.0);
-  const double logRatio = std::log2(ratio);
-  return k / std::exp2(0.25 * logRatio * logRatio);
-}
-
-}  // namespace
-
-int main() {
-  bench::printHeader("Figure 7 — quality of equilibrium vs k (α=2)",
-                     "Bilò et al., Locality-based NCGs, Fig. 7");
-
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  const double alpha = 2.0;
-  const std::vector<Dist> ks = {2, 3, 4, 5, 6, 7};
-
-  std::printf("--- random trees ---\n");
-  const std::vector<NodeId> ns =
-      bench::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
-                         : std::vector<NodeId>{20, 50, 100};
-  TextTable treeTable({"n", "k", "quality", "trend k/2^{log2² k}"});
-  for (const NodeId n : ns) {
-    for (const Dist k : ks) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kRandomTree;
-      spec.n = n;
-      spec.params = GameParams::max(alpha, k);
-      const auto outcomes = bench::runTrials(
-          pool, spec, trials,
-          0xF160700ULL + static_cast<std::uint64_t>(k * 41) +
-              static_cast<std::uint64_t>(n * 7919));
-      RunningStat quality;
-      for (const auto& o : outcomes) {
-        if (o.outcome == DynamicsOutcome::kConverged) {
-          quality.push(o.features.quality);
-        }
-      }
-      treeTable.addRow({std::to_string(n), std::to_string(k),
-                        bench::ciCell(quality),
-                        formatFixed(theoreticalTrend(k, alpha), 3)});
-    }
-  }
-  std::printf("%s\n", treeTable.toString().c_str());
-
-  std::printf("--- G(n=100, p=0.2) ---\n");
-  TextTable erTable({"k", "quality", "trend"});
-  const std::vector<Dist> erKs = {2, 3, 4, 5, 6, 7, 10};
-  for (const Dist k : erKs) {
-    bench::TrialSpec spec;
-    spec.source = bench::Source::kErdosRenyi;
-    spec.n = 100;
-    spec.p = 0.2;
-    spec.params = GameParams::max(alpha, k);
-    const auto outcomes = bench::runTrials(
-        pool, spec, trials,
-        0xF160701ULL + static_cast<std::uint64_t>(k * 43));
-    RunningStat quality;
-    for (const auto& o : outcomes) {
-      if (o.outcome == DynamicsOutcome::kConverged) {
-        quality.push(o.features.quality);
-      }
-    }
-    erTable.addRow({std::to_string(k), bench::ciCell(quality),
-                    formatFixed(theoreticalTrend(k, alpha), 3)});
-  }
-  std::printf("%s\n", erTable.toString().c_str());
-  std::printf("paper claims: measured quality follows the k/2^{log2² k} "
-              "trend and scales down with α.\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("fig7_quality_vs_k"); }

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json against a committed baseline and gate on regressions.
+
+Both sides use the schema bench/perf_smoke.cpp and `ncg_run --timings`
+emit: a top-level object with a "cases" array of {"name", "seconds", ...}
+plus "total_seconds". The comparison is per-case by name:
+
+  - a case present in the baseline but missing from the current run FAILS
+    (a silently dropped workload is indistinguishable from a speedup);
+  - a case slower than baseline by more than --max-regress percent FAILS,
+    unless both sides are under the --min-seconds noise floor (sub-ms
+    cases on shared CI runners are pure jitter);
+  - new cases in the current run are reported but never gate.
+
+"total_seconds" is compared as the pseudo-case "(total)" under the same
+rules, so even a bench whose individual cases all sit below the noise
+floor still gates on its aggregate.
+
+Exit code 0 when everything passes, 1 on any regression or missing case,
+2 on unreadable input. Refresh a baseline by committing the new JSON over
+bench/baselines/ (see docs/REPRODUCING.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TOTAL_CASE = "(total)"
+
+
+def load_cases(path):
+    """Returns {case name: seconds} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    cases = {}
+    for case in data.get("cases", []):
+        cases[case["name"]] = float(case["seconds"])
+    if "total_seconds" in data:
+        cases[TOTAL_CASE] = float(data["total_seconds"])
+    return cases
+
+
+def compare(baseline, current, max_regress_pct=50.0, min_seconds=0.0):
+    """Compares {name: seconds} maps; returns (rows, failures).
+
+    rows: (name, base_s, cur_s, delta_pct or None, status) per case, in
+    baseline order then new-only cases. failures: list of failing names.
+    """
+    rows = []
+    failures = []
+    for name, base in baseline.items():
+        if name not in current:
+            rows.append((name, base, None, None, "MISSING"))
+            failures.append(name)
+            continue
+        cur = current[name]
+        delta = (cur - base) / base * 100.0 if base > 0 else 0.0
+        if base < min_seconds and cur < min_seconds:
+            status = "noise"
+        elif delta > max_regress_pct:
+            status = "REGRESSED"
+            failures.append(name)
+        elif delta < -max_regress_pct:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append((name, base, cur, delta, status))
+    for name, cur in current.items():
+        if name not in baseline:
+            rows.append((name, None, cur, None, "new"))
+    return rows, failures
+
+
+def render_table(rows):
+    lines = []
+    name_width = max([len(r[0]) for r in rows] + [len("case")])
+    header = (
+        f"{'case':<{name_width}}  {'baseline':>10}  {'current':>10}  "
+        f"{'delta':>8}  status"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, base, cur, delta, status in rows:
+        base_text = f"{base:10.4f}" if base is not None else f"{'-':>10}"
+        cur_text = f"{cur:10.4f}" if cur is not None else f"{'-':>10}"
+        delta_text = f"{delta:+7.1f}%" if delta is not None else f"{'-':>8}"
+        lines.append(
+            f"{name:<{name_width}}  {base_text}  {cur_text}  {delta_text}  "
+            f"{status}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json (bench/baselines/)")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--max-regress", type=float, default=50.0,
+                        metavar="PCT",
+                        help="fail when a case is more than PCT%% slower "
+                             "than baseline (default 50)")
+    parser.add_argument("--min-seconds", type=float, default=0.0,
+                        metavar="S",
+                        help="ignore cases where both sides are under S "
+                             "seconds (runner noise floor; default 0)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_cases(args.baseline)
+        current = load_cases(args.current)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"perf_diff: cannot read input: {error}", file=sys.stderr)
+        return 2
+
+    rows, failures = compare(baseline, current,
+                             max_regress_pct=args.max_regress,
+                             min_seconds=args.min_seconds)
+    print(f"perf_diff: {args.current} vs {args.baseline} "
+          f"(max regress {args.max_regress:g}%, "
+          f"noise floor {args.min_seconds:g}s)")
+    print(render_table(rows))
+    if failures:
+        print(f"perf_diff: FAIL — {len(failures)} case(s) regressed or "
+              f"missing: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Unit tests for perf_diff.py: the perf gate must pass improvements,
+fail a synthetic 2x regression, and fail when a pinned case disappears."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import perf_diff
+
+
+def bench_json(cases, total=None):
+    data = {
+        "bench": "test",
+        "commit": "0000",
+        "cases": [{"name": n, "seconds": s, "work": 1}
+                  for n, s in cases.items()],
+    }
+    if total is None:
+        total = sum(cases.values())
+    data["total_seconds"] = total
+    return data
+
+
+def write_json(directory, name, data):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f)
+    return path
+
+
+class CompareTest(unittest.TestCase):
+    def test_improvement_passes(self):
+        rows, failures = perf_diff.compare(
+            {"a": 1.0, "b": 2.0}, {"a": 0.4, "b": 1.9})
+        self.assertEqual(failures, [])
+        statuses = {r[0]: r[4] for r in rows}
+        self.assertEqual(statuses["a"], "improved")
+        self.assertEqual(statuses["b"], "ok")
+
+    def test_two_x_regression_fails(self):
+        rows, failures = perf_diff.compare(
+            {"a": 1.0, "b": 2.0}, {"a": 2.0, "b": 2.0})
+        self.assertEqual(failures, ["a"])
+        statuses = {r[0]: r[4] for r in rows}
+        self.assertEqual(statuses["a"], "REGRESSED")
+
+    def test_missing_case_fails(self):
+        rows, failures = perf_diff.compare({"a": 1.0, "b": 2.0}, {"a": 1.0})
+        self.assertEqual(failures, ["b"])
+        statuses = {r[0]: r[4] for r in rows}
+        self.assertEqual(statuses["b"], "MISSING")
+
+    def test_new_case_never_gates(self):
+        rows, failures = perf_diff.compare({"a": 1.0}, {"a": 1.0, "c": 9.0})
+        self.assertEqual(failures, [])
+        statuses = {r[0]: r[4] for r in rows}
+        self.assertEqual(statuses["c"], "new")
+
+    def test_noise_floor_suppresses_tiny_cases(self):
+        # 3x regression, but both sides under the floor: CI jitter.
+        _, failures = perf_diff.compare(
+            {"a": 0.001}, {"a": 0.003}, min_seconds=0.02)
+        self.assertEqual(failures, [])
+        # Floor does not protect a case that grew past it.
+        _, failures = perf_diff.compare(
+            {"a": 0.001}, {"a": 0.1}, min_seconds=0.02)
+        self.assertEqual(failures, ["a"])
+
+
+class MainTest(unittest.TestCase):
+    def test_end_to_end_exit_codes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "base.json", bench_json({"a": 1.0}))
+            good = write_json(tmp, "good.json", bench_json({"a": 0.9}))
+            bad = write_json(tmp, "bad.json", bench_json({"a": 2.0}))
+            self.assertEqual(
+                perf_diff.main(["--baseline", base, "--current", good]), 0)
+            self.assertEqual(
+                perf_diff.main(["--baseline", base, "--current", bad]), 1)
+
+    def test_total_seconds_gates_as_pseudo_case(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "base.json",
+                              bench_json({"a": 0.001}, total=1.0))
+            bad = write_json(tmp, "bad.json",
+                             bench_json({"a": 0.001}, total=3.0))
+            code = perf_diff.main(["--baseline", base, "--current", bad,
+                                   "--min-seconds", "0.02"])
+            self.assertEqual(code, 1)
+
+    def test_unreadable_input_is_a_distinct_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "base.json", bench_json({"a": 1.0}))
+            missing = os.path.join(tmp, "does_not_exist.json")
+            self.assertEqual(
+                perf_diff.main(["--baseline", base, "--current", missing]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -18,12 +18,19 @@
 //         --max-units=N    stop after N new trials (testing hook that
 //                          simulates a mid-grid kill; exits 0 with a
 //                          resume hint on stderr)
+//         --timings        print a per-point timing summary (total/max/
+//                          p50 unit time, peak RSS) to stderr and write
+//                          it as BENCH_ncg_run_<scenario>.json
+//         --timings-out=P  write the timing JSON to P (implies
+//                          --timings)
 //         --connect=ADDR   run as a worker for an ncg_serve instance at
 //                          ADDR (host:port or unix:/path) instead of
 //                          executing locally: lease shards, stream
 //                          results, exit 0 when the server says done.
 //                          Mutually exclusive with every other option.
 //
+// Timing never changes the rendered output or the checkpoint manifest;
+// with --checkpoint it adds the <checkpoint>.timings.jsonl sidecar.
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 #include <cstdio>
 #include <cstring>
@@ -47,9 +54,26 @@ int usage(const char* argv0) {
                "       %s run <scenario> [--procs=N] [--checkpoint=PATH]\n"
                "           [--format=legacy|jsonl|csv] [--out=PATH]\n"
                "           [--shard-size=N] [--max-units=N]\n"
+               "           [--timings] [--timings-out=PATH]\n"
                "       %s run <scenario> --connect=ADDR\n",
                argv0, argv0, argv0);
   return 2;
+}
+
+/// Strictly parses a flag value as an integer >= minValue; reports the
+/// offending flag on stderr and returns false otherwise. std::stoi's
+/// prefix parsing ("8x" → 8) and std::stoul's negative wrap-around
+/// ("-1" → SIZE_MAX) are exactly what this replaces.
+bool flagInt(const char* flag, const std::string& value, int minValue,
+             int& out) {
+  const auto parsed = parseInteger(value);
+  if (!parsed.has_value() || *parsed < minValue) {
+    std::fprintf(stderr, "%s expects an integer >= %d, got '%s'\n", flag,
+                 minValue, value.c_str());
+    return false;
+  }
+  out = *parsed;
+  return true;
 }
 
 int listScenarios() {
@@ -76,7 +100,8 @@ bool keyValue(const std::string& arg, const char* prefix,
 }
 
 int runCommand(const std::string& name, const RunOptions& options,
-               const std::string& format, const std::string& outPath) {
+               const std::string& format, const std::string& outPath,
+               bool timings, const std::string& timingsOut) {
   const Scenario* scenario = findScenario(name);
   if (scenario == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s' (try: ncg_run list)\n",
@@ -88,6 +113,26 @@ int runCommand(const std::string& name, const RunOptions& options,
     return 2;
   }
   const RunReport report = runScenario(*scenario, options);
+
+  if (timings) {
+    const TimingSummary summary =
+        summarizeTimings(report.points, report.timings);
+    const std::string text =
+        renderTimingSummary(*scenario, report.points, summary);
+    std::fputs(text.c_str(), stderr);
+    const std::string jsonPath =
+        timingsOut.empty() ? "BENCH_ncg_run_" + name + ".json" : timingsOut;
+    std::FILE* out = std::fopen(jsonPath.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    const std::string json =
+        timingSummaryJson("ncg_run_" + name, report.points, summary);
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %s\n", jsonPath.c_str());
+  }
 
   if (!outPath.empty()) {
     std::FILE* out = std::fopen(outPath.c_str(), "w");
@@ -160,12 +205,16 @@ int main(int argc, char** argv) {
       std::string format = "legacy";
       std::string outPath;
       std::string connectAddress;
+      bool timings = false;
+      std::string timingsOut;
       bool localOptions = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
+        int parsed = 0;
         if (keyValue(arg, "--procs=", value)) {
-          options.procs = std::stoi(value);
+          if (!flagInt("--procs", value, 1, parsed)) return usage(argv[0]);
+          options.procs = parsed;
           localOptions = true;
         } else if (keyValue(arg, "--checkpoint=", value)) {
           options.checkpointPath = value;
@@ -177,10 +226,23 @@ int main(int argc, char** argv) {
           outPath = value;
           localOptions = true;
         } else if (keyValue(arg, "--shard-size=", value)) {
-          options.shardSize = static_cast<std::size_t>(std::stoul(value));
+          if (!flagInt("--shard-size", value, 1, parsed)) {
+            return usage(argv[0]);
+          }
+          options.shardSize = static_cast<std::size_t>(parsed);
           localOptions = true;
         } else if (keyValue(arg, "--max-units=", value)) {
-          options.maxUnits = static_cast<std::size_t>(std::stoul(value));
+          if (!flagInt("--max-units", value, 0, parsed)) {
+            return usage(argv[0]);
+          }
+          options.maxUnits = static_cast<std::size_t>(parsed);
+          localOptions = true;
+        } else if (arg == "--timings") {
+          timings = true;
+          localOptions = true;
+        } else if (keyValue(arg, "--timings-out=", value)) {
+          timings = true;
+          timingsOut = value;
           localOptions = true;
         } else if (keyValue(arg, "--connect=", value)) {
           connectAddress = value;
@@ -198,7 +260,7 @@ int main(int argc, char** argv) {
         }
         return connectCommand(name, connectAddress);
       }
-      return runCommand(name, options, format, outPath);
+      return runCommand(name, options, format, outPath, timings, timingsOut);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ncg_run: %s\n", e.what());

@@ -18,6 +18,11 @@
 //         --linger-ms=N     after completion, keep answering workers
 //                           for N ms so they exit cleanly (default 1000)
 //         --format=F        stdout format: legacy (default), jsonl, csv
+//         --timings         print the per-point summary of the workers'
+//                           reported unit timings to stderr and write
+//                           it as BENCH_ncg_serve_<scenario>.json
+//         --timings-out=P   write the timing JSON to P (implies
+//                           --timings)
 //
 // The bound address is printed to stderr as "listening on ADDR" before
 // the first lease, so scripts using an ephemeral port can scrape it.
@@ -30,6 +35,7 @@
 #include "runtime/runner.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/serve.hpp"
+#include "support/string_util.hpp"
 
 namespace {
 
@@ -41,9 +47,25 @@ int usage(const char* argv0) {
                "usage: %s <scenario> [--addr=HOST:PORT|unix:PATH]\n"
                "           [--checkpoint=PATH] [--heartbeat-ms=N]\n"
                "           [--shard-size=N] [--linger-ms=N]\n"
-               "           [--format=legacy|jsonl|csv]\n",
+               "           [--format=legacy|jsonl|csv]\n"
+               "           [--timings] [--timings-out=PATH]\n",
                argv0);
   return 2;
+}
+
+/// Strictly parses a flag value as an integer >= minValue; reports the
+/// offending flag on stderr and returns false otherwise (std::stoi
+/// accepted "8x" and negative TTLs here before).
+bool flagInt(const char* flag, const std::string& value, int minValue,
+             int& out) {
+  const auto parsed = parseInteger(value);
+  if (!parsed.has_value() || *parsed < minValue) {
+    std::fprintf(stderr, "%s expects an integer >= %d, got '%s'\n", flag,
+                 minValue, value.c_str());
+    return false;
+  }
+  out = *parsed;
+  return true;
 }
 
 bool keyValue(const std::string& arg, const char* prefix,
@@ -61,22 +83,39 @@ int main(int argc, char** argv) {
   const std::string name = argv[1];
   ServeOptions options;
   std::string format = "legacy";
+  bool timings = false;
+  std::string timingsOut;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       std::string value;
+      int parsed = 0;
       if (keyValue(arg, "--addr=", value)) {
         options.address = value;
       } else if (keyValue(arg, "--checkpoint=", value)) {
         options.checkpointPath = value;
       } else if (keyValue(arg, "--heartbeat-ms=", value)) {
-        options.heartbeatMs = std::stoi(value);
+        if (!flagInt("--heartbeat-ms", value, 1, parsed)) {
+          return usage(argv[0]);
+        }
+        options.heartbeatMs = parsed;
       } else if (keyValue(arg, "--shard-size=", value)) {
-        options.shardSize = static_cast<std::size_t>(std::stoul(value));
+        if (!flagInt("--shard-size", value, 1, parsed)) {
+          return usage(argv[0]);
+        }
+        options.shardSize = static_cast<std::size_t>(parsed);
       } else if (keyValue(arg, "--linger-ms=", value)) {
-        options.lingerMs = std::stoi(value);
+        if (!flagInt("--linger-ms", value, 0, parsed)) {
+          return usage(argv[0]);
+        }
+        options.lingerMs = parsed;
       } else if (keyValue(arg, "--format=", value)) {
         format = value;
+      } else if (arg == "--timings") {
+        timings = true;
+      } else if (keyValue(arg, "--timings-out=", value)) {
+        timings = true;
+        timingsOut = value;
       } else {
         std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
         return usage(argv[0]);
@@ -106,6 +145,27 @@ int main(int argc, char** argv) {
                  "%zu re-leases, %zu dropped connections\n",
                  stats.unitsRecorded, stats.duplicateResults, stats.reLeases,
                  stats.droppedConnections);
+
+    if (timings) {
+      const TimingSummary summary =
+          summarizeTimings(server.points(), server.timings());
+      const std::string text =
+          renderTimingSummary(*scenario, server.points(), summary);
+      std::fputs(text.c_str(), stderr);
+      const std::string jsonPath = timingsOut.empty()
+                                       ? "BENCH_ncg_serve_" + name + ".json"
+                                       : timingsOut;
+      std::FILE* out = std::fopen(jsonPath.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+        return 1;
+      }
+      const std::string json = timingSummaryJson("ncg_serve_" + name,
+                                                 server.points(), summary);
+      std::fputs(json.c_str(), out);
+      std::fclose(out);
+      std::fprintf(stderr, "wrote %s\n", jsonPath.c_str());
+    }
 
     const std::string text = renderResults(*scenario, server.points(),
                                            server.results(), format);

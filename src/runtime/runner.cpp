@@ -16,6 +16,8 @@
 #include "parallel/thread_pool.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/result_io.hpp"
+#include "runtime/timing.hpp"
+#include "support/clock.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
 
@@ -49,11 +51,15 @@ void writeAll(int fd, const char* data, std::size_t size) {
 
 /// Body of a forked worker: compute every unit of the shards assigned
 /// to worker `workerIndex` (shard s goes to worker s % workers) and
-/// stream one JSON line per result. Returns the exit code.
+/// stream one JSON line per result — followed, when timing, by one
+/// timing line for the same unit. Timing lines share the pipe but the
+/// parent routes them to the sidecar, never the manifest. Returns the
+/// exit code.
 int workerBody(const Scenario& scenario,
                const std::vector<ScenarioPoint>& points,
                const std::vector<Unit>& units, std::size_t shardSize,
-               std::size_t workers, std::size_t workerIndex, int fd) {
+               std::size_t workers, std::size_t workerIndex, int fd,
+               bool recordTimings, Clock& clock) {
   try {
     const std::size_t shardCount = (units.size() + shardSize - 1) / shardSize;
     for (std::size_t shard = workerIndex; shard < shardCount;
@@ -61,8 +67,16 @@ int workerBody(const Scenario& scenario,
       const std::size_t begin = shard * shardSize;
       const std::size_t end = std::min(units.size(), begin + shardSize);
       for (std::size_t i = begin; i < end; ++i) {
+        const std::int64_t startUs = clock.nowUs();
         const TrialRecord record = computeUnit(scenario, points, units[i]);
-        const std::string line = encodeTrialLine(record) + "\n";
+        const std::int64_t durationUs = clock.nowUs() - startUs;
+        std::string line = encodeTrialLine(record) + "\n";
+        if (recordTimings) {
+          line += encodeTimingLine({record.point, record.trial, startUs,
+                                    durationUs,
+                                    static_cast<std::uint64_t>(workerIndex)});
+          line += "\n";
+        }
         writeAll(fd, line.data(), line.size());
       }
     }
@@ -82,17 +96,26 @@ struct WorkerHandle {
 };
 
 void drainLines(WorkerHandle& worker, ScenarioResults& results,
-                CheckpointWriter& writer, std::size_t& unitsRun) {
+                CheckpointWriter& writer, std::size_t& unitsRun,
+                std::vector<UnitTiming>& timings,
+                TimingWriter& timingWriter) {
   std::size_t start = 0;
   for (;;) {
     const std::size_t nl = worker.buffer.find('\n', start);
     if (nl == std::string::npos) break;
     const std::string_view line(worker.buffer.data() + start, nl - start);
-    const auto record = decodeTrialLine(line);
-    NCG_REQUIRE(record.has_value(), "malformed result line from worker");
-    results.record(*record);
-    writer.append(*record);
-    ++unitsRun;
+    if (const auto record = decodeTrialLine(line)) {
+      results.record(*record);
+      writer.append(*record);
+      ++unitsRun;
+    } else if (const auto timing = decodeTimingLine(line)) {
+      // Observability only: collected and persisted to the sidecar,
+      // never counted as a result.
+      timings.push_back(*timing);
+      timingWriter.append(*timing);
+    } else {
+      NCG_REQUIRE(false, "malformed result line from worker");
+    }
     start = nl + 1;
   }
   worker.buffer.erase(0, start);
@@ -102,7 +125,8 @@ void runForked(const Scenario& scenario,
                const std::vector<ScenarioPoint>& points,
                const std::vector<Unit>& units, std::size_t shardSize,
                int procs, ScenarioResults& results, CheckpointWriter& writer,
-               std::size_t& unitsRun) {
+               std::size_t& unitsRun, bool recordTimings, Clock& clock,
+               std::vector<UnitTiming>& timings, TimingWriter& timingWriter) {
   const std::size_t shardCount = (units.size() + shardSize - 1) / shardSize;
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(procs), shardCount);
@@ -123,7 +147,7 @@ void runForked(const Scenario& scenario,
       ::close(fds[0]);
       for (const WorkerHandle& h : handles) ::close(h.fd);
       const int code = workerBody(scenario, points, units, shardSize,
-                                  workers, w, fds[1]);
+                                  workers, w, fds[1], recordTimings, clock);
       ::close(fds[1]);
       ::_exit(code);
     }
@@ -186,7 +210,7 @@ void runForked(const Scenario& scenario,
         continue;
       }
       worker->buffer.append(buf, static_cast<std::size_t>(n));
-      drainLines(*worker, results, writer, unitsRun);
+      drainLines(*worker, results, writer, unitsRun, timings, timingWriter);
     }
   }
 
@@ -281,7 +305,7 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
               "scenario '" << scenario.name << "' is not runnable");
   std::vector<ScenarioPoint> points = scenario.makePoints();
   ScenarioResults results(points);
-  RunReport report{std::move(points), std::move(results), 0, 0, false};
+  RunReport report{std::move(points), std::move(results), 0, 0, false, {}};
   const std::vector<ScenarioPoint>& grid = report.points;
 
   const std::uint64_t fingerprint = scenarioFingerprint(scenario, grid);
@@ -317,6 +341,23 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
     writer = CheckpointWriter(options.checkpointPath, header);
   }
 
+  // The timing sidecar lives NEXT TO the manifest, never inside it: the
+  // manifest (and thus the byte-identity / kill-resume pins) is the
+  // same with timing on or off.
+  Clock& clock = options.clock != nullptr ? *options.clock : steadyClock();
+  TimingWriter timingWriter;
+  if (options.recordTimings) {
+    const std::string sidecarPath =
+        !options.timingsPath.empty()
+            ? options.timingsPath
+            : (!options.checkpointPath.empty()
+                   ? timingSidecarPath(options.checkpointPath)
+                   : std::string());
+    if (!sidecarPath.empty()) {
+      timingWriter = TimingWriter(sidecarPath, header);
+    }
+  }
+
   std::vector<Unit> units;
   units.reserve(report.results.totalTrials() - report.unitsFromCheckpoint);
   for (std::size_t p = 0; p < grid.size(); ++p) {
@@ -345,11 +386,21 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
       parallelFor(
           pool, units.size(),
           [&](std::size_t i) {
+            const std::int64_t startUs =
+                options.recordTimings ? clock.nowUs() : 0;
             const TrialRecord record = computeUnit(scenario, grid, units[i]);
+            const std::int64_t durationUs =
+                options.recordTimings ? clock.nowUs() - startUs : 0;
             const std::scoped_lock lock(mutex);
             report.results.record(record);
             writer.append(record);
             ++report.unitsRun;
+            if (options.recordTimings) {
+              const UnitTiming timing{record.point, record.trial, startUs,
+                                      durationUs, 0};
+              report.timings.push_back(timing);
+              timingWriter.append(timing);
+            }
           },
           options.shardSize);
     } else {
@@ -358,7 +409,8 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
               ? options.shardSize
               : defaultGrain(units.size(), static_cast<std::size_t>(procs));
       runForked(scenario, grid, units, shardSize, procs, report.results,
-                writer, report.unitsRun);
+                writer, report.unitsRun, options.recordTimings, clock,
+                report.timings, timingWriter);
       NCG_REQUIRE(report.unitsRun == units.size(),
                   "workers returned " << report.unitsRun << " of "
                                       << units.size() << " expected results");

@@ -19,6 +19,8 @@
 #include <string>
 
 #include "runtime/scenario.hpp"
+#include "runtime/timing.hpp"
+#include "support/clock.hpp"
 
 namespace ncg::runtime {
 
@@ -38,6 +40,17 @@ struct RunOptions {
   /// checkpointPath it leaves a resumable manifest exactly like a real
   /// SIGKILL between two trial completions would.
   std::size_t maxUnits = 0;
+  /// Record per-unit wall-clock timings into RunReport::timings (and
+  /// the sidecar below). Timing never touches the result manifest or
+  /// the rendered output — results stay byte-identical either way.
+  bool recordTimings = true;
+  /// Timing sidecar path; "" derives timingSidecarPath(checkpointPath)
+  /// when checkpointing, and writes no sidecar otherwise.
+  std::string timingsPath;
+  /// Clock the timings are measured on; nullptr = steadyClock().
+  /// Tests inject a ManualClock (in-process path only — a forked
+  /// worker's manual clock is a frozen copy).
+  Clock* clock = nullptr;
 };
 
 /// Outcome of one runScenario call.
@@ -47,6 +60,7 @@ struct RunReport {
   std::size_t unitsFromCheckpoint = 0;  ///< slots pre-filled on resume
   std::size_t unitsRun = 0;             ///< computed by this call
   bool complete = false;                ///< every slot filled
+  std::vector<UnitTiming> timings;  ///< one per unit computed this call
 };
 
 /// Computes one (point, trial) unit exactly the way every executor

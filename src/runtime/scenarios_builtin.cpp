@@ -9,6 +9,7 @@
 // port (pinned by tests/test_runtime_scenario.cpp, which keeps a copy
 // of the legacy loops as the reference).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "core/strategy.hpp"
@@ -439,6 +440,113 @@ Scenario makeFig6() {
   return s;
 }
 
+/// The paper's Fig. 7 benchmark curve: the k-dependence of the upper
+/// bound O(nk / (α·2^{Θ(log²(k/α))})) with n, α fixed.
+double theoreticalTrend(double k, double alpha) {
+  const double ratio = std::max(k / alpha, 1.0);
+  const double logRatio = std::log2(ratio);
+  return k / std::exp2(0.25 * logRatio * logRatio);
+}
+
+Scenario makeFig7() {
+  Scenario s;
+  s.name = "fig7_quality_vs_k";
+  s.description =
+      "Figure 7: quality of the stable networks vs k at α = 2 (random trees "
+      "and G(100, 0.2)), against the k/2^{log2² k} trend";
+  s.title = "Figure 7 — quality of equilibrium vs k (α=2)";
+  s.paperRef = "Bilò et al., Locality-based NCGs, Fig. 7";
+  s.metricNames = {"outcome", "quality"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    const int trials = env::trials();
+    const std::vector<Dist> ks = {2, 3, 4, 5, 6, 7};
+    // Part 0 — random trees, n-outer / k-inner exactly like the legacy
+    // harness, seeds verbatim.
+    const std::vector<NodeId> ns =
+        env::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
+                         : std::vector<NodeId>{20, 50, 100};
+    for (const NodeId n : ns) {
+      for (const Dist k : ks) {
+        ScenarioPoint point;
+        point.params = {{"part", 0.0},
+                        {"n", static_cast<double>(n)},
+                        {"k", static_cast<double>(k)}};
+        point.baseSeed = 0xF160700ULL + static_cast<std::uint64_t>(k * 41) +
+                         static_cast<std::uint64_t>(n * 7919);
+        point.trials = trials;
+        points.push_back(std::move(point));
+      }
+    }
+    // Part 1 — G(n=100, p=0.2).
+    const std::vector<Dist> erKs = {2, 3, 4, 5, 6, 7, 10};
+    for (const Dist k : erKs) {
+      ScenarioPoint point;
+      point.params = {{"part", 1.0}, {"k", static_cast<double>(k)}};
+      point.baseSeed = 0xF160701ULL + static_cast<std::uint64_t>(k * 43);
+      point.trials = trials;
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    const bool trees = point.param("part") == 0.0;
+    TrialSpec spec;
+    if (trees) {
+      spec.source = Source::kRandomTree;
+      spec.n = static_cast<NodeId>(point.param("n"));
+    } else {
+      spec.source = Source::kErdosRenyi;
+      spec.n = 100;
+      spec.p = 0.2;
+    }
+    spec.params = GameParams::max(2.0, static_cast<Dist>(point.param("k")));
+    const TrialOutcome outcome = runTrial(spec, rng);
+    return std::vector<double>{outcomeCode(outcome.outcome),
+                               outcome.features.quality};
+  };
+  s.render = [](const Scenario& scenario,
+                const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    const double alpha = 2.0;
+    std::string out = headerText(scenario.title, scenario.paperRef);
+    const auto qualityCell = [&](std::size_t p) {
+      RunningStat quality;
+      for (int t = 0; t < points[p].trials; ++t) {
+        const std::vector<double>& m = results.metrics(static_cast<int>(p), t);
+        if (m[0] == 0.0) quality.push(m[1]);
+      }
+      return ciCell(quality);
+    };
+    out += "--- random trees ---\n";
+    TextTable treeTable({"n", "k", "quality", "trend k/2^{log2² k}"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (points[p].param("part") != 0.0) continue;
+      const Dist k = static_cast<Dist>(points[p].param("k"));
+      treeTable.addRow(
+          {std::to_string(static_cast<NodeId>(points[p].param("n"))),
+           std::to_string(k), qualityCell(p),
+           formatFixed(theoreticalTrend(k, alpha), 3)});
+    }
+    out += treeTable.toString();
+    out += "\n";
+    out += "--- G(n=100, p=0.2) ---\n";
+    TextTable erTable({"k", "quality", "trend"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (points[p].param("part") != 1.0) continue;
+      const Dist k = static_cast<Dist>(points[p].param("k"));
+      erTable.addRow({std::to_string(k), qualityCell(p),
+                      formatFixed(theoreticalTrend(k, alpha), 3)});
+    }
+    out += erTable.toString();
+    out += "\n";
+    out += "paper claims: measured quality follows the k/2^{log2² k} "
+           "trend and scales down with α.\n";
+    return out;
+  };
+  return s;
+}
+
 /// Tiny pinned grid for CI and the determinism suite: env-independent
 /// (fixed trial count), seconds to run, exercises the full trial path.
 Scenario makeSmoke() {
@@ -484,6 +592,7 @@ void appendBuiltinScenarios(std::vector<Scenario>& registry) {
   registry.push_back(makeTable2());
   registry.push_back(makeFig5());
   registry.push_back(makeFig6());
+  registry.push_back(makeFig7());
   registry.push_back(makeFig10());
   registry.push_back(makeSmoke());
 }

@@ -283,6 +283,7 @@ std::size_t resolveShardSize(const ServeOptions& options, std::size_t units) {
 ShardServer::ShardServer(const Scenario& scenario,
                          const ServeOptions& options)
     : scenario_(&scenario),
+      recordTimings_(options.recordTimings),
       points_(scenario.makePoints()),
       results_(points_),
       leases_(results_.totalTrials(),
@@ -333,6 +334,21 @@ ShardServer::ShardServer(const Scenario& scenario,
       stats_.unitsFromCheckpoint = results_.completedTrials();
     }
     writer_ = CheckpointWriter(options.checkpointPath, header_);
+  }
+
+  // Worker-reported timings land in the sidecar next to the manifest —
+  // never in the manifest itself, whose bytes the determinism pins own.
+  unitTimed_.assign(results_.totalTrials(), 0);
+  if (recordTimings_) {
+    const std::string sidecarPath =
+        !options.timingsPath.empty()
+            ? options.timingsPath
+            : (!options.checkpointPath.empty()
+                   ? timingSidecarPath(options.checkpointPath)
+                   : std::string());
+    if (!sidecarPath.empty()) {
+      timingWriter_ = TimingWriter(sidecarPath, header_);
+    }
   }
 
   // Bind the listener.
@@ -523,6 +539,30 @@ void ShardServer::handleFrame(Connection& connection, const Frame& frame) {
       if (!frame.payload.empty()) dropConnection(connection);
       return;
     }
+    case FrameType::kTiming: {
+      const auto timing = decodeTimingLine(frame.payload);
+      const bool valid =
+          timing.has_value() && timing->point >= 0 &&
+          static_cast<std::size_t>(timing->point) < points_.size() &&
+          timing->trial >= 0 &&
+          timing->trial <
+              points_[static_cast<std::size_t>(timing->point)].trials;
+      if (!valid) {
+        dropConnection(connection);
+        return;
+      }
+      if (!recordTimings_) return;
+      const std::size_t unit = unitIndex(timing->point, timing->trial);
+      if (unitTimed_[unit]) return;  // re-leased shard timed twice
+      unitTimed_[unit] = 1;
+      UnitTiming stamped = *timing;
+      // The worker cannot know its server-side identity; stamp the
+      // connection id so per-lane breakdowns are possible.
+      stamped.worker = connection.id;
+      timings_.push_back(stamped);
+      timingWriter_.append(stamped);
+      return;
+    }
     default:
       // Server-to-worker types arriving at the server are violations.
       dropConnection(connection);
@@ -602,6 +642,13 @@ void ShardServer::serveUntilComplete() {
 // ---------------------------------------------------------------------
 // Worker
 
+int workerHeartbeatIntervalMs(int heartbeatMs) {
+  // A third of the TTL leaves plenty of slack; the floor keeps a tiny
+  // TTL (the fake-clock tests run with single-digit ms) from turning
+  // the interval into 0 — i.e. a heartbeat per clock read.
+  return std::max(heartbeatMs / 3, 1);
+}
+
 int runConnectedWorker(const Scenario& scenario, const std::string& address,
                        const WorkerOptions& options, WorkerReport* report) {
   const std::vector<ScenarioPoint> points = scenario.makePoints();
@@ -648,7 +695,10 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
       ::close(fd);
       return 1;
     }
-    const int heartbeatMs = std::max(welcome->heartbeatMs, 1);
+    const int heartbeatIntervalMs =
+        workerHeartbeatIntervalMs(std::max(welcome->heartbeatMs, 1));
+    Clock& clock =
+        options.clock != nullptr ? *options.clock : steadyClock();
 
     bool connectionLost = false;
     while (!connectionLost) {
@@ -676,9 +726,8 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
           connectionLost = true;  // nonsense grant: resynchronize
           break;
         }
-        // Keep the lease alive through long shards: a heartbeat every
-        // third of the TTL leaves plenty of slack.
-        if (steadyClock().nowMs() - lastSend >= heartbeatMs / 3) {
+        // Keep the lease alive through long shards.
+        if (steadyClock().nowMs() - lastSend >= heartbeatIntervalMs) {
           if (!sendFrameBlocking(fd, FrameType::kHeartbeat, {})) {
             connectionLost = true;
             break;
@@ -691,12 +740,24 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
             static_cast<int>(std::distance(offsets.begin(), pointIt)) - 1;
         const int trial = static_cast<int>(
             unit - offsets[static_cast<std::size_t>(point)]);
+        const std::int64_t startUs = clock.nowUs();
         const TrialRecord record =
             computeScenarioUnit(scenario, points, point, trial);
+        const std::int64_t durationUs = clock.nowUs() - startUs;
         if (!sendFrameBlocking(fd, FrameType::kResult,
                                encodeTrialLine(record))) {
           connectionLost = true;
           break;
+        }
+        if (options.recordTimings) {
+          // Worker id 0 is a placeholder; the server stamps its
+          // connection id before recording.
+          if (!sendFrameBlocking(
+                  fd, FrameType::kTiming,
+                  encodeTimingLine({point, trial, startUs, durationUs, 0}))) {
+            connectionLost = true;
+            break;
+          }
         }
         lastSend = steadyClock().nowMs();
         ++rep.unitsComputed;

@@ -27,6 +27,7 @@
 
 #include "runtime/checkpoint.hpp"
 #include "runtime/scenario.hpp"
+#include "runtime/timing.hpp"
 #include "runtime/wire.hpp"
 #include "support/clock.hpp"
 
@@ -132,6 +133,13 @@ struct ServeOptions {
   /// Time source; null = the real steady clock. Tests inject a
   /// ManualClock to drive lease expiry deterministically.
   Clock* clock = nullptr;
+  /// Collect worker-reported per-unit timings (kTiming frames) into
+  /// timings() and the sidecar below. Timing never touches the result
+  /// manifest.
+  bool recordTimings = true;
+  /// Timing sidecar path; "" derives timingSidecarPath(checkpointPath)
+  /// when checkpointing, and writes no sidecar otherwise.
+  std::string timingsPath;
 };
 
 /// The poll()-driven, single-threaded lease server. Construction binds
@@ -165,6 +173,11 @@ class ShardServer {
   const ScenarioResults& results() const { return results_; }
   const Scenario& scenario() const { return *scenario_; }
 
+  /// Worker-reported unit timings accepted by this server, in arrival
+  /// order, deduped by (point, trial) — first report wins, matching the
+  /// result dedupe. `worker` is the reporting connection's id.
+  const std::vector<UnitTiming>& timings() const { return timings_; }
+
   struct Stats {
     std::size_t unitsFromCheckpoint = 0;  ///< slots replayed on start
     std::size_t unitsRecorded = 0;        ///< appended by this server
@@ -192,11 +205,15 @@ class ShardServer {
   std::size_t unitIndex(int point, int trial) const;
 
   const Scenario* scenario_;
+  bool recordTimings_ = true;
   std::vector<ScenarioPoint> points_;
   ScenarioResults results_;
   std::vector<std::size_t> unitOffsets_;  ///< unit index of (point, 0)
   ResultHeader header_;
   CheckpointWriter writer_;
+  TimingWriter timingWriter_;
+  std::vector<UnitTiming> timings_;
+  std::vector<char> unitTimed_;  ///< dedupe: first timing report wins
   LeaseTable leases_;
   Clock* clock_;
   int heartbeatMs_;
@@ -215,7 +232,18 @@ class ShardServer {
 struct WorkerOptions {
   int connectAttempts = 60;
   int connectDelayMs = 50;
+  /// Report a kTiming frame per computed unit (timing sidecar on the
+  /// server side); the result stream is identical either way.
+  bool recordTimings = true;
+  /// Clock the unit timings are measured on; nullptr = steadyClock().
+  Clock* clock = nullptr;
 };
+
+/// The cadence at which a worker heartbeats through a long shard: a
+/// third of the lease TTL, floored at 1 ms — heartbeatMs / 3 alone is 0
+/// for TTL < 3 ms, which would flood the server with a heartbeat per
+/// clock read under the fake-clock tests' tiny TTLs.
+int workerHeartbeatIntervalMs(int heartbeatMs);
 
 /// What a worker did, for logs and tests.
 struct WorkerReport {

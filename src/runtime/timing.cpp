@@ -1,0 +1,379 @@
+#include "runtime/timing.hpp"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "support/build_info.hpp"
+#include "support/env.hpp"
+#include "support/error.hpp"
+
+namespace ncg::runtime {
+
+namespace {
+
+/// Advances `pos` past `token` (which must start there); false on
+/// mismatch or truncation. Same discipline as result_io.cpp.
+bool expect(std::string_view line, std::size_t& pos,
+            std::string_view token) {
+  if (line.size() - pos < token.size()) return false;
+  if (line.substr(pos, token.size()) != token) return false;
+  pos += token.size();
+  return true;
+}
+
+/// Parses a non-negative decimal integer at `pos`.
+bool parseU64(std::string_view line, std::size_t& pos,
+              std::uint64_t& out) {
+  std::size_t digits = 0;
+  std::uint64_t value = 0;
+  while (pos + digits < line.size() && line[pos + digits] >= '0' &&
+         line[pos + digits] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[pos + digits] - '0');
+    ++digits;
+  }
+  if (digits == 0 || digits > 20) return false;
+  pos += digits;
+  out = value;
+  return true;
+}
+
+/// Parses an optionally negative decimal integer at `pos`. Monotonic
+/// timestamps are non-negative in practice, but the codec must round-
+/// trip whatever the clock seam produced (a ManualClock can be set
+/// anywhere).
+bool parseI64(std::string_view line, std::size_t& pos, std::int64_t& out) {
+  bool negative = false;
+  if (pos < line.size() && line[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  std::uint64_t magnitude = 0;
+  if (!parseU64(line, pos, magnitude)) return false;
+  out = negative ? -static_cast<std::int64_t>(magnitude)
+                 : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+/// Parses a quoted "0x<16 hex digits>" bit pattern at `pos`.
+bool parseHexBits(std::string_view line, std::size_t& pos,
+                  std::uint64_t& out) {
+  if (!expect(line, pos, "\"0x")) return false;
+  std::uint64_t value = 0;
+  std::size_t digits = 0;
+  while (pos + digits < line.size() && digits < 16) {
+    const char c = line[pos + digits];
+    int nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      break;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(nibble);
+    ++digits;
+  }
+  if (digits != 16) return false;
+  pos += digits;
+  if (!expect(line, pos, "\"")) return false;
+  out = value;
+  return true;
+}
+
+/// Parses a quoted string (no escape handling — our writers never emit
+/// escapes) at `pos`.
+bool parseQuoted(std::string_view line, std::size_t& pos,
+                 std::string& out) {
+  if (!expect(line, pos, "\"")) return false;
+  const std::size_t end = line.find('"', pos);
+  if (end == std::string_view::npos) return false;
+  out.assign(line.substr(pos, end - pos));
+  pos = end + 1;
+  return true;
+}
+
+void appendHex(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016llX",
+                static_cast<unsigned long long>(value));
+  out += buffer;
+}
+
+}  // namespace
+
+std::string encodeTimingHeaderLine(const ResultHeader& header) {
+  std::string out = "{\"ncg_timings\":1,\"scenario\":\"";
+  out += header.scenario;
+  out += "\",\"fingerprint\":\"";
+  appendHex(out, header.fingerprint);
+  out += "\",\"points\":" + std::to_string(header.points);
+  out += ",\"trials\":" + std::to_string(header.trialsTotal);
+  out += "}";
+  return out;
+}
+
+std::optional<ResultHeader> decodeTimingHeaderLine(std::string_view line) {
+  std::size_t pos = 0;
+  ResultHeader header;
+  std::uint64_t points = 0;
+  std::uint64_t trials = 0;
+  if (!expect(line, pos, "{\"ncg_timings\":1,\"scenario\":") ||
+      !parseQuoted(line, pos, header.scenario) ||
+      !expect(line, pos, ",\"fingerprint\":") ||
+      !parseHexBits(line, pos, header.fingerprint) ||
+      !expect(line, pos, ",\"points\":") || !parseU64(line, pos, points) ||
+      !expect(line, pos, ",\"trials\":") || !parseU64(line, pos, trials) ||
+      !expect(line, pos, "}") || pos != line.size()) {
+    return std::nullopt;
+  }
+  header.points = points;
+  header.trialsTotal = trials;
+  return header;
+}
+
+std::string encodeTimingLine(const UnitTiming& timing) {
+  std::string out = "{\"unit_timing\":1,\"point\":" +
+                    std::to_string(timing.point);
+  out += ",\"trial\":" + std::to_string(timing.trial);
+  out += ",\"start_us\":" + std::to_string(timing.startUs);
+  out += ",\"dur_us\":" + std::to_string(timing.durationUs);
+  out += ",\"worker\":" + std::to_string(timing.worker);
+  out += "}";
+  return out;
+}
+
+std::optional<UnitTiming> decodeTimingLine(std::string_view line) {
+  std::size_t pos = 0;
+  std::uint64_t point = 0;
+  std::uint64_t trial = 0;
+  UnitTiming timing;
+  if (!expect(line, pos, "{\"unit_timing\":1,\"point\":") ||
+      !parseU64(line, pos, point) || !expect(line, pos, ",\"trial\":") ||
+      !parseU64(line, pos, trial) || !expect(line, pos, ",\"start_us\":") ||
+      !parseI64(line, pos, timing.startUs) ||
+      !expect(line, pos, ",\"dur_us\":") ||
+      !parseI64(line, pos, timing.durationUs) ||
+      !expect(line, pos, ",\"worker\":") ||
+      !parseU64(line, pos, timing.worker) || !expect(line, pos, "}") ||
+      pos != line.size()) {
+    return std::nullopt;
+  }
+  timing.point = static_cast<int>(point);
+  timing.trial = static_cast<int>(trial);
+  return timing;
+}
+
+std::string timingSidecarPath(const std::string& checkpointPath) {
+  return checkpointPath + ".timings.jsonl";
+}
+
+TimingWriter::TimingWriter(const std::string& path,
+                           const ResultHeader& header) {
+  // Mirror CheckpointWriter: if a kill left an unterminated final line,
+  // start our appends on a fresh one.
+  bool needsNewline = false;
+  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
+    if (std::fseek(existing, -1, SEEK_END) == 0) {
+      needsNewline = std::fgetc(existing) != '\n';
+    }
+    std::fclose(existing);
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    throw Error("cannot open timing sidecar '" + path + "' for appending");
+  }
+  if (std::ftell(file_) == 0) {
+    const std::string line = encodeTimingHeaderLine(header) + "\n";
+    std::fputs(line.c_str(), file_);
+    std::fflush(file_);
+  } else if (needsNewline) {
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+}
+
+TimingWriter::TimingWriter(TimingWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)) {}
+
+TimingWriter& TimingWriter::operator=(TimingWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = std::exchange(other.file_, nullptr);
+  }
+  return *this;
+}
+
+TimingWriter::~TimingWriter() { close(); }
+
+void TimingWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void TimingWriter::append(const UnitTiming& timing) {
+  if (file_ == nullptr) return;
+  const std::string line = encodeTimingLine(timing) + "\n";
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+TimingLoad loadTimingSidecar(const std::string& path) {
+  TimingLoad load;
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return load;
+
+  std::string line;
+  bool first = true;
+  char buffer[4096];
+  const auto consume = [&] {
+    if (first) {
+      first = false;
+      if (auto header = decodeTimingHeaderLine(line)) {
+        load.headerValid = true;
+        load.header = std::move(*header);
+      } else {
+        ++load.malformedLines;
+      }
+    } else if (auto timing = decodeTimingLine(line)) {
+      load.timings.push_back(*timing);
+    } else {
+      ++load.malformedLines;
+    }
+    line.clear();
+  };
+
+  bool sawAny = false;
+  while (std::fgets(buffer, sizeof buffer, file) != nullptr) {
+    sawAny = true;
+    line += buffer;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      consume();
+    }
+  }
+  if (!line.empty()) {
+    ++load.malformedLines;
+  }
+  std::fclose(file);
+  load.exists = sawAny;
+  return load;
+}
+
+TimingSummary summarizeTimings(const std::vector<ScenarioPoint>& points,
+                               const std::vector<UnitTiming>& timings) {
+  TimingSummary summary;
+  summary.perPoint.resize(points.size());
+  std::vector<std::vector<double>> perPointSeconds(points.size());
+  for (const UnitTiming& t : timings) {
+    if (t.point < 0 || static_cast<std::size_t>(t.point) >= points.size()) {
+      continue;
+    }
+    const double seconds = static_cast<double>(t.durationUs) / 1e6;
+    perPointSeconds[static_cast<std::size_t>(t.point)].push_back(seconds);
+  }
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<double>& secs = perPointSeconds[p];
+    PointTimingSummary& row = summary.perPoint[p];
+    row.units = secs.size();
+    if (secs.empty()) continue;
+    std::sort(secs.begin(), secs.end());
+    for (const double s : secs) row.totalSeconds += s;
+    row.maxSeconds = secs.back();
+    // Median: lower-middle element for even counts (no interpolation —
+    // a digest, not a statistic the paper reports).
+    row.p50Seconds = secs[(secs.size() - 1) / 2];
+    summary.units += row.units;
+    summary.totalSeconds += row.totalSeconds;
+    summary.maxSeconds = std::max(summary.maxSeconds, row.maxSeconds);
+  }
+  summary.peakRssKb = currentPeakRssKb();
+  return summary;
+}
+
+long currentPeakRssKb() {
+  long peak = 0;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) peak = usage.ru_maxrss;
+  if (getrusage(RUSAGE_CHILDREN, &usage) == 0) {
+    peak = std::max(peak, usage.ru_maxrss);
+  }
+  return peak;
+}
+
+std::string pointCaseName(const ScenarioPoint& point, std::size_t index) {
+  if (point.params.empty()) return "point" + std::to_string(index);
+  std::string name;
+  char buffer[48];
+  for (std::size_t i = 0; i < point.params.size(); ++i) {
+    if (i > 0) name += ",";
+    name += point.params[i].first;
+    std::snprintf(buffer, sizeof buffer, "=%g", point.params[i].second);
+    name += buffer;
+  }
+  return name;
+}
+
+std::string renderTimingSummary(const Scenario& scenario,
+                                const std::vector<ScenarioPoint>& points,
+                                const TimingSummary& summary) {
+  std::string out = "=== timings: " + scenario.name + " ===\n";
+  char buffer[160];
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const PointTimingSummary& row = summary.perPoint[p];
+    std::snprintf(buffer, sizeof buffer,
+                  "%-28s units %4zu  total %9.3f s  max %8.4f s  "
+                  "p50 %8.4f s\n",
+                  pointCaseName(points[p], p).c_str(), row.units,
+                  row.totalSeconds, row.maxSeconds, row.p50Seconds);
+    out += buffer;
+  }
+  std::snprintf(buffer, sizeof buffer,
+                "%-28s units %4zu  total %9.3f s  max %8.4f s\n", "(all)",
+                summary.units, summary.totalSeconds, summary.maxSeconds);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "peak rss: %ld KiB\n",
+                summary.peakRssKb);
+  out += buffer;
+  return out;
+}
+
+std::string timingSummaryJson(const std::string& benchName,
+                              const std::vector<ScenarioPoint>& points,
+                              const TimingSummary& summary) {
+  // Same shape as bench/perf_smoke.cpp so scripts/perf_diff.py gates
+  // both trajectories with one parser. "seconds" per case is the summed
+  // unit wall time of that grid point; "work" its unit count.
+  std::string out = "{\n  \"bench\": \"" + benchName + "\",\n";
+  out += "  \"commit\": \"" + std::string(buildGitCommit()) + "\",\n";
+  out += "  \"generated_utc\": \"" + utcTimestamp() + "\",\n";
+  out += "  \"ncg_scale\": " + std::to_string(env::fullScale() ? 1 : 0) +
+         ",\n";
+  out += "  \"ncg_trials\": " + std::to_string(env::trials()) + ",\n";
+  out += "  \"pinned_workload\": false,\n";
+  out += "  \"peak_rss_kb\": " + std::to_string(summary.peakRssKb) + ",\n";
+  out += "  \"cases\": [\n";
+  char buffer[200];
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const PointTimingSummary& row = summary.perPoint[p];
+    std::snprintf(buffer, sizeof buffer,
+                  "    {\"name\": \"%s\", \"seconds\": %.6f, \"work\": %zu, "
+                  "\"max_seconds\": %.6f, \"p50_seconds\": %.6f}%s\n",
+                  pointCaseName(points[p], p).c_str(), row.totalSeconds,
+                  row.units, row.maxSeconds, row.p50Seconds,
+                  p + 1 < points.size() ? "," : "");
+    out += buffer;
+  }
+  std::snprintf(buffer, sizeof buffer, "  ],\n  \"total_seconds\": %.6f\n}\n",
+                summary.totalSeconds);
+  out += buffer;
+  return out;
+}
+
+}  // namespace ncg::runtime

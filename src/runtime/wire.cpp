@@ -6,7 +6,7 @@ namespace ncg::runtime {
 
 bool isKnownFrameType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kHeartbeat);
+         type <= static_cast<std::uint8_t>(FrameType::kTiming);
 }
 
 std::string encodeFrame(FrameType type, std::string_view payload) {

@@ -18,6 +18,8 @@
 //                            or kDone(grid complete)
 //   kResult(trial line)    — one per finished unit, any time
 //   kHeartbeat             — keep-alive; any frame refreshes the lease
+//   kTiming(timing line)   — per-unit wall-clock observability; routed
+//                            to the timing sidecar, never the manifest
 #pragma once
 
 #include <cstdint>
@@ -39,6 +41,7 @@ enum class FrameType : std::uint8_t {
   kDone = 6,
   kResult = 7,
   kHeartbeat = 8,
+  kTiming = 9,
 };
 
 /// True for the frame types listed above — anything else in a type

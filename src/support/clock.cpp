@@ -13,6 +13,12 @@ class SteadyClock final : public Clock {
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }
+
+  std::int64_t nowUs() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 };
 
 }  // namespace

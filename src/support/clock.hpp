@@ -17,6 +17,11 @@ class Clock {
  public:
   virtual ~Clock() = default;
   virtual std::int64_t nowMs() = 0;
+
+  /// Microsecond view of the same clock, for per-unit timing where ms
+  /// resolution is too coarse. Defaults to nowMs() * 1000 so ManualClock
+  /// tests keep one number to crank; the real clock overrides it.
+  virtual std::int64_t nowUs() { return nowMs() * 1000; }
 };
 
 /// The process-wide real monotonic clock (steady_clock under the hood).

@@ -1,5 +1,6 @@
 #include "support/string_util.hpp"
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 
@@ -36,13 +37,45 @@ std::string padRight(const std::string& s, std::size_t width) {
   return s + std::string(width - s.size(), ' ');
 }
 
+std::optional<int> parseInteger(std::string_view text) {
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos == text.size()) return std::nullopt;
+  // Accumulate negated so INT_MIN parses without overflowing.
+  long long value = 0;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 - (c - '0');
+    if (value < static_cast<long long>(INT_MIN) - 1) return std::nullopt;
+  }
+  if (!negative) {
+    value = -value;
+    if (value > INT_MAX) return std::nullopt;
+  } else if (value < INT_MIN) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
 int envInt(const char* name, int fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long value = std::strtol(env, &end, 10);
-  if (end == env || value <= 0) return fallback;
-  return static_cast<int>(value);
+  const auto value = parseInteger(env);
+  if (!value.has_value()) {
+    // "NCG_PROCS=8x" silently running 8 processes (or a >INT_MAX value
+    // truncating through a long→int cast) is how typos corrupt runs;
+    // say what was ignored, once, and use the fallback.
+    std::fprintf(stderr, "warning: %s='%s' is not an integer, using %d\n",
+                 name, env, fallback);
+    return fallback;
+  }
+  if (*value <= 0) return fallback;
+  return *value;
 }
 
 }  // namespace ncg

@@ -1,7 +1,9 @@
 // Small string/formatting helpers used by the table writers and benches.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ncg {
@@ -22,8 +24,18 @@ std::string padLeft(const std::string& s, std::size_t width);
 /// Right-pads `s` with spaces to at least `width` characters.
 std::string padRight(const std::string& s, std::size_t width);
 
+/// Strictly parses a whole string as a decimal integer: an optional
+/// sign followed by digits and nothing else. Trailing garbage ("8x"),
+/// leading/trailing whitespace, an empty string and values outside
+/// int's range all yield nullopt — never a truncated or prefix-parsed
+/// value. The parser behind envInt and the CLI flag values.
+std::optional<int> parseInteger(std::string_view text);
+
 /// Parses a positive integer from an environment variable, with fallback.
-/// Used by benches for NCG_TRIALS / NCG_SCALE style knobs.
+/// Used by benches for NCG_TRIALS / NCG_SCALE style knobs. Malformed
+/// text (trailing garbage, out-of-int-range values) falls back with a
+/// one-line stderr warning; a well-formed non-positive value falls back
+/// silently (NCG_SCALE=0 is a legitimate "off").
 int envInt(const char* name, int fallback);
 
 }  // namespace ncg

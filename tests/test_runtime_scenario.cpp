@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -32,7 +33,8 @@ namespace {
 TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   for (const char* name : {"table1_random_trees", "table2_er_graphs",
                            "fig5_view_size", "fig6_quality_vs_n",
-                           "fig10_convergence", "smoke_dynamics"}) {
+                           "fig7_quality_vs_k", "fig10_convergence",
+                           "smoke_dynamics"}) {
     const Scenario* scenario = findScenario(name);
     ASSERT_NE(scenario, nullptr) << name;
     EXPECT_EQ(scenario->name, name);
@@ -399,6 +401,78 @@ std::string legacyFig6Text() {
   return out;
 }
 
+std::string legacyFig7Text() {
+  std::string out =
+      headerText("Figure 7 — quality of equilibrium vs k (α=2)",
+                 "Bilò et al., Locality-based NCGs, Fig. 7");
+  const int trials = env::trials();
+  const double alpha = 2.0;
+  const std::vector<Dist> ks = {2, 3, 4, 5, 6, 7};
+  const auto trend = [](double k, double a) {
+    const double ratio = std::max(k / a, 1.0);
+    const double logRatio = std::log2(ratio);
+    return k / std::exp2(0.25 * logRatio * logRatio);
+  };
+  const auto cell = [](const RunningStat& stat) {
+    return formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2);
+  };
+  out += "--- random trees ---\n";
+  const std::vector<NodeId> ns =
+      env::fullScale() ? std::vector<NodeId>{20, 30, 50, 70, 100, 200}
+                       : std::vector<NodeId>{20, 50, 100};
+  TextTable treeTable({"n", "k", "quality", "trend k/2^{log2² k}"});
+  for (const NodeId n : ns) {
+    for (const Dist k : ks) {
+      TrialSpec spec;
+      spec.source = Source::kRandomTree;
+      spec.n = n;
+      spec.params = GameParams::max(alpha, k);
+      const std::uint64_t base =
+          0xF160700ULL + static_cast<std::uint64_t>(k * 41) +
+          static_cast<std::uint64_t>(n * 7919);
+      RunningStat quality;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(deriveSeed(base, static_cast<std::uint64_t>(trial)));
+        const TrialOutcome o = runTrial(spec, rng);
+        if (o.outcome == DynamicsOutcome::kConverged) {
+          quality.push(o.features.quality);
+        }
+      }
+      treeTable.addRow({std::to_string(n), std::to_string(k), cell(quality),
+                        formatFixed(trend(k, alpha), 3)});
+    }
+  }
+  out += treeTable.toString();
+  out += "\n";
+  out += "--- G(n=100, p=0.2) ---\n";
+  TextTable erTable({"k", "quality", "trend"});
+  const std::vector<Dist> erKs = {2, 3, 4, 5, 6, 7, 10};
+  for (const Dist k : erKs) {
+    TrialSpec spec;
+    spec.source = Source::kErdosRenyi;
+    spec.n = 100;
+    spec.p = 0.2;
+    spec.params = GameParams::max(alpha, k);
+    const std::uint64_t base =
+        0xF160701ULL + static_cast<std::uint64_t>(k * 43);
+    RunningStat quality;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(deriveSeed(base, static_cast<std::uint64_t>(trial)));
+      const TrialOutcome o = runTrial(spec, rng);
+      if (o.outcome == DynamicsOutcome::kConverged) {
+        quality.push(o.features.quality);
+      }
+    }
+    erTable.addRow({std::to_string(k), cell(quality),
+                    formatFixed(trend(k, alpha), 3)});
+  }
+  out += erTable.toString();
+  out += "\n";
+  out += "paper claims: measured quality follows the k/2^{log2² k} "
+         "trend and scales down with α.\n";
+  return out;
+}
+
 std::string renderScenario(const char* name) {
   const Scenario* scenario = findScenario(name);
   EXPECT_NE(scenario, nullptr) << name;
@@ -440,6 +514,12 @@ TEST(PortFidelity, Fig6RenderingIsByteIdenticalToLegacyHarness) {
   EXPECT_EQ(
       withPinnedTrials([] { return renderScenario("fig6_quality_vs_n"); }),
       withPinnedTrials(legacyFig6Text));
+}
+
+TEST(PortFidelity, Fig7RenderingIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(
+      withPinnedTrials([] { return renderScenario("fig7_quality_vs_k"); }),
+      withPinnedTrials(legacyFig7Text));
 }
 
 TEST(PortFidelity, Fig10RenderingIsByteIdenticalToLegacyHarness) {

@@ -161,6 +161,22 @@ TEST(LeaseTable, UnevenTailShardHasTheRightUnits) {
 }
 
 // -------------------------------------------------------------------
+// Worker-side heartbeat cadence
+
+TEST(ServeHeartbeat, WorkerIntervalIsAThirdOfTheTtlFlooredAtOneMs) {
+  // TTLs below 3 ms used to divide down to a 0 ms interval, making the
+  // worker heartbeat on every loop iteration (a flood that can starve
+  // the server of result frames).
+  EXPECT_EQ(workerHeartbeatIntervalMs(1), 1);
+  EXPECT_EQ(workerHeartbeatIntervalMs(2), 1);
+  EXPECT_EQ(workerHeartbeatIntervalMs(3), 1);
+  EXPECT_EQ(workerHeartbeatIntervalMs(4), 1);
+  EXPECT_EQ(workerHeartbeatIntervalMs(6), 2);
+  EXPECT_EQ(workerHeartbeatIntervalMs(100), 33);
+  EXPECT_EQ(workerHeartbeatIntervalMs(3000), 1000);
+}
+
+// -------------------------------------------------------------------
 // Server-level heartbeat semantics on a ManualClock
 
 const Scenario& leaseScenario() {

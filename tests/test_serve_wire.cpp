@@ -125,7 +125,7 @@ TEST(FrameCodec, OversizedLengthPrefixPoisonsImmediately) {
 }
 
 TEST(FrameCodec, UnknownFrameTypePoisons) {
-  for (const std::uint8_t type : {0, 9, 42, 255}) {
+  for (const std::uint8_t type : {0, 10, 42, 255}) {
     std::string bytes = encodeFrame(FrameType::kHello, "abc");
     bytes[4] = static_cast<char>(type);
     FrameReader reader;

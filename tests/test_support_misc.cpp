@@ -82,5 +82,43 @@ TEST(StringUtil, EnvIntFallbacks) {
   ::unsetenv("NCG_TEST_ENV_INT");
 }
 
+TEST(StringUtil, EnvIntRejectsTrailingGarbageAndOverflow) {
+  // "8x" parsed to 8 through strtol before; a typo'd NCG_PROCS=8x must
+  // fall back, not silently run 8 processes.
+  ::setenv("NCG_TEST_ENV_INT", "8x", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT", " 8", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT", "8 ", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  // > INT_MAX used to truncate through the long->int cast.
+  ::setenv("NCG_TEST_ENV_INT", "4294967297", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT", "2147483647", 1);
+  EXPECT_EQ(envInt("NCG_TEST_ENV_INT", 7), 2147483647);
+  ::unsetenv("NCG_TEST_ENV_INT");
+}
+
+TEST(StringUtil, ParseIntegerStrictness) {
+  EXPECT_EQ(parseInteger("0"), 0);
+  EXPECT_EQ(parseInteger("42"), 42);
+  EXPECT_EQ(parseInteger("-42"), -42);
+  EXPECT_EQ(parseInteger("+42"), 42);
+  EXPECT_EQ(parseInteger("2147483647"), 2147483647);
+  EXPECT_EQ(parseInteger("-2147483648"), -2147483647 - 1);
+  EXPECT_FALSE(parseInteger("").has_value());
+  EXPECT_FALSE(parseInteger("-").has_value());
+  EXPECT_FALSE(parseInteger("+").has_value());
+  EXPECT_FALSE(parseInteger("8x").has_value());
+  EXPECT_FALSE(parseInteger("x8").has_value());
+  EXPECT_FALSE(parseInteger(" 8").has_value());
+  EXPECT_FALSE(parseInteger("8 ").has_value());
+  EXPECT_FALSE(parseInteger("3.5").has_value());
+  EXPECT_FALSE(parseInteger("0x10").has_value());
+  EXPECT_FALSE(parseInteger("2147483648").has_value());
+  EXPECT_FALSE(parseInteger("-2147483649").has_value());
+  EXPECT_FALSE(parseInteger("99999999999999999999").has_value());
+}
+
 }  // namespace
 }  // namespace ncg
