@@ -1,48 +1,11 @@
 // Figure 9: unfairness ratio (highest / lowest player cost) of stable
 // networks vs α for various k, on G(100, 0.1).
-#include <cstdio>
+//
+// Ported onto the runtime scenario registry: the grid, trial body and
+// rendering live in src/runtime/scenarios_builtin.cpp, and this main
+// is byte-identical to the pre-port harness output (pinned by
+// tests/test_runtime_scenario.cpp). Run it through `ncg_run` for
+// multi-process sharding (NCG_PROCS) and checkpoint/resume.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-int main() {
-  bench::printHeader("Figure 9 — unfairness ratio vs α (G(100,0.1))",
-                     "Bilò et al., Locality-based NCGs, Fig. 9");
-
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-
-  TextTable table({"k", "alpha", "unfairness", "converged"});
-  for (const Dist k : bench::kGrid()) {
-    for (const double alpha : bench::alphaGrid()) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kErdosRenyi;
-      spec.n = 100;
-      spec.p = 0.1;
-      spec.params = GameParams::max(alpha, k);
-      const auto outcomes = bench::runTrials(
-          pool, spec, trials,
-          0xF160900ULL + static_cast<std::uint64_t>(k * 89) +
-              static_cast<std::uint64_t>(alpha * 4243));
-      RunningStat unfairness;
-      int converged = 0;
-      for (const auto& o : outcomes) {
-        if (o.outcome != DynamicsOutcome::kConverged) continue;
-        ++converged;
-        unfairness.push(o.features.unfairness);
-      }
-      table.addRow({std::to_string(k), formatFixed(alpha, 3),
-                    bench::ciCell(unfairness),
-                    std::to_string(converged) + "/" +
-                        std::to_string(trials)});
-    }
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf("paper claims: smaller k yields fairer equilibria; "
-              "unfairness decreases as k decreases.\n");
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("fig9_unfairness"); }

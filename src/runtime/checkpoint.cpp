@@ -1,5 +1,6 @@
 #include "runtime/checkpoint.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "support/error.hpp"
@@ -13,20 +14,37 @@ CheckpointLoad loadCheckpoint(const std::string& path) {
 
   std::string line;
   bool first = true;
+  bool prefixIntact = true;
   char buffer[4096];
   const auto consume = [&] {
-    if (first) {
-      first = false;
-      if (auto header = decodeHeaderLine(line)) {
+    const std::size_t lineBytes = line.size() + 1;  // incl. newline
+    const bool isHeaderSlot = first;
+    first = false;
+    const auto checked = verifyLineChecksum(line);
+    bool valid = false;
+    bool isRecord = false;
+    if (!checked.has_value()) {
+      ++load.malformedLines;  // CRC suffix present but wrong
+    } else if (isHeaderSlot) {
+      if (auto header = decodeHeaderLine(checked->payload)) {
         load.headerValid = true;
         load.header = std::move(*header);
+        valid = true;
       } else {
         ++load.malformedLines;
       }
-    } else if (auto record = decodeTrialLine(line)) {
+    } else if (auto record = decodeTrialLine(checked->payload)) {
       load.records.push_back(std::move(*record));
+      valid = true;
+      isRecord = true;
     } else {
       ++load.malformedLines;
+    }
+    if (prefixIntact && valid) {
+      load.validPrefixBytes += lineBytes;
+      if (isRecord) ++load.validPrefixRecords;
+    } else {
+      prefixIntact = false;
     }
     line.clear();
   };
@@ -43,65 +61,27 @@ CheckpointLoad loadCheckpoint(const std::string& path) {
   if (!line.empty()) {
     // Unterminated final line: a kill landed mid-write. Skip it.
     ++load.malformedLines;
+    prefixIntact = false;
   }
   std::fclose(file);
   load.exists = sawAny;
+  load.corruptTail = load.exists && !prefixIntact;
   return load;
 }
 
 CheckpointWriter::CheckpointWriter(const std::string& path,
-                                   const ResultHeader& header) {
-  // If a kill left the file with an unterminated final line, start the
-  // resume's appends on a fresh line — otherwise the first new record
-  // would merge into the torn fragment and be lost to every future
-  // load as one undecodable line.
-  bool needsNewline = false;
-  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
-    if (std::fseek(existing, -1, SEEK_END) == 0) {
-      needsNewline = std::fgetc(existing) != '\n';
-    }
-    std::fclose(existing);
-  }
-  file_ = std::fopen(path.c_str(), "a");
-  if (file_ == nullptr) {
-    throw Error("cannot open checkpoint file '" + path + "' for appending");
-  }
-  if (std::ftell(file_) == 0) {
-    const std::string line = encodeHeaderLine(header) + "\n";
-    std::fputs(line.c_str(), file_);
-    std::fflush(file_);
-  } else if (needsNewline) {
-    std::fputc('\n', file_);
-    std::fflush(file_);
-  }
-}
-
-CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
-    : file_(std::exchange(other.file_, nullptr)) {}
-
-CheckpointWriter& CheckpointWriter::operator=(
-    CheckpointWriter&& other) noexcept {
-  if (this != &other) {
-    close();
-    file_ = std::exchange(other.file_, nullptr);
-  }
-  return *this;
-}
-
-CheckpointWriter::~CheckpointWriter() { close(); }
-
-void CheckpointWriter::close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-}
+                                   const ResultHeader& header,
+                                   DurabilityPolicy durability)
+    : log_(path, encodeHeaderLine(header),
+           [](std::string_view payload, std::size_t index) {
+             return index == 0 ? decodeHeaderLine(payload).has_value()
+                               : decodeTrialLine(payload).has_value();
+           },
+           durability) {}
 
 void CheckpointWriter::append(const TrialRecord& record) {
-  if (file_ == nullptr) return;
-  const std::string line = encodeTrialLine(record) + "\n";
-  std::fputs(line.c_str(), file_);
-  std::fflush(file_);
+  if (!log_.enabled()) return;
+  (void)log_.appendLine(encodeTrialLine(record));
 }
 
 }  // namespace ncg::runtime

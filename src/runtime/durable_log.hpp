@@ -1,0 +1,128 @@
+// Crash-safe append-only JSONL log — the durability layer under the
+// checkpoint manifest (runtime/checkpoint.hpp) and the timing sidecar
+// (runtime/timing.hpp).
+//
+// Contract (the ARIES-lite version of a write-ahead log):
+//
+//   - Every line is written as `payload#xxxxxxxx` where xxxxxxxx is the
+//     lowercase-hex CRC-32 of the payload. Readers accept legacy lines
+//     without the suffix (pre-existing manifests keep loading) but
+//     reject a line whose suffix mismatches — bit rot and torn writes
+//     are detected, never silently parsed.
+//   - Appends go through the fault seam (support/fault.hpp) to a raw
+//     O_APPEND fd. A short or failed write truncates the file back to
+//     the last known-good offset, so the log on disk is always a clean
+//     prefix of complete lines; the caller keeps the record in memory
+//     and a later resume recomputes whatever never became durable.
+//   - On (re)open the writer scans the existing file for its longest
+//     valid prefix (header + lines that pass CRC and the caller's
+//     decoder). Anything after the prefix — a torn tail from a kill, a
+//     garbled line from bit rot — is moved verbatim to
+//     `<path>.quarantine` and the file is truncated to the prefix, so
+//     the resumed run appends to a log every future reader trusts end
+//     to end.
+//   - DurabilityPolicy picks how hard appends push bytes at the disk:
+//     `flush` (write-through of the fd, the historical behaviour) or
+//     `fsync[:N]` (fdatasync every N appends and on close — survives
+//     power loss, not just process death).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ncg::runtime {
+
+/// How hard an append pushes bytes toward the platter.
+struct DurabilityPolicy {
+  enum class Kind : std::uint8_t {
+    kFlush,  ///< write() per line (survives process death)
+    kFsync,  ///< plus fdatasync every N appends and on close
+  };
+  Kind kind = Kind::kFlush;
+  int fsyncEveryN = 1;  ///< kFsync: sync cadence in appends
+
+  friend bool operator==(const DurabilityPolicy&,
+                         const DurabilityPolicy&) = default;
+};
+
+/// Parses "flush", "fsync" or "fsync:N" (N >= 1, strict integer);
+/// nullopt on anything else — the CLI rejects, never guesses.
+std::optional<DurabilityPolicy> parseDurabilityPolicy(std::string_view text);
+
+/// `payload#xxxxxxxx` — the integrity-tagged line format.
+std::string withLineChecksum(std::string_view payload);
+
+/// Splits a line into payload + verdict. Lines without a syntactically
+/// valid `#xxxxxxxx` suffix are legacy: returned whole with
+/// `checksummed = false` (the caller's strict decoder has the last
+/// word). A present-but-wrong suffix returns nullopt.
+struct ChecksummedLine {
+  std::string_view payload;
+  bool checksummed = false;
+};
+std::optional<ChecksummedLine> verifyLineChecksum(std::string_view line);
+
+/// What the open-time scan found (surfaced by the writers for stats,
+/// logs and the quarantine tests).
+struct LogOpenReport {
+  bool existed = false;            ///< file was present and non-empty
+  std::size_t validPrefixBytes = 0;
+  std::size_t validPrefixLines = 0;  ///< complete valid lines incl. header
+  std::size_t quarantinedBytes = 0;  ///< moved to <path>.quarantine
+};
+
+/// The append side. Line validity during the open-time scan is decided
+/// by `validLine(payload, index)` — index 0 is the header line.
+class DurableLogWriter {
+ public:
+  using LineValidator =
+      std::function<bool(std::string_view payload, std::size_t index)>;
+
+  DurableLogWriter() = default;  ///< disabled writer; appends are no-ops
+
+  /// Opens `path`, quarantines any corrupt tail, writes `headerPayload`
+  /// (checksummed) when the salvaged prefix is empty. Throws ncg::Error
+  /// when the file cannot be opened or the quarantine cannot be
+  /// written.
+  DurableLogWriter(const std::string& path, std::string_view headerPayload,
+                   LineValidator validLine, DurabilityPolicy policy = {});
+
+  DurableLogWriter(DurableLogWriter&& other) noexcept;
+  DurableLogWriter& operator=(DurableLogWriter&& other) noexcept;
+  DurableLogWriter(const DurableLogWriter&) = delete;
+  DurableLogWriter& operator=(const DurableLogWriter&) = delete;
+  ~DurableLogWriter();
+
+  bool enabled() const { return fd_ >= 0; }
+
+  /// Appends one checksummed line. False when the write failed (the
+  /// file was truncated back to the last good offset; the line is NOT
+  /// on disk — the caller's in-memory copy is the only one).
+  bool appendLine(std::string_view payload);
+
+  /// Final flush: fdatasync under the fsync policy (drain/close path).
+  void sync();
+
+  const LogOpenReport& openReport() const { return openReport_; }
+  /// Appends that did not reach the disk (injected or real IO errors).
+  std::size_t failedAppends() const { return failedAppends_; }
+
+ private:
+  void close();
+
+  int fd_ = -1;
+  std::string path_;
+  DurabilityPolicy policy_;
+  std::int64_t goodOffset_ = 0;
+  int appendsSinceSync_ = 0;
+  std::size_t failedAppends_ = 0;
+  LogOpenReport openReport_;
+};
+
+/// The quarantine sibling of a log path.
+std::string quarantinePath(const std::string& path);
+
+}  // namespace ncg::runtime

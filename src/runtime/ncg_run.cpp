@@ -23,12 +23,26 @@
 //                          it as BENCH_ncg_run_<scenario>.json
 //         --timings-out=P  write the timing JSON to P (implies
 //                          --timings)
+//         --durability=D   manifest/sidecar write policy: flush
+//                          (default) or fsync[:N] (fdatasync every Nth
+//                          append — crash-safe against power loss, not
+//                          just process death)
 //         --connect=ADDR   run as a worker for an ncg_serve instance at
 //                          ADDR (host:port or unix:/path) instead of
 //                          executing locally: lease shards, stream
 //                          results, exit 0 when the server says done.
-//                          Mutually exclusive with every other option.
+//                          Mutually exclusive with the local options
+//                          above; combines only with the worker knobs:
+//         --retry-budget=N     failure retries before giving up
+//                              (default $NCG_RETRY_BUDGET, then 1000)
+//         --connect-attempts=N connection attempts per cycle (default 60)
+//         --connect-delay-ms=N base reconnect delay, doubled with
+//                              jitter up to a 2 s cap (default 50)
+//         --backoff-seed=N     jitter stream seed; give each worker of
+//                              a fleet its own to spread retries
 //
+// NCG_CHAOS_SEED=<n> installs the deterministic fault-injection plan
+// (support/fault.hpp) for the whole process — testing only.
 // Timing never changes the rendered output or the checkpoint manifest;
 // with --checkpoint it adds the <checkpoint>.timings.jsonl sidecar.
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
@@ -38,9 +52,11 @@
 #include <string>
 #include <vector>
 
+#include "runtime/durable_log.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/serve.hpp"
+#include "support/fault.hpp"
 #include "support/string_util.hpp"
 
 namespace {
@@ -54,8 +70,11 @@ int usage(const char* argv0) {
                "       %s run <scenario> [--procs=N] [--checkpoint=PATH]\n"
                "           [--format=legacy|jsonl|csv] [--out=PATH]\n"
                "           [--shard-size=N] [--max-units=N]\n"
+               "           [--durability=flush|fsync[:N]]\n"
                "           [--timings] [--timings-out=PATH]\n"
-               "       %s run <scenario> --connect=ADDR\n",
+               "       %s run <scenario> --connect=ADDR [--retry-budget=N]\n"
+               "           [--connect-attempts=N] [--connect-delay-ms=N]\n"
+               "           [--backoff-seed=N]\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -167,7 +186,8 @@ int runCommand(const std::string& name, const RunOptions& options,
   return 0;
 }
 
-int connectCommand(const std::string& name, const std::string& address) {
+int connectCommand(const std::string& name, const std::string& address,
+                   const WorkerOptions& options) {
   const Scenario* scenario = findScenario(name);
   if (scenario == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s' (try: ncg_run list)\n",
@@ -175,7 +195,7 @@ int connectCommand(const std::string& name, const std::string& address) {
     return 2;
   }
   WorkerReport report;
-  const int code = runConnectedWorker(*scenario, address, {}, &report);
+  const int code = runConnectedWorker(*scenario, address, options, &report);
   std::fprintf(stderr,
                "worker done: %zu units over %zu leases (%zu reconnects)\n",
                report.unitsComputed, report.leases, report.reconnects);
@@ -192,6 +212,9 @@ int connectCommand(const std::string& name, const std::string& address) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  // Chaos-under-test hook: a no-op unless NCG_CHAOS_SEED selects a
+  // deterministic fault plan for this process.
+  fault::installPlanFromEnv();
   const std::string command = argv[1];
   try {
     if (command == "list") {
@@ -202,12 +225,14 @@ int main(int argc, char** argv) {
       if (argc < 3) return usage(argv[0]);
       const std::string name = argv[2];
       RunOptions options;
+      WorkerOptions workerOptions;
       std::string format = "legacy";
       std::string outPath;
       std::string connectAddress;
       bool timings = false;
       std::string timingsOut;
       bool localOptions = false;
+      bool workerFlags = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
@@ -237,6 +262,17 @@ int main(int argc, char** argv) {
           }
           options.maxUnits = static_cast<std::size_t>(parsed);
           localOptions = true;
+        } else if (keyValue(arg, "--durability=", value)) {
+          const auto policy = parseDurabilityPolicy(value);
+          if (!policy.has_value()) {
+            std::fprintf(stderr,
+                         "--durability expects flush or fsync[:N], got "
+                         "'%s'\n",
+                         value.c_str());
+            return usage(argv[0]);
+          }
+          options.durability = *policy;
+          localOptions = true;
         } else if (arg == "--timings") {
           timings = true;
           localOptions = true;
@@ -246,6 +282,30 @@ int main(int argc, char** argv) {
           localOptions = true;
         } else if (keyValue(arg, "--connect=", value)) {
           connectAddress = value;
+        } else if (keyValue(arg, "--retry-budget=", value)) {
+          if (!flagInt("--retry-budget", value, 1, parsed)) {
+            return usage(argv[0]);
+          }
+          workerOptions.retryBudget = parsed;
+          workerFlags = true;
+        } else if (keyValue(arg, "--connect-attempts=", value)) {
+          if (!flagInt("--connect-attempts", value, 1, parsed)) {
+            return usage(argv[0]);
+          }
+          workerOptions.connectAttempts = parsed;
+          workerFlags = true;
+        } else if (keyValue(arg, "--connect-delay-ms=", value)) {
+          if (!flagInt("--connect-delay-ms", value, 1, parsed)) {
+            return usage(argv[0]);
+          }
+          workerOptions.connectDelayMs = parsed;
+          workerFlags = true;
+        } else if (keyValue(arg, "--backoff-seed=", value)) {
+          if (!flagInt("--backoff-seed", value, 0, parsed)) {
+            return usage(argv[0]);
+          }
+          workerOptions.backoffSeed = static_cast<std::uint64_t>(parsed);
+          workerFlags = true;
         } else {
           std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
           return usage(argv[0]);
@@ -255,10 +315,18 @@ int main(int argc, char** argv) {
         if (localOptions) {
           std::fprintf(stderr,
                        "--connect runs under the server's configuration and "
-                       "takes no other options\n");
+                       "combines only with the worker knobs "
+                       "(--retry-budget, --connect-attempts, "
+                       "--connect-delay-ms, --backoff-seed)\n");
           return usage(argv[0]);
         }
-        return connectCommand(name, connectAddress);
+        return connectCommand(name, connectAddress, workerOptions);
+      }
+      if (workerFlags) {
+        std::fprintf(stderr,
+                     "--retry-budget/--connect-attempts/--connect-delay-ms/"
+                     "--backoff-seed only apply with --connect\n");
+        return usage(argv[0]);
       }
       return runCommand(name, options, format, outPath, timings, timingsOut);
     }

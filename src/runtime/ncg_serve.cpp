@@ -23,18 +23,35 @@
 //                           it as BENCH_ncg_serve_<scenario>.json
 //         --timings-out=P   write the timing JSON to P (implies
 //                           --timings)
+//         --durability=D    manifest/sidecar write policy: flush
+//                           (default) or fsync[:N]
+//         --max-conns=N     admission limit: the N+1th simultaneous
+//                           worker is answered kRetry and closed
+//                           (default: unlimited)
+//
+// SIGTERM/SIGINT drain gracefully: no new leases are granted (workers
+// get kRetry), in-flight leases run to completion or TTL expiry, the
+// manifest gets a final durable sync, and the server exits 0 — even if
+// the grid is incomplete (rendering is skipped then; restart with the
+// same --checkpoint to finish). A second signal exits immediately
+// after the sync. NCG_CHAOS_SEED=<n> installs the deterministic
+// fault-injection plan (support/fault.hpp) — testing only.
 //
 // The bound address is printed to stderr as "listening on ADDR" before
 // the first lease, so scripts using an ephemeral port can scrape it.
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <string>
 
+#include "runtime/durable_log.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/serve.hpp"
+#include "support/clock.hpp"
+#include "support/fault.hpp"
 #include "support/string_util.hpp"
 
 namespace {
@@ -47,10 +64,29 @@ int usage(const char* argv0) {
                "usage: %s <scenario> [--addr=HOST:PORT|unix:PATH]\n"
                "           [--checkpoint=PATH] [--heartbeat-ms=N]\n"
                "           [--shard-size=N] [--linger-ms=N]\n"
+               "           [--durability=flush|fsync[:N]] [--max-conns=N]\n"
                "           [--format=legacy|jsonl|csv]\n"
                "           [--timings] [--timings-out=PATH]\n",
                argv0);
   return 2;
+}
+
+/// Signals received so far. The first starts a graceful drain, the
+/// second aborts the wait for in-flight leases.
+volatile std::sig_atomic_t gSignalCount = 0;
+
+void onSignal(int) { gSignalCount = gSignalCount + 1; }
+
+/// SIGTERM/SIGINT → onSignal, deliberately WITHOUT SA_RESTART: the
+/// event loop's poll() must return EINTR so the drain check between
+/// pollOnce() calls runs promptly.
+void installSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = onSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
 }
 
 /// Strictly parses a flag value as an integer >= minValue; reports the
@@ -80,6 +116,9 @@ bool keyValue(const std::string& arg, const char* prefix,
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  // Chaos-under-test hook: a no-op unless NCG_CHAOS_SEED selects a
+  // deterministic fault plan for this process.
+  fault::installPlanFromEnv();
   const std::string name = argv[1];
   ServeOptions options;
   std::string format = "legacy";
@@ -109,6 +148,20 @@ int main(int argc, char** argv) {
           return usage(argv[0]);
         }
         options.lingerMs = parsed;
+      } else if (keyValue(arg, "--durability=", value)) {
+        const auto policy = parseDurabilityPolicy(value);
+        if (!policy.has_value()) {
+          std::fprintf(stderr,
+                       "--durability expects flush or fsync[:N], got '%s'\n",
+                       value.c_str());
+          return usage(argv[0]);
+        }
+        options.durability = *policy;
+      } else if (keyValue(arg, "--max-conns=", value)) {
+        if (!flagInt("--max-conns", value, 1, parsed)) {
+          return usage(argv[0]);
+        }
+        options.maxConnections = parsed;
       } else if (keyValue(arg, "--format=", value)) {
         format = value;
       } else if (arg == "--timings") {
@@ -133,18 +186,47 @@ int main(int argc, char** argv) {
     }
 
     ShardServer server(*scenario, options);
+    installSignalHandlers();
     std::fprintf(stderr, "listening on %s\n", server.address().c_str());
     std::fprintf(stderr, "%zu/%zu trials from checkpoint, waiting for "
                          "ncg_run --connect workers\n",
                  server.stats().unitsFromCheckpoint,
                  server.results().totalTrials());
-    server.serveUntilComplete();
+    while (!server.complete()) {
+      if (gSignalCount > 0 && !server.draining()) {
+        std::fprintf(stderr,
+                     "signal: draining — no new leases, waiting for "
+                     "in-flight shards (signal again to stop waiting)\n");
+        server.requestDrain();
+      }
+      if (gSignalCount > 1 || server.drainComplete()) break;
+      server.pollOnce(100);
+    }
+    server.syncDurable();
+    if (server.complete() && gSignalCount == 0) {
+      // Linger so late workers get kDone instead of a vanished server.
+      const std::int64_t end = steadyClock().nowMs() + options.lingerMs;
+      while (steadyClock().nowMs() < end) server.pollOnce(50);
+    }
     const ShardServer::Stats stats = server.stats();
     std::fprintf(stderr,
-                 "complete: %zu recorded this run, %zu duplicates deduped, "
-                 "%zu re-leases, %zu dropped connections\n",
+                 "%s: %zu recorded this run, %zu duplicates deduped, "
+                 "%zu re-leases, %zu dropped connections, %zu slow-client "
+                 "evictions, %zu admission rejections\n",
+                 server.complete() ? "complete" : "drained",
                  stats.unitsRecorded, stats.duplicateResults, stats.reLeases,
-                 stats.droppedConnections);
+                 stats.droppedConnections, stats.slowClientEvictions,
+                 stats.admissionRejected);
+    if (!server.complete()) {
+      // Graceful SIGTERM exit: everything accepted is durable in the
+      // manifest; a partial rendering would only invite misreading.
+      std::fprintf(stderr,
+                   "drained with %zu/%zu trials done; restart with the "
+                   "same --checkpoint to finish\n",
+                   server.results().completedTrials(),
+                   server.results().totalTrials());
+      return 0;
+    }
 
     if (timings) {
       const TimingSummary summary =

@@ -325,7 +325,11 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
                       << options.checkpointPath
                       << "' was written for a different grid (scenario or "
                          "env knobs changed); delete it to start over");
-      for (const TrialRecord& record : load.records) {
+      // Trust only the salvaged prefix: records past the first
+      // corruption are quarantined by the writer below and recomputed,
+      // so resume and disk agree line for line.
+      for (std::size_t i = 0; i < load.validPrefixRecords; ++i) {
+        const TrialRecord& record = load.records[i];
         const bool inRange =
             record.point >= 0 &&
             static_cast<std::size_t>(record.point) < grid.size() &&
@@ -338,7 +342,8 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
       }
       report.unitsFromCheckpoint = report.results.completedTrials();
     }
-    writer = CheckpointWriter(options.checkpointPath, header);
+    writer =
+        CheckpointWriter(options.checkpointPath, header, options.durability);
   }
 
   // The timing sidecar lives NEXT TO the manifest, never inside it: the
@@ -354,7 +359,7 @@ RunReport runScenario(const Scenario& scenario, const RunOptions& options) {
                    ? timingSidecarPath(options.checkpointPath)
                    : std::string());
     if (!sidecarPath.empty()) {
-      timingWriter = TimingWriter(sidecarPath, header);
+      timingWriter = TimingWriter(sidecarPath, header, options.durability);
     }
   }
 

@@ -51,6 +51,9 @@ struct RunOptions {
   /// Tests inject a ManualClock (in-process path only — a forked
   /// worker's manual clock is a frozen copy).
   Clock* clock = nullptr;
+  /// How hard checkpoint/sidecar appends push bytes at the disk
+  /// (`--durability=flush|fsync[:N]`); flush is the historical default.
+  DurabilityPolicy durability;
 };
 
 /// Outcome of one runScenario call.

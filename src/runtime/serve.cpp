@@ -18,6 +18,8 @@
 #include "runtime/runner.hpp"
 #include "support/env.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/random.hpp"
 
 namespace ncg::runtime {
 
@@ -186,12 +188,17 @@ void setNonBlocking(int fd) {
 
 /// Sends every byte on a (possibly non-blocking) socket, waiting for
 /// writability when the buffer is full; false when the peer is gone or
-/// refuses to drain for 2 s.
+/// refuses to drain for 2 s. Worker-side only: the server never blocks
+/// on a peer — its writes go through the per-connection outbox. Routed
+/// through the chaos seam so injected short sends exercise the resume
+/// arithmetic (`data + written`) and injected errors the reconnect
+/// path; drops are not offered here (a caller of a blocking send is
+/// about to block on the reply).
 bool sendAllOn(int fd, const char* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n =
-        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    const ssize_t n = fault::sendWithFaults(fd, data + written,
+                                            size - written, MSG_NOSIGNAL);
     if (n >= 0) {
       written += static_cast<std::size_t>(n);
       continue;
@@ -291,7 +298,9 @@ ShardServer::ShardServer(const Scenario& scenario,
               resolveHeartbeatMs(options)),
       clock_(options.clock != nullptr ? options.clock : &steadyClock()),
       heartbeatMs_(resolveHeartbeatMs(options)),
-      lingerMs_(options.lingerMs) {
+      lingerMs_(options.lingerMs),
+      maxConnections_(std::max(options.maxConnections, 0)),
+      maxOutboxBytes_(options.maxOutboxBytes) {
   NCG_REQUIRE(static_cast<bool>(scenario.makePoints) &&
                   static_cast<bool>(scenario.runTrialFn),
               "scenario '" << scenario.name << "' is not runnable");
@@ -318,7 +327,11 @@ ShardServer::ShardServer(const Scenario& scenario,
                       << options.checkpointPath
                       << "' was written for a different grid (scenario or "
                          "env knobs changed); delete it to start over");
-      for (const TrialRecord& record : load.records) {
+      // Trust only the salvaged prefix: anything past the first corrupt
+      // line is quarantined by the writer below, and trusting it here
+      // would leave manifest and memory disagreeing about those units.
+      for (std::size_t i = 0; i < load.validPrefixRecords; ++i) {
+        const TrialRecord& record = load.records[i];
         const bool inRange =
             record.point >= 0 &&
             static_cast<std::size_t>(record.point) < points_.size() &&
@@ -333,7 +346,8 @@ ShardServer::ShardServer(const Scenario& scenario,
       }
       stats_.unitsFromCheckpoint = results_.completedTrials();
     }
-    writer_ = CheckpointWriter(options.checkpointPath, header_);
+    writer_ =
+        CheckpointWriter(options.checkpointPath, header_, options.durability);
   }
 
   // Worker-reported timings land in the sidecar next to the manifest —
@@ -347,7 +361,7 @@ ShardServer::ShardServer(const Scenario& scenario,
                    ? timingSidecarPath(options.checkpointPath)
                    : std::string());
     if (!sidecarPath.empty()) {
-      timingWriter_ = TimingWriter(sidecarPath, header_);
+      timingWriter_ = TimingWriter(sidecarPath, header_, options.durability);
     }
   }
 
@@ -424,6 +438,12 @@ ShardServer::Stats ShardServer::stats() const {
   return stats;
 }
 
+std::size_t ShardServer::liveConnections() const {
+  return static_cast<std::size_t>(
+      std::count_if(connections_.begin(), connections_.end(),
+                    [](const Connection& c) { return c.fd >= 0; }));
+}
+
 void ShardServer::acceptPending() {
   for (;;) {
     const int fd = ::accept4(listenFd_, nullptr, nullptr,
@@ -431,6 +451,19 @@ void ShardServer::acceptPending() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN (no more pending) or a transient accept error
+    }
+    if (maxConnections_ > 0 &&
+        liveConnections() >= static_cast<std::size_t>(maxConnections_)) {
+      // Over the admission limit: tell the worker when to come back,
+      // best-effort (it treats a lost kRetry like a dead server and
+      // backs off anyway), then close before the fd enters the poll
+      // set.
+      const std::string retry = encodeFrame(
+          FrameType::kRetry, std::to_string(std::max(heartbeatMs_, 1)));
+      (void)::send(fd, retry.data(), retry.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      ++stats_.admissionRejected;
+      continue;
     }
     Connection connection;
     connection.fd = fd;
@@ -447,15 +480,44 @@ void ShardServer::dropConnection(Connection& connection) {
   ++stats_.droppedConnections;
 }
 
+void ShardServer::flushOutbox(Connection& connection) {
+  while (connection.fd >= 0 &&
+         connection.outboxPos < connection.outbox.size()) {
+    const ssize_t n = fault::sendWithFaults(
+        connection.fd, connection.outbox.data() + connection.outboxPos,
+        connection.outbox.size() - connection.outboxPos, MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.outboxPos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // POLLOUT later
+    dropConnection(connection);  // peer gone (or injected hard error)
+    return;
+  }
+  if (connection.outboxPos == connection.outbox.size()) {
+    connection.outbox.clear();
+    connection.outboxPos = 0;
+  }
+}
+
 bool ShardServer::sendToConnection(Connection& connection, FrameType type,
                                    std::string_view payload) {
   if (connection.fd < 0) return false;
-  const std::string bytes = encodeFrame(type, payload);
-  if (!sendAllOn(connection.fd, bytes.data(), bytes.size())) {
+  // Never block the event loop on one peer: queue, then push whatever
+  // the kernel takes now; pollOnce() flushes the rest on POLLOUT.
+  connection.outbox += encodeFrame(type, payload);
+  flushOutbox(connection);
+  if (connection.fd >= 0 &&
+      connection.outbox.size() - connection.outboxPos > maxOutboxBytes_) {
+    // The peer stopped reading long ago: buffering more just defers
+    // the inevitable while holding its shards hostage. Evict; the
+    // lease table re-leases.
     dropConnection(connection);
-    return false;
+    ++stats_.slowClientEvictions;
   }
-  return true;
+  return connection.fd >= 0;
 }
 
 void ShardServer::broadcastDone() {
@@ -495,6 +557,14 @@ void ShardServer::handleFrame(Connection& connection, const Frame& frame) {
       }
       if (leases_.allComplete()) {
         (void)sendToConnection(connection, FrameType::kDone, {});
+        return;
+      }
+      if (draining_) {
+        // Drain: no new leases — in-flight ones run out, then the
+        // server exits. kRetry (not kDone: the grid is incomplete)
+        // keeps honest workers alive to find the successor server.
+        (void)sendToConnection(connection, FrameType::kRetry,
+                               std::to_string(std::max(heartbeatMs_, 1)));
         return;
       }
       if (const auto grant = leases_.acquire(connection.id, now)) {
@@ -608,7 +678,12 @@ void ShardServer::pollOnce(int timeoutMs) {
   std::vector<pollfd> pollSet;
   pollSet.push_back({listenFd_, POLLIN, 0});
   for (const Connection& connection : connections_) {
-    if (connection.fd >= 0) pollSet.push_back({connection.fd, POLLIN, 0});
+    if (connection.fd < 0) continue;
+    short events = POLLIN;
+    // A pending outbox is the only reason to wake on writability —
+    // registering POLLOUT unconditionally would busy-spin the loop.
+    if (connection.outboxPos < connection.outbox.size()) events |= POLLOUT;
+    pollSet.push_back({connection.fd, events, 0});
   }
   const int ready = ::poll(pollSet.data(), pollSet.size(), timeout);
   if (ready < 0) {
@@ -617,12 +692,15 @@ void ShardServer::pollOnce(int timeoutMs) {
   }
   if ((pollSet[0].revents & POLLIN) != 0) acceptPending();
   for (std::size_t i = 1; i < pollSet.size(); ++i) {
-    if ((pollSet[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (pollSet[i].revents == 0) continue;
     for (Connection& connection : connections_) {
-      if (connection.fd == pollSet[i].fd) {
+      if (connection.fd != pollSet[i].fd) continue;
+      if ((pollSet[i].revents & POLLOUT) != 0) flushOutbox(connection);
+      if (connection.fd >= 0 &&
+          (pollSet[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         readFrom(connection);
-        break;
       }
+      break;
     }
   }
   connections_.erase(
@@ -631,8 +709,28 @@ void ShardServer::pollOnce(int timeoutMs) {
       connections_.end());
 }
 
+void ShardServer::requestDrain() { draining_ = true; }
+
+bool ShardServer::drainComplete() const {
+  return draining_ && leases_.leasedShards() == 0;
+}
+
+void ShardServer::syncDurable() {
+  writer_.sync();
+  timingWriter_.sync();
+}
+
 void ShardServer::serveUntilComplete() {
-  while (!complete()) pollOnce(100);
+  while (!complete()) {
+    if (drainComplete()) {
+      // Graceful SIGTERM exit: nothing leased (workers finished or
+      // their leases expired), every accepted result is on disk.
+      syncDurable();
+      return;
+    }
+    pollOnce(draining_ ? 50 : 100);
+  }
+  syncDurable();
   // Linger (real time, whatever clock the leases use): late workers
   // asking for leases now get kDone instead of a vanished server.
   const std::int64_t end = steadyClock().nowMs() + lingerMs_;
@@ -665,8 +763,36 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
   WorkerReport local;
   WorkerReport& rep = report != nullptr ? *report : local;
 
+  const int budget =
+      options.retryBudget > 0 ? options.retryBudget : env::retryBudget();
+  // Jitter stream of the reconnect backoff. Deterministic per seed; a
+  // fleet with distinct seeds spreads its retries instead of stampeding
+  // a restarting server in lockstep.
+  Rng jitter(options.backoffSeed);
+
   bool firstConnection = true;
+  int failures = 0;            // consecutive, reset by a good handshake
+  std::int64_t serverWaitMs = 0;  // admission kRetry's suggested wait
   for (;;) {
+    if (failures > 0 || serverWaitMs > 0) {
+      ++rep.retriesSpent;
+      if (rep.retriesSpent > static_cast<std::size_t>(std::max(budget, 0))) {
+        return 1;  // retry budget exhausted — stop burning CPU on a
+                   // fabric that clearly is not coming back
+      }
+      const std::int64_t cap = std::max(options.maxBackoffMs, 1);
+      std::int64_t delay = serverWaitMs;
+      if (delay <= 0) {
+        delay = std::max(options.connectDelayMs, 1);
+        for (int i = 1; i < failures && delay < cap; ++i) delay *= 2;
+      }
+      if (delay > cap) delay = cap;
+      // Jitter into [delay/2, delay] so equal backoff stages of two
+      // workers do not collide on the exact same millisecond.
+      delay = jitter.nextInRange(std::max<std::int64_t>(delay / 2, 1), delay);
+      serverWaitMs = 0;
+      sleepMs(static_cast<int>(delay));
+    }
     const int fd = connectToServeAddress(address, options.connectAttempts,
                                          options.connectDelayMs);
     if (fd < 0) return 1;  // server gone for good (or never there)
@@ -676,17 +802,34 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
     FrameReader reader;
     if (!sendFrameBlocking(fd, FrameType::kHello, scenario.name)) {
       ::close(fd);
+      ++failures;
       continue;
     }
     const auto welcomeFrame = readFrameBlocking(fd, reader);
-    if (!welcomeFrame.has_value() ||
-        welcomeFrame->type != FrameType::kWelcome) {
+    if (!welcomeFrame.has_value()) {
       ::close(fd);
+      ++failures;
       continue;  // server died mid-handshake (or dropped us): retry
+    }
+    if (welcomeFrame->type == FrameType::kRetry) {
+      // Turned away at the door (admission limit, or a draining
+      // server). Honour the suggested wait; this spends budget like
+      // any other failed cycle.
+      serverWaitMs = static_cast<std::int64_t>(
+          decodeDecimal(welcomeFrame->payload).value_or(50));
+      ::close(fd);
+      ++failures;
+      continue;
+    }
+    if (welcomeFrame->type != FrameType::kWelcome) {
+      ::close(fd);
+      ++failures;
+      continue;
     }
     const auto welcome = decodeWelcome(welcomeFrame->payload);
     if (!welcome.has_value()) {
       ::close(fd);
+      ++failures;
       continue;
     }
     if (welcome->header != expected) {
@@ -695,6 +838,7 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
       ::close(fd);
       return 1;
     }
+    failures = 0;
     const int heartbeatIntervalMs =
         workerHeartbeatIntervalMs(std::max(welcome->heartbeatMs, 1));
     Clock& clock =
@@ -728,11 +872,18 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
         }
         // Keep the lease alive through long shards.
         if (steadyClock().nowMs() - lastSend >= heartbeatIntervalMs) {
-          if (!sendFrameBlocking(fd, FrameType::kHeartbeat, {})) {
+          static_assert(frameLossSurvivable(FrameType::kHeartbeat));
+          fault::maybeDelayHeartbeat();
+          if (fault::dropFrame()) {
+            // Lost in the network; the worker believes it heartbeated.
+            // Worst case the lease expires and the shard re-leases.
+            lastSend = steadyClock().nowMs();
+          } else if (!sendFrameBlocking(fd, FrameType::kHeartbeat, {})) {
             connectionLost = true;
             break;
+          } else {
+            lastSend = steadyClock().nowMs();
           }
-          lastSend = steadyClock().nowMs();
         }
         const auto pointIt =
             std::upper_bound(offsets.begin(), offsets.end(), unit);
@@ -744,17 +895,30 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
         const TrialRecord record =
             computeScenarioUnit(scenario, points, point, trial);
         const std::int64_t durationUs = clock.nowUs() - startUs;
+        static_assert(frameLossSurvivable(FrameType::kResult));
+        if (fault::dropFrame()) {
+          // A swallowed result on a connection that keeps heartbeating
+          // would pin its shard leased-but-incomplete forever — the
+          // one loss TCP cannot deliver silently anyway. Model the
+          // realistic failure: the stream is broken; reconnect, let
+          // the shard re-lease, and let the dedupe absorb whatever
+          // did arrive.
+          connectionLost = true;
+          break;
+        }
         if (!sendFrameBlocking(fd, FrameType::kResult,
                                encodeTrialLine(record))) {
           connectionLost = true;
           break;
         }
         if (options.recordTimings) {
-          // Worker id 0 is a placeholder; the server stamps its
-          // connection id before recording.
-          if (!sendFrameBlocking(
-                  fd, FrameType::kTiming,
-                  encodeTimingLine({point, trial, startUs, durationUs, 0}))) {
+          static_assert(frameLossSurvivable(FrameType::kTiming));
+          if (fault::dropFrame()) {
+            // One sidecar line lost — observability, not results.
+          } else if (!sendFrameBlocking(
+                         fd, FrameType::kTiming,
+                         encodeTimingLine(
+                             {point, trial, startUs, durationUs, 0}))) {
             connectionLost = true;
             break;
           }
@@ -764,9 +928,10 @@ int runConnectedWorker(const Scenario& scenario, const std::string& address,
       }
     }
     ::close(fd);
-    // Fall through: reconnect and start a fresh lease cycle. Shards we
-    // lost are the server's to re-lease; units we already reported are
-    // recorded and will be deduped if recomputed.
+    ++failures;
+    // Fall through: back off, reconnect and start a fresh lease cycle.
+    // Shards we lost are the server's to re-lease; units we already
+    // reported are recorded and will be deduped if recomputed.
   }
 }
 

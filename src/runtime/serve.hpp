@@ -140,6 +140,18 @@ struct ServeOptions {
   /// Timing sidecar path; "" derives timingSidecarPath(checkpointPath)
   /// when checkpointing, and writes no sidecar otherwise.
   std::string timingsPath;
+  /// Durability of manifest/sidecar appends (`--durability=flush|
+  /// fsync[:N]`, runtime/durable_log.hpp).
+  DurabilityPolicy durability;
+  /// Admission limit: a connection accepted beyond this many live ones
+  /// is answered with a best-effort kRetry and closed (0 = unlimited).
+  /// Keeps a worker storm from exhausting the poll set.
+  int maxConnections = 0;
+  /// Per-connection outbox ceiling: a client that lets this many bytes
+  /// pile up unread is evicted and its shards re-lease. The default is
+  /// orders of magnitude above anything the protocol legitimately
+  /// queues — only a stuck or malicious peer ever hits it.
+  std::size_t maxOutboxBytes = 4u << 20;
 };
 
 /// The poll()-driven, single-threaded lease server. Construction binds
@@ -166,8 +178,22 @@ class ShardServer {
   void pollOnce(int timeoutMs);
 
   /// pollOnce until the grid completes, then linger (options.lingerMs,
-  /// real time) answering kDone so connected workers exit 0.
+  /// real time) answering kDone so connected workers exit 0. Under a
+  /// drain (requestDrain()) it instead returns as soon as nothing is
+  /// leased, after a final durable sync — the grid may be incomplete.
   void serveUntilComplete();
+
+  /// Begins a graceful drain — the SIGTERM path. New lease requests
+  /// are answered with kRetry; in-flight leases run to completion (or
+  /// expire within the lease TTL if their worker went silent), so
+  /// drainComplete() turns true within bounded time.
+  void requestDrain();
+  bool draining() const { return draining_; }
+  /// Draining and nothing leased: safe to sync and exit.
+  bool drainComplete() const;
+  /// Final durable flush of the manifest and the timing sidecar
+  /// (fdatasync under the fsync policy).
+  void syncDurable();
 
   const std::vector<ScenarioPoint>& points() const { return points_; }
   const ScenarioResults& results() const { return results_; }
@@ -184,6 +210,8 @@ class ShardServer {
     std::size_t duplicateResults = 0;     ///< deduped re-completions
     std::size_t reLeases = 0;             ///< shards handed out again
     std::size_t droppedConnections = 0;   ///< protocol violations/EOF
+    std::size_t slowClientEvictions = 0;  ///< outbox ceiling exceeded
+    std::size_t admissionRejected = 0;    ///< kRetry'd at the door
   };
   Stats stats() const;
 
@@ -193,6 +221,11 @@ class ShardServer {
     std::uint64_t id = 0;
     FrameReader reader;
     bool helloed = false;
+    /// Bytes queued but not yet accepted by the kernel; flushed
+    /// opportunistically on send and on POLLOUT. [outboxPos, size) is
+    /// the pending suffix.
+    std::string outbox;
+    std::size_t outboxPos = 0;
   };
 
   void acceptPending();
@@ -201,6 +234,8 @@ class ShardServer {
   void dropConnection(Connection& connection);
   bool sendToConnection(Connection& connection, FrameType type,
                         std::string_view payload);
+  void flushOutbox(Connection& connection);
+  std::size_t liveConnections() const;
   void broadcastDone();
   std::size_t unitIndex(int point, int trial) const;
 
@@ -218,6 +253,9 @@ class ShardServer {
   Clock* clock_;
   int heartbeatMs_;
   int lingerMs_;
+  bool draining_ = false;
+  int maxConnections_ = 0;
+  std::size_t maxOutboxBytes_ = 0;
   int listenFd_ = -1;
   std::string address_;
   std::string unixPath_;  ///< non-empty when listening on AF_UNIX
@@ -237,6 +275,20 @@ struct WorkerOptions {
   bool recordTimings = true;
   /// Clock the unit timings are measured on; nullptr = steadyClock().
   Clock* clock = nullptr;
+  /// Ceiling of the exponential reconnect backoff: the wait before
+  /// reconnect cycle n is connectDelayMs * 2^n jittered into
+  /// [delay/2, delay], capped here. Fixed-rate hammering of a
+  /// restarting server is what this replaces.
+  int maxBackoffMs = 2000;
+  /// Seed of the jitter stream. Deterministic: the same seed replays
+  /// the same backoff schedule; give each worker its own seed so their
+  /// retry storms desynchronize.
+  std::uint64_t backoffSeed = 0;
+  /// Total failure retries (reconnect cycles + admission/handshake
+  /// kRetry rounds) this worker may spend before exiting 1; 0 reads
+  /// NCG_RETRY_BUDGET (default 1000). In-grant kRetry backpressure
+  /// (everything leased out) is free — it is progress, not failure.
+  int retryBudget = 0;
 };
 
 /// The cadence at which a worker heartbeats through a long shard: a
@@ -250,6 +302,7 @@ struct WorkerReport {
   std::size_t unitsComputed = 0;
   std::size_t leases = 0;
   std::size_t reconnects = 0;
+  std::size_t retriesSpent = 0;  ///< budget consumed (see WorkerOptions)
 };
 
 /// The body of `ncg_run run <scenario> --connect=ADDR`: connect,

@@ -173,55 +173,19 @@ std::string timingSidecarPath(const std::string& checkpointPath) {
 }
 
 TimingWriter::TimingWriter(const std::string& path,
-                           const ResultHeader& header) {
-  // Mirror CheckpointWriter: if a kill left an unterminated final line,
-  // start our appends on a fresh one.
-  bool needsNewline = false;
-  if (std::FILE* existing = std::fopen(path.c_str(), "r")) {
-    if (std::fseek(existing, -1, SEEK_END) == 0) {
-      needsNewline = std::fgetc(existing) != '\n';
-    }
-    std::fclose(existing);
-  }
-  file_ = std::fopen(path.c_str(), "a");
-  if (file_ == nullptr) {
-    throw Error("cannot open timing sidecar '" + path + "' for appending");
-  }
-  if (std::ftell(file_) == 0) {
-    const std::string line = encodeTimingHeaderLine(header) + "\n";
-    std::fputs(line.c_str(), file_);
-    std::fflush(file_);
-  } else if (needsNewline) {
-    std::fputc('\n', file_);
-    std::fflush(file_);
-  }
-}
-
-TimingWriter::TimingWriter(TimingWriter&& other) noexcept
-    : file_(std::exchange(other.file_, nullptr)) {}
-
-TimingWriter& TimingWriter::operator=(TimingWriter&& other) noexcept {
-  if (this != &other) {
-    close();
-    file_ = std::exchange(other.file_, nullptr);
-  }
-  return *this;
-}
-
-TimingWriter::~TimingWriter() { close(); }
-
-void TimingWriter::close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-}
+                           const ResultHeader& header,
+                           DurabilityPolicy durability)
+    : log_(path, encodeTimingHeaderLine(header),
+           [](std::string_view payload, std::size_t index) {
+             return index == 0
+                        ? decodeTimingHeaderLine(payload).has_value()
+                        : decodeTimingLine(payload).has_value();
+           },
+           durability) {}
 
 void TimingWriter::append(const UnitTiming& timing) {
-  if (file_ == nullptr) return;
-  const std::string line = encodeTimingLine(timing) + "\n";
-  std::fputs(line.c_str(), file_);
-  std::fflush(file_);
+  if (!log_.enabled()) return;
+  (void)log_.appendLine(encodeTimingLine(timing));
 }
 
 TimingLoad loadTimingSidecar(const std::string& path) {
@@ -231,20 +195,37 @@ TimingLoad loadTimingSidecar(const std::string& path) {
 
   std::string line;
   bool first = true;
+  bool prefixIntact = true;
   char buffer[4096];
   const auto consume = [&] {
-    if (first) {
-      first = false;
-      if (auto header = decodeTimingHeaderLine(line)) {
+    const std::size_t lineBytes = line.size() + 1;  // incl. newline
+    const bool isHeaderSlot = first;
+    first = false;
+    const auto checked = verifyLineChecksum(line);
+    bool valid = false;
+    bool isTiming = false;
+    if (!checked.has_value()) {
+      ++load.malformedLines;  // CRC suffix present but wrong
+    } else if (isHeaderSlot) {
+      if (auto header = decodeTimingHeaderLine(checked->payload)) {
         load.headerValid = true;
         load.header = std::move(*header);
+        valid = true;
       } else {
         ++load.malformedLines;
       }
-    } else if (auto timing = decodeTimingLine(line)) {
+    } else if (auto timing = decodeTimingLine(checked->payload)) {
       load.timings.push_back(*timing);
+      valid = true;
+      isTiming = true;
     } else {
       ++load.malformedLines;
+    }
+    if (prefixIntact && valid) {
+      load.validPrefixBytes += lineBytes;
+      if (isTiming) ++load.validPrefixTimings;
+    } else {
+      prefixIntact = false;
     }
     line.clear();
   };
@@ -260,9 +241,11 @@ TimingLoad loadTimingSidecar(const std::string& path) {
   }
   if (!line.empty()) {
     ++load.malformedLines;
+    prefixIntact = false;
   }
   std::fclose(file);
   load.exists = sawAny;
+  load.corruptTail = load.exists && !prefixIntact;
   return load;
 }
 

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "runtime/durable_log.hpp"
 #include "runtime/result_io.hpp"
 #include "runtime/scenario.hpp"
 
@@ -58,42 +59,51 @@ std::optional<UnitTiming> decodeTimingLine(std::string_view line);
 /// The sidecar path of a checkpoint manifest: "<checkpoint>.timings.jsonl".
 std::string timingSidecarPath(const std::string& checkpointPath);
 
-/// Append-side of the timing sidecar — same open/append/flush contract
-/// as CheckpointWriter (header only when the file is empty, one flushed
-/// line per unit, self-healing newline after a torn tail).
+/// Append-side of the timing sidecar — same crash-safe contract as
+/// CheckpointWriter (runtime/durable_log.hpp): CRC-tagged lines, failed
+/// appends truncated away, corrupt tails quarantined on open.
 class TimingWriter {
  public:
   /// No-op writer (timing sidecar disabled).
   TimingWriter() = default;
 
-  /// Opens `path` for appending and writes `header` if the file is
-  /// new/empty. Throws ncg::Error when the file cannot be opened.
-  TimingWriter(const std::string& path, const ResultHeader& header);
+  /// Opens `path`, quarantines any corrupt tail, and writes `header` if
+  /// the salvaged prefix is empty. Throws ncg::Error when the file (or
+  /// its quarantine sibling) cannot be opened.
+  TimingWriter(const std::string& path, const ResultHeader& header,
+               DurabilityPolicy durability = {});
 
-  TimingWriter(TimingWriter&& other) noexcept;
-  TimingWriter& operator=(TimingWriter&& other) noexcept;
+  TimingWriter(TimingWriter&&) noexcept = default;
+  TimingWriter& operator=(TimingWriter&&) noexcept = default;
   TimingWriter(const TimingWriter&) = delete;
   TimingWriter& operator=(const TimingWriter&) = delete;
-  ~TimingWriter();
 
-  bool enabled() const { return file_ != nullptr; }
+  bool enabled() const { return log_.enabled(); }
 
   void append(const UnitTiming& timing);
 
- private:
-  void close();
+  /// Final flush (fdatasync under the fsync policy) — the drain path.
+  void sync() { log_.sync(); }
 
-  std::FILE* file_ = nullptr;
+  const LogOpenReport& openReport() const { return log_.openReport(); }
+  std::size_t failedAppends() const { return log_.failedAppends(); }
+
+ private:
+  DurableLogWriter log_;
 };
 
 /// What loading a sidecar file found (diagnostics and tests; executors
-/// never read timings back to make decisions).
+/// never read timings back to make decisions). Prefix semantics mirror
+/// CheckpointLoad.
 struct TimingLoad {
   bool exists = false;
   bool headerValid = false;
   ResultHeader header;
   std::vector<UnitTiming> timings;
   std::size_t malformedLines = 0;
+  std::size_t validPrefixBytes = 0;
+  std::size_t validPrefixTimings = 0;
+  bool corruptTail = false;
 };
 
 TimingLoad loadTimingSidecar(const std::string& path);

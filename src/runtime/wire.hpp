@@ -48,6 +48,17 @@ enum class FrameType : std::uint8_t {
 /// byte is a protocol violation.
 bool isKnownFrameType(std::uint8_t type);
 
+/// Frame types the fabric survives losing outright: a lost kResult or
+/// kHeartbeat costs at most a lease expiry, a re-lease and a deduped
+/// recomputation; a lost kTiming costs one sidecar line. Every other
+/// type is half of a blocking request/response exchange — losing one
+/// would hang a reader — so the chaos seam (support/fault.hpp) must
+/// only ever drop frames this predicate admits.
+constexpr bool frameLossSurvivable(FrameType type) {
+  return type == FrameType::kResult || type == FrameType::kHeartbeat ||
+         type == FrameType::kTiming;
+}
+
 /// One decoded frame.
 struct Frame {
   FrameType type = FrameType::kHeartbeat;

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, the zlib/gzip polynomial 0xEDB88320) for the
+// per-line integrity suffix of the durable JSONL logs. The durability
+// layer needs a checksum that is stable across platforms and cheap on
+// short lines; a 256-entry table lookup is both, and using the
+// ubiquitous polynomial keeps the manifests checkable with standard
+// tools (`crc32 <(printf '%s' LINE)`).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ncg {
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final xor — the standard
+/// "crc32" everyone means).
+std::uint32_t crc32(std::string_view data);
+
+}  // namespace ncg

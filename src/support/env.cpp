@@ -24,4 +24,8 @@ std::string serveAddress() {
 
 int heartbeatMs() { return envInt("NCG_HEARTBEAT_MS", 5000); }
 
+int retryBudget() { return envInt("NCG_RETRY_BUDGET", 1000); }
+
+int chaosSeed() { return envInt("NCG_CHAOS_SEED", 0); }
+
 }  // namespace ncg::env

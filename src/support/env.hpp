@@ -38,4 +38,18 @@ std::string serveAddress();
 /// its shards are re-leased. Default 5000.
 int heartbeatMs();
 
+/// NCG_RETRY_BUDGET — total reconnect/retry allowance of a connected
+/// worker (`ncg_run run <s> --connect=ADDR`): every reconnect cycle and
+/// every admission kRetry spends one; a worker over budget exits 1
+/// instead of retrying forever. Default 1000. Parsed with the strict
+/// envInt discipline (malformed values warn and fall back; non-positive
+/// values fall back silently).
+int retryBudget();
+
+/// NCG_CHAOS_SEED — seed of the deterministic fault-injection plan
+/// (support/fault.hpp) installed by the CLIs at startup. 0 / unset =
+/// chaos off; the production IO seams then cost one branch.
+/// Values > 0 select a reproducible fault schedule.
+int chaosSeed();
+
 }  // namespace ncg::env

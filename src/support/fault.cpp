@@ -1,0 +1,197 @@
+#include "support/fault.hpp"
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "support/env.hpp"
+
+namespace ncg::fault {
+
+namespace {
+
+std::atomic<FaultPlan*> gPlan{nullptr};
+
+/// Sends/writes every byte of an injected prefix with the *real*
+/// syscall, retrying EINTR — a torn-write injection must actually
+/// transmit its prefix or it would be a clean error, not a torn one.
+void emitPrefix(int fd, const char* data, std::size_t size, bool isSocket,
+                int flags) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = isSocket
+                          ? ::send(fd, data + done, size - done, flags)
+                          : ::write(fd, data + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // the real IO failed mid-prefix; close enough to torn
+  }
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed)
+    : FaultPlan(seed,
+                /*fileWrites=*/{/*shortEvery=*/6, /*errorEvery=*/16,
+                                /*dropEvery=*/0, /*delayEvery=*/0,
+                                /*maxDelayMs=*/0},
+                /*socketSends=*/{/*shortEvery=*/5, /*errorEvery=*/40,
+                                 /*dropEvery=*/24, /*delayEvery=*/0,
+                                 /*maxDelayMs=*/0},
+                /*heartbeats=*/{/*shortEvery=*/0, /*errorEvery=*/0,
+                                /*dropEvery=*/0, /*delayEvery=*/8,
+                                /*maxDelayMs=*/15}) {}
+
+FaultPlan::FaultPlan(std::uint64_t seed, const Profile& fileWrites,
+                     const Profile& socketSends, const Profile& heartbeats)
+    : rng_(seed),
+      fileWrites_(fileWrites),
+      socketSends_(socketSends),
+      heartbeats_(heartbeats) {}
+
+FaultPlan::Decision FaultPlan::draw(const Profile& profile, std::size_t size,
+                                    bool dropAllowed, bool enospcToo) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++decisions_;
+  const auto hits = [&](int every) {
+    return every > 0 && rng_.next() % static_cast<std::uint64_t>(every) == 0;
+  };
+  Decision decision;
+  if (profile.shortEvery > 0 && size > 1 && hits(profile.shortEvery)) {
+    decision.kind = Decision::Kind::kShort;
+    decision.bytes = 1 + static_cast<std::size_t>(
+                             rng_.next() % static_cast<std::uint64_t>(size - 1));
+    return decision;
+  }
+  if (hits(profile.errorEvery)) {
+    decision.kind = Decision::Kind::kError;
+    decision.err = enospcToo && rng_.next() % 2 == 0 ? ENOSPC : EIO;
+    // Half the injected errors are torn: a prefix reaches the medium
+    // before the failure — the hardest case for the durability layer.
+    if (size > 0 && rng_.next() % 2 == 0) {
+      decision.bytes = rng_.next() % static_cast<std::uint64_t>(size);
+    }
+    return decision;
+  }
+  if (dropAllowed && hits(profile.dropEvery)) {
+    decision.kind = Decision::Kind::kDrop;
+    return decision;
+  }
+  if (profile.delayEvery > 0 && profile.maxDelayMs > 0 &&
+      hits(profile.delayEvery)) {
+    decision.kind = Decision::Kind::kDelay;
+    decision.delayMs =
+        1 + static_cast<int>(rng_.next() %
+                             static_cast<std::uint64_t>(profile.maxDelayMs));
+    return decision;
+  }
+  return decision;
+}
+
+FaultPlan::Decision FaultPlan::nextFileWrite(std::size_t size) {
+  return draw(fileWrites_, size, /*dropAllowed=*/false, /*enospcToo=*/true);
+}
+
+FaultPlan::Decision FaultPlan::nextSocketSend(std::size_t size,
+                                              bool dropAllowed) {
+  return draw(socketSends_, size, dropAllowed, /*enospcToo=*/false);
+}
+
+int FaultPlan::nextHeartbeatDelayMs() {
+  const Decision decision =
+      draw(heartbeats_, 0, /*dropAllowed=*/false, /*enospcToo=*/false);
+  return decision.kind == Decision::Kind::kDelay ? decision.delayMs : 0;
+}
+
+std::uint64_t FaultPlan::decisions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_;
+}
+
+FaultPlan* activePlan() { return gPlan.load(std::memory_order_relaxed); }
+
+void setActivePlan(FaultPlan* plan) {
+  gPlan.store(plan, std::memory_order_relaxed);
+}
+
+std::uint64_t chaosSeedFromEnv() {
+  const int seed = env::chaosSeed();
+  return seed > 0 ? static_cast<std::uint64_t>(seed) : 0;
+}
+
+void installPlanFromEnv() {
+  if (activePlan() != nullptr) return;
+  const std::uint64_t seed = chaosSeedFromEnv();
+  if (seed == 0) return;
+  // Process-lifetime by design: the plan must outlive every thread and
+  // every forked worker that inherits the pointer.
+  static FaultPlan* installed = new FaultPlan(seed);
+  setActivePlan(installed);
+}
+
+ssize_t writeWithFaults(int fd, const void* data, std::size_t size) {
+  FaultPlan* plan = activePlan();
+  if (plan == nullptr) return ::write(fd, data, size);
+  const FaultPlan::Decision decision = plan->nextFileWrite(size);
+  switch (decision.kind) {
+    case FaultPlan::Decision::Kind::kShort:
+      return ::write(fd, data, decision.bytes);
+    case FaultPlan::Decision::Kind::kError:
+      if (decision.bytes > 0) {
+        emitPrefix(fd, static_cast<const char*>(data), decision.bytes,
+                   /*isSocket=*/false, 0);
+      }
+      errno = decision.err;
+      return -1;
+    default:
+      return ::write(fd, data, size);
+  }
+}
+
+ssize_t sendWithFaults(int fd, const void* data, std::size_t size,
+                       int flags) {
+  FaultPlan* plan = activePlan();
+  if (plan == nullptr) return ::send(fd, data, size, flags);
+  const FaultPlan::Decision decision =
+      plan->nextSocketSend(size, /*dropAllowed=*/false);
+  switch (decision.kind) {
+    case FaultPlan::Decision::Kind::kShort:
+      return ::send(fd, data, decision.bytes, flags);
+    case FaultPlan::Decision::Kind::kError:
+      if (decision.bytes > 0) {
+        emitPrefix(fd, static_cast<const char*>(data), decision.bytes,
+                   /*isSocket=*/true, flags);
+      }
+      errno = decision.err;
+      return -1;
+    default:
+      return ::send(fd, data, size, flags);
+  }
+}
+
+bool dropFrame() {
+  FaultPlan* plan = activePlan();
+  if (plan == nullptr) return false;
+  return plan->nextSocketSend(0, /*dropAllowed=*/true).kind ==
+         FaultPlan::Decision::Kind::kDrop;
+}
+
+void maybeDelayHeartbeat() {
+  FaultPlan* plan = activePlan();
+  if (plan == nullptr) return;
+  const int delayMs = plan->nextHeartbeatDelayMs();
+  if (delayMs > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+  }
+}
+
+}  // namespace ncg::fault

@@ -1,0 +1,121 @@
+// Deterministic fault injection — the chaos seam of the runtime layer.
+//
+// Every IO operation whose failure the system claims to survive goes
+// through one of the seams below (writeWithFaults / sendWithFaults /
+// dropFrameAllowed / maybeDelayHeartbeat). With no plan installed the
+// seams cost a single relaxed atomic load and delegate to the real
+// syscall — production pays one branch. With a plan installed (tests,
+// or NCG_CHAOS_SEED=<n> at CLI startup) each call consults a seeded
+// schedule that can inject:
+//
+//   - short writes / short sends   (a prefix of the buffer goes through)
+//   - hard errors                  (EIO / ENOSPC on files, EIO on sockets,
+//                                   optionally after a truncated prefix —
+//                                   the torn-frame case)
+//   - dropped frames               (whole frames silently discarded; only
+//                                   offered where the protocol recovers
+//                                   via re-lease, see wire.hpp's
+//                                   frameLossSurvivable)
+//   - delayed heartbeats           (bounded sleeps before heartbeat sends)
+//
+// The schedule is a pure function of the seed and the call sequence, so
+// a failing chaos run replays with the same NCG_CHAOS_SEED. Faults only
+// perturb *when and whether* IO succeeds — results must come out
+// byte-identical to a fault-free run, which is exactly what the chaos
+// soak suite (ctest -L chaos) pins.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "support/random.hpp"
+
+namespace ncg::fault {
+
+/// Per-operation-class injection rates: each fault kind fires on
+/// roughly 1 in `every` calls (0 = never). Rates are checked in the
+/// order short, error, drop, delay; at most one fault per call.
+struct Profile {
+  int shortEvery = 0;
+  int errorEvery = 0;
+  int dropEvery = 0;
+  int delayEvery = 0;
+  int maxDelayMs = 20;  ///< delay faults sleep in [1, maxDelayMs]
+};
+
+/// A seeded, deterministic schedule of IO faults.
+class FaultPlan {
+ public:
+  /// What the next injectable operation should do.
+  struct Decision {
+    enum class Kind : std::uint8_t { kNone, kShort, kError, kDrop, kDelay };
+    Kind kind = Kind::kNone;
+    std::size_t bytes = 0;  ///< kShort/kError: prefix bytes let through
+    int err = 0;            ///< kError: errno to report
+    int delayMs = 0;        ///< kDelay: sleep before proceeding
+  };
+
+  /// Default chaos mix: frequent shorts, occasional hard errors and
+  /// frame drops, rare heartbeat delays — aggressive enough to exercise
+  /// every recovery path in a 24-unit campaign, tame enough that the
+  /// campaign still terminates quickly.
+  explicit FaultPlan(std::uint64_t seed);
+
+  FaultPlan(std::uint64_t seed, const Profile& fileWrites,
+            const Profile& socketSends, const Profile& heartbeats);
+
+  Decision nextFileWrite(std::size_t size);
+  /// `dropAllowed` marks call sites where losing the whole buffer is
+  /// survivable (fire-and-forget frames); drops are never offered
+  /// elsewhere.
+  Decision nextSocketSend(std::size_t size, bool dropAllowed);
+  /// 0 = no delay this time.
+  int nextHeartbeatDelayMs();
+
+  /// Total decisions drawn (diagnostics: proves the seam was active).
+  std::uint64_t decisions() const;
+
+ private:
+  Decision draw(const Profile& profile, std::size_t size, bool dropAllowed,
+                bool enospcToo);
+
+  mutable std::mutex mutex_;
+  SplitMix64 rng_;
+  Profile fileWrites_;
+  Profile socketSends_;
+  Profile heartbeats_;
+  std::uint64_t decisions_ = 0;
+};
+
+/// The process-global plan; nullptr means chaos is off (the production
+/// fast path). Not owned — the caller keeps the plan alive.
+FaultPlan* activePlan();
+void setActivePlan(FaultPlan* plan);
+
+/// NCG_CHAOS_SEED: 0 / unset / malformed = chaos off.
+std::uint64_t chaosSeedFromEnv();
+
+/// CLI startup hook: installs a process-lifetime plan when
+/// NCG_CHAOS_SEED selects one. Idempotent.
+void installPlanFromEnv();
+
+/// write(2) through the plan. May write a prefix (short write), or set
+/// errno and return -1 after writing an injected prefix (torn write).
+ssize_t writeWithFaults(int fd, const void* data, std::size_t size);
+
+/// send(2) through the plan, same contract; a torn send transmits an
+/// injected prefix before reporting failure, so the peer sees a
+/// truncated frame followed by EOF — never a silent gap mid-stream.
+ssize_t sendWithFaults(int fd, const void* data, std::size_t size, int flags);
+
+/// True when the plan says to silently drop the next whole frame. Only
+/// call where frame loss is survivable (re-leased and recomputed).
+bool dropFrame();
+
+/// Sleeps per the plan's heartbeat-delay schedule (no-op without one).
+void maybeDelayHeartbeat();
+
+}  // namespace ncg::fault

@@ -1,0 +1,477 @@
+// Chaos soak (ctest -L chaos): full campaigns of the shard-lease
+// fabric under an active deterministic FaultPlan — injected short
+// writes, torn EIO/ENOSPC appends, truncated sends, dropped
+// result/heartbeat/timing frames and delayed heartbeats — must come
+// out bitwise identical to the fault-free NCG_PROCS=1 reference, with
+// a duplicate-free manifest, for a whole matrix of chaos seeds. Plus
+// the targeted robustness pins: the short-send regression in the
+// blocking frame sender, graceful drain, slow-client eviction, the
+// admission limit, and resume-after-mid-file-manifest-corruption.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/checkpoint.hpp"
+#include "runtime/durable_log.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/serve.hpp"
+#include "runtime/trial.hpp"
+#include "runtime/wire.hpp"
+#include "support/clock.hpp"
+#include "support/fault.hpp"
+
+namespace ncg::runtime {
+namespace {
+
+/// Installs a plan process-globally for one campaign and restores
+/// chaos-off on scope exit.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(fault::FaultPlan& plan) { fault::setActivePlan(&plan); }
+  ~ScopedPlan() { fault::setActivePlan(nullptr); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// 2×2 points × 6 trials = 24 units of MaxNCG dynamics on 16-node
+/// random trees — the serve fault fixture's shape without its pacing
+/// sleep: chaos campaigns repeat per seed, so units must be cheap.
+const Scenario& soakScenario() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Scenario s;
+    s.name = "chaos_soak_fixture";
+    s.description = "test fixture";
+    s.metricNames = {"outcome", "rounds", "social_cost"};
+    s.makePoints = [] {
+      std::vector<ScenarioPoint> points;
+      for (const Dist k : {2, 3}) {
+        for (const double alpha : {0.5, 2.0}) {
+          ScenarioPoint point;
+          point.params = {{"k", static_cast<double>(k)}, {"alpha", alpha}};
+          point.baseSeed = 0xC4405ULL + static_cast<std::uint64_t>(k * 23) +
+                           static_cast<std::uint64_t>(alpha * 911);
+          point.trials = 6;
+          points.push_back(std::move(point));
+        }
+      }
+      return points;
+    };
+    s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+      TrialSpec spec;
+      spec.source = Source::kRandomTree;
+      spec.n = 16;
+      spec.params = GameParams::max(point.param("alpha"),
+                                    static_cast<Dist>(point.param("k")));
+      const TrialOutcome outcome = runTrial(spec, rng);
+      return std::vector<double>{
+          static_cast<double>(static_cast<int>(outcome.outcome)),
+          static_cast<double>(outcome.rounds), outcome.features.socialCost};
+    };
+    registerScenario(std::move(s));
+  });
+  return *findScenario("chaos_soak_fixture");
+}
+
+std::vector<std::uint64_t> bitPatterns(const ScenarioResults& results) {
+  std::vector<std::uint64_t> bits;
+  for (const TrialRecord& record : results.records()) {
+    bits.push_back(static_cast<std::uint64_t>(record.point));
+    bits.push_back(static_cast<std::uint64_t>(record.trial));
+    for (const double metric : record.metrics) {
+      bits.push_back(std::bit_cast<std::uint64_t>(metric));
+    }
+  }
+  return bits;
+}
+
+/// The fault-free in-process NCG_PROCS=1 run every chaos campaign must
+/// reproduce bit for bit. Computed before any plan is installed.
+const RunReport& reference() {
+  static const RunReport report = [] {
+    EXPECT_EQ(fault::activePlan(), nullptr);
+    RunOptions options;
+    options.procs = 1;
+    return runScenario(soakScenario(), options);
+  }();
+  return report;
+}
+
+/// Asserts the manifest at `path` is exactly what the durability layer
+/// promises after any campaign: every line intact (no malformed lines,
+/// no corrupt tail), no (point, trial) slot twice, and every record
+/// bitwise equal to the reference result for its slot. Failed appends
+/// may leave records out — resume recomputes those — but nothing in
+/// the file may be wrong.
+void expectManifestCleanAndTruthful(const std::string& path) {
+  std::map<std::pair<int, int>, std::vector<double>> truth;
+  for (const TrialRecord& record : reference().results.records()) {
+    truth[{record.point, record.trial}] = record.metrics;
+  }
+  const CheckpointLoad load = loadCheckpoint(path);
+  ASSERT_TRUE(load.headerValid);
+  EXPECT_EQ(load.malformedLines, 0U);
+  EXPECT_FALSE(load.corruptTail);
+  EXPECT_EQ(load.validPrefixRecords, load.records.size());
+  std::vector<std::pair<int, int>> slots;
+  for (const TrialRecord& record : load.records) {
+    slots.emplace_back(record.point, record.trial);
+    const auto expected = truth.find({record.point, record.trial});
+    ASSERT_NE(expected, truth.end());
+    ASSERT_EQ(record.metrics.size(), expected->second.size());
+    for (std::size_t i = 0; i < record.metrics.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(record.metrics[i]),
+                std::bit_cast<std::uint64_t>(expected->second[i]));
+    }
+  }
+  std::sort(slots.begin(), slots.end());
+  EXPECT_EQ(std::adjacent_find(slots.begin(), slots.end()), slots.end())
+      << "manifest holds a duplicated (point, trial) slot";
+}
+
+TEST(ChaosSoak, CampaignsStayBitExactForAMatrixOfSeeds) {
+  const Scenario& scenario = soakScenario();
+  const std::vector<std::uint64_t> want = bitPatterns(reference().results);
+  std::size_t recoveries = 0;  // reconnects + budget spent, all seeds
+
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    fault::FaultPlan plan(seed);  // the default chaos mix
+    ScopedPlan scoped(plan);
+
+    const std::string manifest = ::testing::TempDir() + "ncg_chaos_soak_" +
+                                 std::to_string(seed) + ".jsonl";
+    std::remove(manifest.c_str());
+    std::remove(quarantinePath(manifest).c_str());
+
+    ServeOptions options;
+    options.address = "127.0.0.1:0";
+    options.checkpointPath = manifest;
+    options.heartbeatMs = 60000;  // recovery is via reconnect, not expiry
+    options.shardSize = 2;
+    ShardServer server(scenario, options);
+
+    constexpr int kWorkers = 2;
+    std::atomic<int> remaining{kWorkers};
+    std::vector<std::thread> fleet;
+    std::vector<int> exits(kWorkers, -1);
+    std::vector<WorkerReport> reports(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      fleet.emplace_back([&, w] {
+        WorkerOptions worker;
+        worker.connectAttempts = 200;
+        worker.connectDelayMs = 5;
+        worker.maxBackoffMs = 50;  // keep the soak quick
+        worker.backoffSeed = seed * 31 + static_cast<std::uint64_t>(w);
+        exits[static_cast<std::size_t>(w)] = runConnectedWorker(
+            scenario, server.address(), worker,
+            &reports[static_cast<std::size_t>(w)]);
+        remaining.fetch_sub(1);
+      });
+    }
+    while (!server.complete()) server.pollOnce(50);
+    while (remaining.load() > 0) server.pollOnce(10);
+    for (std::thread& t : fleet) t.join();
+
+    for (const int code : exits) EXPECT_EQ(code, 0) << "seed " << seed;
+    EXPECT_GT(plan.decisions(), 0U) << "the chaos seam never fired";
+    EXPECT_EQ(bitPatterns(server.results()), want) << "seed " << seed;
+    expectManifestCleanAndTruthful(manifest);
+    for (const WorkerReport& report : reports) {
+      recoveries += report.reconnects + report.retriesSpent;
+    }
+
+    // Chaos off, resume from whatever survived the injected append
+    // failures: the finished manifest and results must again be
+    // bitwise identical to the reference.
+    fault::setActivePlan(nullptr);
+    RunOptions resume;
+    resume.procs = 1;
+    resume.checkpointPath = manifest;
+    const RunReport resumed = runScenario(scenario, resume);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(bitPatterns(resumed.results), want) << "seed " << seed;
+    const CheckpointLoad finished = loadCheckpoint(manifest);
+    EXPECT_EQ(finished.records.size(), 24U);
+    expectManifestCleanAndTruthful(manifest);
+    std::remove(manifest.c_str());
+    std::remove(quarantinePath(manifest).c_str());
+  }
+  // Five campaigns of the default mix inject hundreds of faults; at
+  // least one must have forced a worker through a recovery path.
+  EXPECT_GT(recoveries, 0U);
+}
+
+// Regression for the once-unchecked ::send in the blocking frame
+// sender: under a plan that truncates *every* send, sendFrameBlocking
+// must keep resuming from `data + written` until the frame is whole —
+// the peer decodes every frame intact, in order.
+TEST(ChaosSoak, ShortSendsNeverTearBlockingFrames) {
+  const fault::Profile shortsOnly{/*shortEvery=*/1, /*errorEvery=*/0,
+                                  /*dropEvery=*/0, /*delayEvery=*/0,
+                                  /*maxDelayMs=*/0};
+  fault::FaultPlan plan(29, fault::Profile{}, shortsOnly, fault::Profile{});
+  ScopedPlan scoped(plan);
+
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  std::vector<Frame> sent;
+  for (int i = 0; i < 20; ++i) {
+    const TrialRecord record{i, i % 4, {1.0 / (i + 1), -2.5 * i}};
+    const Frame frame{FrameType::kResult, encodeTrialLine(record)};
+    ASSERT_TRUE(sendFrameBlocking(pair[0], frame.type, frame.payload));
+    sent.push_back(frame);
+  }
+  EXPECT_GT(plan.decisions(), 20U);  // every frame took several sends
+  ::close(pair[0]);
+
+  FrameReader reader;
+  for (const Frame& expected : sent) {
+    const auto received = readFrameBlocking(pair[1], reader);
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(*received, expected);
+  }
+  EXPECT_FALSE(readFrameBlocking(pair[1], reader).has_value());  // EOF
+  ::close(pair[1]);
+}
+
+TEST(ChaosSoak, DrainRefusesNewLeasesAndCompletesWithinTheTtl) {
+  const Scenario& scenario = soakScenario();
+  ManualClock clock(0);
+  ServeOptions options;
+  options.address = "127.0.0.1:0";
+  options.heartbeatMs = 100;
+  options.shardSize = 4;
+  options.clock = &clock;
+  ShardServer server(scenario, options);
+
+  const auto step = [&](int rounds = 5) {
+    for (int i = 0; i < rounds; ++i) server.pollOnce(20);
+  };
+  const auto handshake = [&](int fd, FrameReader& reader) {
+    ASSERT_TRUE(sendFrameBlocking(fd, FrameType::kHello, scenario.name));
+    step();
+    const auto welcome = readFrameBlocking(fd, reader);
+    ASSERT_TRUE(welcome.has_value());
+    ASSERT_EQ(welcome->type, FrameType::kWelcome);
+  };
+
+  // A worker holds a lease...
+  const int held = connectToServeAddress(server.address(), 1, 0);
+  ASSERT_GE(held, 0);
+  FrameReader heldReader;
+  handshake(held, heldReader);
+  ASSERT_TRUE(sendFrameBlocking(held, FrameType::kLeaseRequest, ""));
+  step();
+  const auto grant = readFrameBlocking(held, heldReader);
+  ASSERT_TRUE(grant.has_value());
+  ASSERT_EQ(grant->type, FrameType::kLeaseGrant);
+
+  // ...when the SIGTERM path starts the drain.
+  EXPECT_FALSE(server.draining());
+  server.requestDrain();
+  EXPECT_TRUE(server.draining());
+  EXPECT_FALSE(server.drainComplete()) << "a shard is still leased";
+
+  // A new worker is welcomed but gets kRetry, not a lease — it stays
+  // alive to find the successor server.
+  const int late = connectToServeAddress(server.address(), 1, 0);
+  ASSERT_GE(late, 0);
+  FrameReader lateReader;
+  handshake(late, lateReader);
+  ASSERT_TRUE(sendFrameBlocking(late, FrameType::kLeaseRequest, ""));
+  step();
+  const auto retry = readFrameBlocking(late, lateReader);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->type, FrameType::kRetry);
+  EXPECT_EQ(decodeDecimal(retry->payload), 100U);
+
+  // The leased worker goes silent: one TTL later the lease expires and
+  // the drain is complete — the bound the SIGTERM handler relies on.
+  clock.advance(100);
+  server.pollOnce(0);
+  EXPECT_TRUE(server.drainComplete());
+  server.syncDurable();
+  ::close(held);
+  ::close(late);
+}
+
+/// A grid whose lease grants are bulky (300-unit shards, tens of
+/// thousands of units) so an unread outbox outgrows the kernel socket
+/// buffer quickly. The trial body never runs — the slow client only
+/// leases, it never computes.
+const Scenario& evictionScenario() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Scenario s;
+    s.name = "chaos_eviction_fixture";
+    s.description = "test fixture";
+    s.metricNames = {"zero"};
+    s.makePoints = [] {
+      ScenarioPoint point;
+      point.params = {{"k", 2.0}};
+      point.baseSeed = 0xE71C7ULL;
+      point.trials = 60000;
+      return std::vector<ScenarioPoint>{point};
+    };
+    s.runTrialFn = [](const ScenarioPoint&, int, Rng&) {
+      return std::vector<double>{0.0};
+    };
+    registerScenario(std::move(s));
+  });
+  return *findScenario("chaos_eviction_fixture");
+}
+
+TEST(ChaosSoak, SlowClientIsEvictedAndItsShardsRelease) {
+  const Scenario& scenario = evictionScenario();
+  ServeOptions options;
+  options.address = "unix:" + ::testing::TempDir() + "ncg_evict.sock";
+  options.heartbeatMs = 60000;
+  options.shardSize = 300;
+  options.maxOutboxBytes = 16 << 10;
+  ShardServer server(scenario, options);
+
+  // A client that leases greedily and never reads a byte: its grants
+  // pile up in the kernel buffer, then in the server's outbox, until
+  // the outbox cap evicts it.
+  const int greedy = connectToServeAddress(server.address(), 1, 0);
+  ASSERT_GE(greedy, 0);
+  ASSERT_TRUE(sendFrameBlocking(greedy, FrameType::kHello, scenario.name));
+  for (int i = 0; i < 2000 && server.stats().slowClientEvictions == 0; ++i) {
+    if (!sendFrameBlocking(greedy, FrameType::kLeaseRequest, "")) break;
+    if (i % 8 == 0) server.pollOnce(0);
+  }
+  for (int i = 0; i < 50 && server.stats().slowClientEvictions == 0; ++i) {
+    server.pollOnce(10);
+  }
+  ::close(greedy);
+  EXPECT_GE(server.stats().slowClientEvictions, 1U);
+
+  // Eviction released the hoard: a well-behaved worker leases at once.
+  const int heir = connectToServeAddress(server.address(), 1, 0);
+  ASSERT_GE(heir, 0);
+  FrameReader reader;
+  ASSERT_TRUE(sendFrameBlocking(heir, FrameType::kHello, scenario.name));
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  const auto welcome = readFrameBlocking(heir, reader);
+  ASSERT_TRUE(welcome.has_value());
+  ASSERT_EQ(welcome->type, FrameType::kWelcome);
+  ASSERT_TRUE(sendFrameBlocking(heir, FrameType::kLeaseRequest, ""));
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  const auto grant = readFrameBlocking(heir, reader);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->type, FrameType::kLeaseGrant);
+  ::close(heir);
+}
+
+TEST(ChaosSoak, AdmissionLimitAnswersKRetryAtTheDoor) {
+  const Scenario& scenario = soakScenario();
+  ServeOptions options;
+  options.address = "127.0.0.1:0";
+  options.heartbeatMs = 7000;
+  options.maxConnections = 1;
+  ShardServer server(scenario, options);
+
+  const int first = connectToServeAddress(server.address(), 1, 0);
+  ASSERT_GE(first, 0);
+  server.pollOnce(0);  // first is admitted...
+
+  const int second = connectToServeAddress(server.address(), 1, 0);
+  ASSERT_GE(second, 0);
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  // ...second is told when to come back, then the door closes.
+  FrameReader reader;
+  const auto retry = readFrameBlocking(second, reader);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->type, FrameType::kRetry);
+  EXPECT_EQ(decodeDecimal(retry->payload), 7000U);
+  EXPECT_FALSE(readFrameBlocking(second, reader).has_value());  // EOF
+  EXPECT_EQ(server.stats().admissionRejected, 1U);
+
+  // The admitted connection still serves a full handshake.
+  FrameReader firstReader;
+  ASSERT_TRUE(sendFrameBlocking(first, FrameType::kHello, scenario.name));
+  for (int i = 0; i < 5; ++i) server.pollOnce(20);
+  const auto welcome = readFrameBlocking(first, firstReader);
+  ASSERT_TRUE(welcome.has_value());
+  EXPECT_EQ(welcome->type, FrameType::kWelcome);
+  ::close(first);
+  ::close(second);
+}
+
+// The acceptance scenario of the durability tentpole, end to end at
+// the runner level: corrupt a line in the *middle* of a finished
+// manifest, resume, and the run must quarantine the tail, trust only
+// the salvaged prefix, recompute the rest, and finish bitwise
+// identical to the uninterrupted reference.
+TEST(ChaosSoak, GarbledManifestLineResumesFromTheSalvagedPrefix) {
+  const Scenario& scenario = soakScenario();
+  const std::vector<std::uint64_t> want = bitPatterns(reference().results);
+  const std::string manifest =
+      ::testing::TempDir() + "ncg_chaos_garble.jsonl";
+  const std::string quarantine = quarantinePath(manifest);
+  std::remove(manifest.c_str());
+  std::remove(quarantine.c_str());
+
+  RunOptions options;
+  options.procs = 1;
+  options.checkpointPath = manifest;
+  ASSERT_TRUE(runScenario(scenario, options).complete);
+
+  // Bit rot on the second record line: flip one payload byte.
+  std::string content = slurp(manifest);
+  std::size_t begin = 0;
+  for (int skipped = 0; skipped < 2; ++skipped) {
+    begin = content.find('\n', begin);
+    ASSERT_NE(begin, std::string::npos);
+    ++begin;
+  }
+  content[begin + 2] = content[begin + 2] == 'Z' ? 'Y' : 'Z';
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  const CheckpointLoad damaged = loadCheckpoint(manifest);
+  EXPECT_TRUE(damaged.corruptTail);
+  EXPECT_EQ(damaged.validPrefixRecords, 1U);
+  EXPECT_GE(damaged.malformedLines, 1U);
+
+  const RunReport resumed = runScenario(scenario, options);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.unitsFromCheckpoint, 1U)
+      << "resume must trust only the salvaged prefix";
+  EXPECT_EQ(resumed.unitsRun, 23U);
+  EXPECT_EQ(bitPatterns(resumed.results), want);
+
+  // The corrupt tail is preserved for forensics, not silently gone.
+  EXPECT_FALSE(slurp(quarantine).empty());
+  const CheckpointLoad healed = loadCheckpoint(manifest);
+  EXPECT_EQ(healed.records.size(), 24U);
+  EXPECT_EQ(healed.malformedLines, 0U);
+  EXPECT_FALSE(healed.corruptTail);
+  std::remove(manifest.c_str());
+  std::remove(quarantine.c_str());
+}
+
+}  // namespace
+}  // namespace ncg::runtime

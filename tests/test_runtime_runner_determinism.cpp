@@ -7,11 +7,14 @@
 
 #include <bit>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "runtime/checkpoint.hpp"
+#include "runtime/durable_log.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/trial.hpp"
@@ -19,6 +22,13 @@
 
 namespace ncg::runtime {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 /// A small but real scenario: 3×2 grid of MaxNCG dynamics on 16-node
 /// trees, 4 trials each — 24 units, enough to spread over 8 workers
@@ -180,13 +190,18 @@ TEST(CheckpointResume, TornFinalLineIsIgnoredOnResume) {
   EXPECT_EQ(bitPatterns(resumed.results),
             bitPatterns(runWithProcs(1).results));
   // The resume must not have merged its first append into the torn
-  // fragment: reloading the manifest finds every trial decodable (the
-  // fragment stays quarantined as the single malformed line).
+  // fragment: reopening moved the fragment to the quarantine file, so
+  // reloading the healed manifest finds every trial decodable and no
+  // malformed line left behind.
   const CheckpointLoad reloaded = loadCheckpoint(path);
   EXPECT_TRUE(reloaded.headerValid);
   EXPECT_EQ(reloaded.records.size(), 24U);
-  EXPECT_EQ(reloaded.malformedLines, 1U);
+  EXPECT_EQ(reloaded.malformedLines, 0U);
+  EXPECT_FALSE(reloaded.corruptTail);
+  const std::string quarantined = slurp(quarantinePath(path));
+  EXPECT_NE(quarantined.find("\"bits\":[\"0x40"), std::string::npos);
   std::remove(path.c_str());
+  std::remove(quarantinePath(path).c_str());
 }
 
 TEST(CheckpointResume, ResumingACompletedRunRecomputesNothing) {

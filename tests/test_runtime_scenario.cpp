@@ -33,7 +33,8 @@ namespace {
 TEST(ScenarioRegistry, BuiltinsAreRegistered) {
   for (const char* name : {"table1_random_trees", "table2_er_graphs",
                            "fig5_view_size", "fig6_quality_vs_n",
-                           "fig7_quality_vs_k", "fig10_convergence",
+                           "fig7_quality_vs_k", "fig8_degree_bought",
+                           "fig9_unfairness", "fig10_convergence",
                            "smoke_dynamics"}) {
     const Scenario* scenario = findScenario(name);
     ASSERT_NE(scenario, nullptr) << name;
@@ -473,6 +474,90 @@ std::string legacyFig7Text() {
   return out;
 }
 
+std::string legacyFig8Text() {
+  std::string out = headerText(
+      "Figure 8 — max degree & max bought edges vs α (G(100,0.1))",
+      "Bilò et al., Locality-based NCGs, Fig. 8");
+  const int trials = env::trials();
+  const auto cell = [](const RunningStat& stat) {
+    return formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2);
+  };
+  TextTable table({"k", "alpha", "max degree", "max bought", "converged"});
+  for (const Dist k : kGrid()) {
+    for (const double alpha : alphaGrid()) {
+      TrialSpec spec;
+      spec.source = Source::kErdosRenyi;
+      spec.n = 100;
+      spec.p = 0.1;
+      spec.params = GameParams::max(alpha, k);
+      const std::uint64_t base =
+          0xF160800ULL + static_cast<std::uint64_t>(k * 67) +
+          static_cast<std::uint64_t>(alpha * 4001);
+      RunningStat degree;
+      RunningStat bought;
+      int converged = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(deriveSeed(base, static_cast<std::uint64_t>(trial)));
+        const TrialOutcome o = runTrial(spec, rng);
+        if (o.outcome != DynamicsOutcome::kConverged) continue;
+        ++converged;
+        degree.push(static_cast<double>(o.features.maxDegree));
+        bought.push(static_cast<double>(o.features.maxBought));
+      }
+      table.addRow({std::to_string(k), formatFixed(alpha, 3), cell(degree),
+                    cell(bought),
+                    std::to_string(converged) + "/" +
+                        std::to_string(trials)});
+    }
+  }
+  out += table.toString();
+  out += "\n";
+  out += "paper claims: for k >= 4 and small α max degree exceeds 80 "
+         "while nobody buys more than ~9 edges.\n";
+  return out;
+}
+
+std::string legacyFig9Text() {
+  std::string out =
+      headerText("Figure 9 — unfairness ratio vs α (G(100,0.1))",
+                 "Bilò et al., Locality-based NCGs, Fig. 9");
+  const int trials = env::trials();
+  const auto cell = [](const RunningStat& stat) {
+    return formatWithCi(stat.mean(), stat.ci95HalfWidth(), 2);
+  };
+  TextTable table({"k", "alpha", "unfairness", "converged"});
+  for (const Dist k : kGrid()) {
+    for (const double alpha : alphaGrid()) {
+      TrialSpec spec;
+      spec.source = Source::kErdosRenyi;
+      spec.n = 100;
+      spec.p = 0.1;
+      spec.params = GameParams::max(alpha, k);
+      const std::uint64_t base =
+          0xF160900ULL + static_cast<std::uint64_t>(k * 89) +
+          static_cast<std::uint64_t>(alpha * 4243);
+      RunningStat unfairness;
+      int converged = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(deriveSeed(base, static_cast<std::uint64_t>(trial)));
+        const TrialOutcome o = runTrial(spec, rng);
+        if (o.outcome != DynamicsOutcome::kConverged) continue;
+        ++converged;
+        unfairness.push(o.features.unfairness);
+      }
+      table.addRow({std::to_string(k), formatFixed(alpha, 3),
+                    cell(unfairness),
+                    std::to_string(converged) + "/" +
+                        std::to_string(trials)});
+    }
+  }
+  out += table.toString();
+  out += "\n";
+  out += "paper claims: smaller k yields fairer equilibria; "
+         "unfairness decreases as k decreases.\n";
+  return out;
+}
+
 std::string renderScenario(const char* name) {
   const Scenario* scenario = findScenario(name);
   EXPECT_NE(scenario, nullptr) << name;
@@ -520,6 +605,18 @@ TEST(PortFidelity, Fig7RenderingIsByteIdenticalToLegacyHarness) {
   EXPECT_EQ(
       withPinnedTrials([] { return renderScenario("fig7_quality_vs_k"); }),
       withPinnedTrials(legacyFig7Text));
+}
+
+TEST(PortFidelity, Fig8RenderingIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(
+      withPinnedTrials([] { return renderScenario("fig8_degree_bought"); }),
+      withPinnedTrials(legacyFig8Text));
+}
+
+TEST(PortFidelity, Fig9RenderingIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(
+      withPinnedTrials([] { return renderScenario("fig9_unfairness"); }),
+      withPinnedTrials(legacyFig9Text));
 }
 
 TEST(PortFidelity, Fig10RenderingIsByteIdenticalToLegacyHarness) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "runtime/checkpoint.hpp"
+#include "runtime/durable_log.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/scenario.hpp"
 #include "runtime/serve.hpp"
@@ -157,8 +158,8 @@ TEST(TimingWriterIo, AppendReloadAndTornTailHealing) {
     writer.append({0, 0, 100, 10, 1});
     writer.append({0, 1, 200, 20, 2});
   }
-  // Tear the tail, then reopen: the writer must quarantine the torn
-  // fragment behind a healing newline, not extend it.
+  // Tear the tail, then reopen: the writer must move the torn fragment
+  // to the sidecar's quarantine file, not extend it in place.
   {
     std::FILE* f = std::fopen(path.c_str(), "a");
     ASSERT_NE(f, nullptr);
@@ -175,8 +176,12 @@ TEST(TimingWriterIo, AppendReloadAndTornTailHealing) {
   EXPECT_EQ(load.header, header);
   ASSERT_EQ(load.timings.size(), 3U);
   EXPECT_EQ(load.timings[2], (UnitTiming{0, 2, 300, 30, 1}));
-  EXPECT_EQ(load.malformedLines, 1U);  // the quarantined fragment
+  EXPECT_EQ(load.malformedLines, 0U);  // the fragment left the file...
+  const std::string quarantined = readFile(quarantinePath(path));
+  EXPECT_NE(quarantined.find("{\"unit_timing\":1,\"point\":0,\"tri"),
+            std::string::npos);  // ...into quarantine, byte-preserved
   std::remove(path.c_str());
+  std::remove(quarantinePath(path).c_str());
 }
 
 TEST(TimingWriterIo, DisabledWriterIsANoOp) {

@@ -1,0 +1,267 @@
+// The chaos seam (support/fault.hpp): a FaultPlan must replay the same
+// schedule from the same seed, every decision must respect the
+// per-class profiles (drops only where allowed, shorts always a
+// non-empty strict prefix), and with no plan installed the seams must
+// be the real syscalls, byte for byte — the production fast path.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/fault.hpp"
+
+namespace ncg::fault {
+namespace {
+
+using Kind = FaultPlan::Decision::Kind;
+
+/// Installs `plan` process-globally for one test and restores chaos-off
+/// on scope exit, so suites never leak a plan into each other.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan& plan) { setActivePlan(&plan); }
+  ~ScopedPlan() { setActivePlan(nullptr); }
+};
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "ncg_fault_test_" + name + ".bin";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct Drawn {
+  Kind kind = Kind::kNone;
+  std::size_t bytes = 0;
+  int err = 0;
+  int delayMs = 0;
+
+  friend bool operator==(const Drawn&, const Drawn&) = default;
+};
+
+/// A fixed interleaving of all three decision streams, as a comparable
+/// value — the replayability contract is over the *sequence*.
+std::vector<Drawn> drawSchedule(FaultPlan& plan, int rounds) {
+  std::vector<Drawn> schedule;
+  for (int i = 0; i < rounds; ++i) {
+    const auto file = plan.nextFileWrite(100);
+    schedule.push_back({file.kind, file.bytes, file.err, 0});
+    const auto sock = plan.nextSocketSend(64, /*dropAllowed=*/true);
+    schedule.push_back({sock.kind, sock.bytes, sock.err, 0});
+    schedule.push_back({Kind::kNone, 0, 0, plan.nextHeartbeatDelayMs()});
+  }
+  return schedule;
+}
+
+TEST(FaultPlan, SameSeedReplaysTheSameSchedule) {
+  FaultPlan a(42);
+  FaultPlan b(42);
+  EXPECT_EQ(drawSchedule(a, 300), drawSchedule(b, 300));
+  EXPECT_EQ(a.decisions(), 900U);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a(1);
+  FaultPlan b(2);
+  EXPECT_NE(drawSchedule(a, 300), drawSchedule(b, 300));
+}
+
+TEST(FaultPlan, DecisionsRespectTheProfiles) {
+  FaultPlan plan(7);
+  bool sawShort = false;
+  bool sawError = false;
+  bool sawDrop = false;
+  bool sawDelay = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto file = plan.nextFileWrite(100);
+    switch (file.kind) {
+      case Kind::kShort:
+        sawShort = true;
+        // A short write is a non-empty strict prefix — 0 would be a
+        // spurious EOF, size would be no fault at all.
+        EXPECT_GE(file.bytes, 1U);
+        EXPECT_LT(file.bytes, 100U);
+        break;
+      case Kind::kError:
+        sawError = true;
+        EXPECT_TRUE(file.err == EIO || file.err == ENOSPC) << file.err;
+        EXPECT_LT(file.bytes, 100U);  // torn prefix stays a strict prefix
+        break;
+      case Kind::kDrop:
+        ADD_FAILURE() << "file writes must never be offered a drop";
+        break;
+      default:
+        break;
+    }
+    // Drops only where the call site declared frame loss survivable.
+    const auto noDrop = plan.nextSocketSend(64, /*dropAllowed=*/false);
+    EXPECT_NE(noDrop.kind, Kind::kDrop);
+    if (noDrop.kind == Kind::kError) {
+      EXPECT_EQ(noDrop.err, EIO);
+    }
+    if (plan.nextSocketSend(64, /*dropAllowed=*/true).kind == Kind::kDrop) {
+      sawDrop = true;
+    }
+    const int delay = plan.nextHeartbeatDelayMs();
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, 15);  // the default heartbeat profile's maxDelayMs
+    if (delay > 0) sawDelay = true;
+  }
+  EXPECT_TRUE(sawShort);
+  EXPECT_TRUE(sawError);
+  EXPECT_TRUE(sawDrop);
+  EXPECT_TRUE(sawDelay);
+}
+
+TEST(FaultSeams, OffPathIsTheRealSyscall) {
+  ASSERT_EQ(activePlan(), nullptr);
+  const std::string payload = "the production fast path";
+
+  const std::string path = tempPath("offpath");
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(writeWithFaults(fd, payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fd);
+  EXPECT_EQ(slurp(path), payload);
+  std::remove(path.c_str());
+
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  EXPECT_EQ(sendWithFaults(pair[0], payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  char buffer[64];
+  EXPECT_EQ(::recv(pair[1], buffer, sizeof buffer, 0),
+            static_cast<ssize_t>(payload.size()));
+  ::close(pair[0]);
+  ::close(pair[1]);
+
+  EXPECT_FALSE(dropFrame());
+  maybeDelayHeartbeat();  // must be a no-op, not a crash
+}
+
+TEST(FaultSeams, ShortWritesDeliverExactlyThePrefix) {
+  const Profile shortsOnly{/*shortEvery=*/1, /*errorEvery=*/0,
+                           /*dropEvery=*/0, /*delayEvery=*/0,
+                           /*maxDelayMs=*/0};
+  FaultPlan plan(11, shortsOnly, shortsOnly, Profile{});
+  ScopedPlan scoped(plan);
+  const std::string payload = "0123456789abcdef";
+
+  const std::string path = tempPath("short");
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  ASSERT_GE(fd, 0);
+  const ssize_t n = writeWithFaults(fd, payload.data(), payload.size());
+  ::close(fd);
+  ASSERT_GE(n, 1);
+  ASSERT_LT(n, static_cast<ssize_t>(payload.size()));
+  EXPECT_EQ(slurp(path), payload.substr(0, static_cast<std::size_t>(n)));
+  std::remove(path.c_str());
+
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  const ssize_t sent = sendWithFaults(pair[0], payload.data(),
+                                      payload.size(), 0);
+  ASSERT_GE(sent, 1);
+  ASSERT_LT(sent, static_cast<ssize_t>(payload.size()));
+  char buffer[64];
+  EXPECT_EQ(::recv(pair[1], buffer, sizeof buffer, 0), sent);
+  EXPECT_EQ(std::string(buffer, static_cast<std::size_t>(sent)),
+            payload.substr(0, static_cast<std::size_t>(sent)));
+  ::close(pair[0]);
+  ::close(pair[1]);
+}
+
+TEST(FaultSeams, InjectedErrorsReportErrnoAndAtMostATornPrefix) {
+  const Profile errorsOnly{/*shortEvery=*/0, /*errorEvery=*/1,
+                           /*dropEvery=*/0, /*delayEvery=*/0,
+                           /*maxDelayMs=*/0};
+  FaultPlan plan(13, errorsOnly, errorsOnly, Profile{});
+  ScopedPlan scoped(plan);
+  const std::string payload = "torn write candidate";
+
+  bool sawTornPrefix = false;
+  for (int i = 0; i < 16; ++i) {
+    const std::string path = tempPath("error");
+    const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    ASSERT_GE(fd, 0);
+    errno = 0;
+    EXPECT_EQ(writeWithFaults(fd, payload.data(), payload.size()), -1);
+    EXPECT_TRUE(errno == EIO || errno == ENOSPC) << errno;
+    ::close(fd);
+    // Whatever reached the file is a strict prefix — the torn case.
+    const std::string content = slurp(path);
+    EXPECT_LT(content.size(), payload.size());
+    EXPECT_EQ(content, payload.substr(0, content.size()));
+    if (!content.empty()) sawTornPrefix = true;
+    std::remove(path.c_str());
+  }
+  EXPECT_TRUE(sawTornPrefix) << "no injected error was torn in 16 draws";
+
+  int pair[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  errno = 0;
+  EXPECT_EQ(sendWithFaults(pair[0], payload.data(), payload.size(), 0), -1);
+  EXPECT_EQ(errno, EIO);  // sockets never fake ENOSPC
+  // The peer sees at most a truncated prefix followed by EOF — never a
+  // silent mid-stream gap.
+  ::close(pair[0]);
+  std::string received;
+  char buffer[64];
+  for (;;) {
+    const ssize_t n = ::recv(pair[1], buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_LT(received.size(), payload.size());
+  EXPECT_EQ(received, payload.substr(0, received.size()));
+  ::close(pair[1]);
+}
+
+TEST(FaultSeams, DropSeamFiresOnlyUnderADropPlan) {
+  const Profile dropsOnly{/*shortEvery=*/0, /*errorEvery=*/0,
+                          /*dropEvery=*/1, /*delayEvery=*/0,
+                          /*maxDelayMs=*/0};
+  FaultPlan plan(17, Profile{}, dropsOnly, Profile{});
+  ScopedPlan scoped(plan);
+  EXPECT_TRUE(dropFrame());
+  EXPECT_TRUE(dropFrame());
+}
+
+TEST(FaultSeams, EnvSeedSelectsAndInstallsAPlanOnce) {
+  ASSERT_EQ(activePlan(), nullptr);
+  ::unsetenv("NCG_CHAOS_SEED");
+  EXPECT_EQ(chaosSeedFromEnv(), 0U);
+  installPlanFromEnv();
+  EXPECT_EQ(activePlan(), nullptr) << "no seed must mean chaos off";
+
+  ::setenv("NCG_CHAOS_SEED", "-3", 1);
+  EXPECT_EQ(chaosSeedFromEnv(), 0U) << "non-positive seeds are chaos off";
+
+  ::setenv("NCG_CHAOS_SEED", "123", 1);
+  EXPECT_EQ(chaosSeedFromEnv(), 123U);
+  installPlanFromEnv();
+  FaultPlan* installed = activePlan();
+  ASSERT_NE(installed, nullptr);
+  installPlanFromEnv();  // idempotent: the first install wins
+  EXPECT_EQ(activePlan(), installed);
+
+  setActivePlan(nullptr);
+  ::unsetenv("NCG_CHAOS_SEED");
+}
+
+}  // namespace
+}  // namespace ncg::fault
