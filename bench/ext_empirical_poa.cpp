@@ -1,58 +1,10 @@
 // Extension experiment: empirical PoA bands vs the closed-form bounds.
-//
-// For each (α, k), many restarts of the dynamics sample the equilibrium
-// space; the [best, worst] quality band brackets the empirical PoS/PoA,
-// printed next to the Fig. 3 lower/upper bound values (constants = 1).
-// The paper's quality curves (Figs. 6-7) are the mean of this band.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "bounds/max_bounds.hpp"
-#include "dynamics/restarts.hpp"
-#include "gen/random_tree.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
+// The experiment body lives in the scenario registry
+// (runtime/scenarios_legacy.cpp, scenario "ext_empirical_poa"); this
+// main is a thin wrapper that runs it and prints the same bytes the
+// original hand-rolled harness printed.
+#include "runtime/runner.hpp"
 
 int main() {
-  bench::printHeader("Extension — empirical PoA bands vs Fig. 3 bounds",
-                     "multi-restart worst/best equilibrium search");
-  ThreadPool pool(bench::threadsFromEnv());
-  const int restarts = std::max(bench::trialsFromEnv() * 3, 12);
-  const NodeId n = 60;
-
-  TextTable table({"alpha", "k", "PoS est", "mean", "PoA est",
-                   "theory LB", "theory UB", "converged"});
-  for (const double alpha : {1.0, 2.0, 5.0}) {
-    for (const Dist k : {2, 3, 5, 1000}) {
-      RestartConfig config;
-      config.dynamics.params = GameParams::max(alpha, k);
-      config.dynamics.maxRounds = 60;
-      config.restarts = restarts;
-      config.baseSeed =
-          0xE0AULL + static_cast<std::uint64_t>(alpha * 100 + k);
-      config.randomizeSchedule = true;
-      const PoaEstimate estimate = estimatePoa(
-          pool, config, [n](int, Rng& rng) {
-            return StrategyProfile::randomOwnership(
-                makeRandomTree(n, rng), rng);
-          });
-      table.addRow(
-          {formatFixed(alpha, 1), std::to_string(k),
-           formatFixed(estimate.bestQuality, 3),
-           formatFixed(estimate.meanQuality, 3),
-           formatFixed(estimate.worstQuality, 3),
-           formatFixed(maxPoaLowerBound(n, alpha, k), 2),
-           formatFixed(maxPoaUpperBound(n, alpha, k), 2),
-           std::to_string(estimate.converged) + "/" +
-               std::to_string(restarts)});
-    }
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf("reading: dynamics-reachable equilibria usually sit far "
-              "below the adversarial PoA constructions (the Fig. 3 LBs "
-              "need hand-crafted tori), and the band tightens as k "
-              "grows toward full knowledge.\n");
-  return 0;
+  return ncg::runtime::runLegacyHarness("ext_empirical_poa");
 }

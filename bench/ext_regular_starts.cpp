@@ -1,77 +1,10 @@
 // Extension experiment: dynamics from random REGULAR initial networks.
-//
-// The paper starts its dynamics from trees and G(n,p); both have skewed
-// degree distributions. Regular starts isolate what degree heterogeneity
-// contributes: if stable networks are hub-dominated because the start
-// already had hubs, regular starts should end elsewhere — if the
-// dynamics *creates* hubs, the same star-like profiles should emerge.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "gen/regular.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/experiment.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
+// The experiment body lives in the scenario registry
+// (runtime/scenarios_legacy.cpp, scenario "ext_regular_starts"); this
+// main is a thin wrapper that runs it and prints the same bytes the
+// original hand-rolled harness printed.
+#include "runtime/runner.hpp"
 
 int main() {
-  bench::printHeader("Extension — dynamics from random d-regular starts",
-                     "complements Fig. 8 (degree statistics of stable "
-                     "networks)");
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  const NodeId n = 60;
-
-  TextTable table({"d", "k", "alpha", "max degree", "max bought",
-                   "quality", "converged"});
-  for (const NodeId d : {3, 4}) {
-    for (const Dist k : {2, 3, 1000}) {
-      for (const double alpha : {0.5, 2.0}) {
-        const GameParams params = GameParams::max(alpha, k);
-        const auto outcomes = runTrials<bench::TrialOutcome>(
-            pool, trials,
-            0x4E600ULL + static_cast<std::uint64_t>(d * 1009 + k * 31 +
-                                                    alpha * 10),
-            [&](int, Rng& rng) {
-              const Graph start = makeConnectedRandomRegular(n, d, rng);
-              const StrategyProfile profile =
-                  StrategyProfile::randomOwnership(start, rng);
-              DynamicsConfig config;
-              config.params = params;
-              config.maxRounds = 60;
-              const DynamicsResult result =
-                  runBestResponseDynamics(profile, config);
-              bench::TrialOutcome outcome;
-              outcome.outcome = result.outcome;
-              outcome.rounds = result.rounds;
-              outcome.features = computeFeatures(result.graph,
-                                                 result.profile, params);
-              return outcome;
-            });
-        RunningStat degree;
-        RunningStat bought;
-        RunningStat quality;
-        int converged = 0;
-        for (const auto& o : outcomes) {
-          if (o.outcome != DynamicsOutcome::kConverged) continue;
-          ++converged;
-          degree.push(static_cast<double>(o.features.maxDegree));
-          bought.push(static_cast<double>(o.features.maxBought));
-          quality.push(o.features.quality);
-        }
-        table.addRow({std::to_string(d), std::to_string(k),
-                      formatFixed(alpha, 1), bench::ciCell(degree, 1),
-                      bench::ciCell(bought, 1), bench::ciCell(quality),
-                      std::to_string(converged) + "/" +
-                          std::to_string(trials)});
-      }
-    }
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf("reading: if max degree at equilibrium >> d, the dynamics "
-              "itself builds hubs (degree heterogeneity is emergent, "
-              "matching the paper's Fig. 8 story).\n");
-  return 0;
+  return ncg::runtime::runLegacyHarness("ext_regular_starts");
 }

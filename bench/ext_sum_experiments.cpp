@@ -1,63 +1,10 @@
-// Extension experiment: best-response dynamics for SumNCG.
-//
-// The paper restricts its experimental section to MaxNCG because SumNCG
-// best responses were computationally infeasible at their scale (§5
-// intro). Our exact SumNCG solver handles small instances, so this bench
-// runs the §5 protocol for the *sum* game at reduced n — charting the
-// quality/convergence landscape the paper left unexplored, including the
-// conservatism induced by the Proposition 2.2 forbidden-set rule.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
+// Extension experiment: best-response dynamics for SumNCG at small n.
+// The experiment body lives in the scenario registry
+// (runtime/scenarios_legacy.cpp, scenario "ext_sum_experiments"); this
+// main is a thin wrapper that runs it and prints the same bytes the
+// original hand-rolled harness printed.
+#include "runtime/runner.hpp"
 
 int main() {
-  bench::printHeader("Extension — SumNCG dynamics (small n)",
-                     "the experiment §5 skips for feasibility reasons; "
-                     "our exact solver covers n<=24");
-
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  const NodeId n = 20;
-
-  TextTable table({"k", "alpha", "quality", "rounds",
-                   "diameter", "converged"});
-  for (const Dist k : {2, 3, 4, 1000}) {
-    for (const double alpha : {0.5, 1.0, 2.0, 5.0}) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kRandomTree;
-      spec.n = n;
-      spec.params = GameParams::sum(alpha, k);
-      spec.maxRounds = 40;
-      const auto outcomes = bench::runTrials(
-          pool, spec, trials,
-          0x50AA00ULL + static_cast<std::uint64_t>(k * 57) +
-              static_cast<std::uint64_t>(alpha * 1000));
-      RunningStat quality;
-      RunningStat rounds;
-      RunningStat diameterStat;
-      int converged = 0;
-      for (const auto& o : outcomes) {
-        if (o.outcome != DynamicsOutcome::kConverged) continue;
-        ++converged;
-        quality.push(o.features.quality);
-        rounds.push(static_cast<double>(o.rounds));
-        diameterStat.push(static_cast<double>(o.features.diameter));
-      }
-      table.addRow({std::to_string(k), formatFixed(alpha, 2),
-                    bench::ciCell(quality), bench::ciCell(rounds, 1),
-                    bench::ciCell(diameterStat, 1),
-                    std::to_string(converged) + "/" +
-                        std::to_string(trials)});
-    }
-  }
-  std::printf("%s\n", table.toString().c_str());
-  std::printf("observations to check: small k forbids horizon-worsening "
-              "rewires (Prop. 2.2) so equilibria keep higher diameter "
-              "than the full-view star-like outcomes.\n");
-  return 0;
+  return ncg::runtime::runLegacyHarness("ext_sum_experiments");
 }

@@ -1,44 +1,10 @@
-// Figure 3: the MaxNCG PoA bound map over the (α, k) plane — for each
-// grid point the applicable lower bound, upper bound and region label.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "bounds/max_bounds.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
+// Figure 3: the MaxNCG PoA bound map over the (α, k) plane.
+// The experiment body lives in the scenario registry
+// (runtime/scenarios_legacy.cpp, scenario "fig3_max_bounds"); this main
+// is a thin wrapper that runs it and prints the same bytes the original
+// hand-rolled harness printed.
+#include "runtime/runner.hpp"
 
 int main() {
-  bench::printHeader("Figure 3 — MaxNCG PoA bound map",
-                     "Bilò et al., Locality-based NCGs, Fig. 3 "
-                     "(constants set to 1; shape reproduction)");
-
-  const double n = 1e6;
-  const double alphas[] = {2, 4, 8, 16, 64, 256, 1024, 16384, 262144};
-  const double ks[] = {2, 4, 8, 16, 32, 128, 1024, 16384, 262144};
-
-  TextTable table({"alpha", "k", "lower bound", "upper bound", "region"});
-  for (double k : ks) {
-    for (double alpha : alphas) {
-      const double lb = maxPoaLowerBound(n, alpha, k);
-      const double ub = maxPoaUpperBound(n, alpha, k);
-      table.addRow({formatFixed(alpha, 0), formatFixed(k, 0),
-                    formatFixed(lb, 2), formatFixed(ub, 2),
-                    maxRegionName(classifyMaxRegion(n, alpha, k))});
-    }
-  }
-  std::printf("n = %.0f\n%s\n", n, table.toString().c_str());
-
-  // Headline checks from §3.3.
-  std::printf("headline shapes:\n");
-  std::printf("  k = Θ(1), α = 4: LB = Ω(n/(1+α)) -> %.0f (linear in n)\n",
-              maxPoaLowerBound(n, 4, 2));
-  std::printf("  k = α (diagonal): torus LB n/α -> %.0f\n",
-              maxPoaLowerBound(n, 16, 16));
-  std::printf("  large α, small k: n^{1/Θ(k)} persists -> %.2f (k=4)\n",
-              maxPoaLowerBound(n, 1e5, 4));
-  std::printf("  k = n^ε: NE ≡ LKE -> region %s\n",
-              maxRegionName(classifyMaxRegion(n, 4, 1e5)));
-  return 0;
+  return ncg::runtime::runLegacyHarness("fig3_max_bounds");
 }

@@ -1,42 +1,10 @@
 // Figure 4: the SumNCG PoA lower-bound map over the (α, k) plane.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "bounds/sum_bounds.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
+// The experiment body lives in the scenario registry
+// (runtime/scenarios_legacy.cpp, scenario "fig4_sum_bounds"); this main
+// is a thin wrapper that runs it and prints the same bytes the original
+// hand-rolled harness printed.
+#include "runtime/runner.hpp"
 
 int main() {
-  bench::printHeader("Figure 4 — SumNCG PoA bound map",
-                     "Bilò et al., Locality-based NCGs, Fig. 4 "
-                     "(constants set to 1; shape reproduction)");
-
-  const double n = 1e6;
-  const double alphas[] = {4, 32, 256, 2048, 65536, 1e6, 1e8};
-  const double ks[] = {2, 3, 4, 8, 16, 64, 512};
-
-  TextTable table({"alpha", "k", "lower bound", "regime"});
-  for (double k : ks) {
-    for (double alpha : alphas) {
-      const double lb = sumPoaLowerBound(n, alpha, k);
-      const char* regime =
-          fullKnowledgeRegionSum(alpha, k)
-              ? "NE=LKE"
-              : (sumRegimeOfFigure4(alpha, k) < 0 ? "strong-LB" : "open");
-      table.addRow({formatFixed(alpha, 0), formatFixed(k, 0),
-                    formatFixed(lb, 2), regime});
-    }
-  }
-  std::printf("n = %.0f\n%s\n", n, table.toString().c_str());
-
-  std::printf("headline shapes (§4):\n");
-  std::printf("  α in [4k³, n], k=3: LB = n/k = %.0f (>= Ω(n^{2/3}))\n",
-              sumPoaLowerBound(n, 4.0 * 27.0, 3));
-  std::printf("  α >= kn, k=2: LB = n^{1/2} = %.0f\n",
-              sumPoaLowerBound(n, 2.0 * n, 2));
-  std::printf("  k > 1+2√α: NE ≡ LKE -> %s\n",
-              fullKnowledgeRegionSum(16.0, 10.0) ? "yes" : "no");
-  return 0;
+  return ncg::runtime::runLegacyHarness("fig4_sum_bounds");
 }

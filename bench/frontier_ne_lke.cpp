@@ -1,107 +1,10 @@
-// Empirical check of the NE ≡ LKE frontiers (the gray regions of
-// Figures 3 and 4):
-//   * MaxNCG, Corollary 3.14 — when k is large enough every LKE has
-//     full view, hence is a Nash equilibrium;
-//   * SumNCG, Theorem 4.4 — the same for k > 1 + 2√α.
-// For a sweep of (α, k) we run dynamics to an LKE and test whether it is
-// also an NE, reporting the fraction that are and the theory's verdict.
-#include <cstdio>
-
-#include "bench_common.hpp"
-#include "bounds/max_bounds.hpp"
-#include "bounds/sum_bounds.hpp"
-#include "core/equilibrium.hpp"
-#include "gen/random_tree.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/experiment.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-
-using namespace ncg;
-
-namespace {
-
-struct FrontierPoint {
-  int lkeCount = 0;
-  int alsoNe = 0;
-  int fullView = 0;
-};
-
-FrontierPoint probe(ThreadPool& pool, NodeId n, const GameParams& params,
-                    int trials, std::uint64_t seed) {
-  const auto results = runTrials<FrontierPoint>(
-      pool, trials, seed, [&](int, Rng& rng) {
-        FrontierPoint point;
-        const Graph tree = makeRandomTree(n, rng);
-        DynamicsConfig config;
-        config.params = params;
-        config.maxRounds = 80;
-        const DynamicsResult run = runBestResponseDynamics(
-            StrategyProfile::randomOwnership(tree, rng), config);
-        if (run.outcome != DynamicsOutcome::kConverged) return point;
-        point.lkeCount = 1;
-        if (checkNash(run.graph, run.profile, params).isEquilibrium) {
-          point.alsoNe = 1;
-        }
-        const NetworkFeatures f =
-            computeFeatures(run.graph, run.profile, params);
-        if (f.minViewSize == n) point.fullView = 1;
-        return point;
-      });
-  FrontierPoint total;
-  for (const FrontierPoint& p : results) {
-    total.lkeCount += p.lkeCount;
-    total.alsoNe += p.alsoNe;
-    total.fullView += p.fullView;
-  }
-  return total;
-}
-
-}  // namespace
+// Empirical check of the NE ≡ LKE frontiers (Figures 3-4 gray regions).
+// The experiment body lives in the scenario registry
+// (runtime/scenarios_legacy.cpp, scenario "frontier_ne_lke"); this main
+// is a thin wrapper that runs it and prints the same bytes the original
+// hand-rolled harness printed.
+#include "runtime/runner.hpp"
 
 int main() {
-  bench::printHeader("NE ≡ LKE frontier — empirical check",
-                     "Bilò et al., Corollary 3.14 (Fig. 3 gray region) "
-                     "and Theorem 4.4 (Fig. 4 gray region)");
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-  const NodeId n = 40;
-
-  std::printf("--- MaxNCG (trees, n=%d) ---\n", n);
-  TextTable maxTable(
-      {"alpha", "k", "LKE runs", "also NE", "full view", "theory"});
-  for (const double alpha : {1.0, 2.0, 5.0}) {
-    for (const Dist k : {2, 3, 5, 10, 1000}) {
-      const GameParams params = GameParams::max(alpha, k);
-      const FrontierPoint point =
-          probe(pool, n, params, trials,
-                0xF407ULL + static_cast<std::uint64_t>(alpha * 100 + k));
-      maxTable.addRow(
-          {formatFixed(alpha, 1), std::to_string(k),
-           std::to_string(point.lkeCount), std::to_string(point.alsoNe),
-           std::to_string(point.fullView),
-           fullKnowledgeRegionMax(n, alpha, k) ? "NE=LKE" : "may differ"});
-    }
-  }
-  std::printf("%s\n", maxTable.toString().c_str());
-
-  std::printf("--- SumNCG (trees, n=%d) ---\n", 12);
-  TextTable sumTable(
-      {"alpha", "k", "LKE runs", "also NE", "theory (Thm 4.4)"});
-  for (const double alpha : {0.5, 1.5, 4.0}) {
-    for (const Dist k : {2, 4, 8}) {
-      const GameParams params = GameParams::sum(alpha, k);
-      const FrontierPoint point =
-          probe(pool, 12, params, trials,
-                0xF408ULL + static_cast<std::uint64_t>(alpha * 100 + k));
-      sumTable.addRow(
-          {formatFixed(alpha, 1), std::to_string(k),
-           std::to_string(point.lkeCount), std::to_string(point.alsoNe),
-           fullKnowledgeRegionSum(alpha, k) ? "NE=LKE" : "may differ"});
-    }
-  }
-  std::printf("%s\n", sumTable.toString().c_str());
-  std::printf("expectation: in rows marked NE=LKE every converged LKE "
-              "must also be an NE; below the frontier gaps may appear.\n");
-  return 0;
+  return ncg::runtime::runLegacyHarness("frontier_ne_lke");
 }

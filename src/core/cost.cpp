@@ -22,7 +22,7 @@ double playerCost(const GameParams& params, const StrategyProfile& profile,
                   const Graph& g, NodeId u) {
   NCG_REQUIRE(g.nodeCount() == profile.playerCount(),
               "graph/profile size mismatch");
-  return params.alpha * static_cast<double>(profile.boughtCount(u)) +
+  return params.alphaOf(u) * static_cast<double>(profile.boughtCount(u)) +
          usageCost(params.kind, g, u);
 }
 

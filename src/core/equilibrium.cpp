@@ -9,7 +9,8 @@ BestResponse bestResponseFor(const Graph& g, const StrategyProfile& profile,
                              NodeId u, const GameParams& params,
                              const BestResponseOptions& options) {
   const PlayerView pv = buildPlayerView(g, profile, u, params.k);
-  return bestResponse(pv, params, options);
+  return bestResponse(
+      pv, params.heterogeneous() ? params.forPlayer(u) : params, options);
 }
 
 EquilibriumReport checkLke(const Graph& g, const StrategyProfile& profile,
@@ -21,7 +22,8 @@ EquilibriumReport checkLke(const Graph& g, const StrategyProfile& profile,
   BfsEngine engine;
   for (NodeId u = 0; u < g.nodeCount(); ++u) {
     const PlayerView pv = buildPlayerView(g, profile, u, params.k, engine);
-    const BestResponse br = bestResponse(pv, params, options);
+    const BestResponse br = bestResponse(
+        pv, params.heterogeneous() ? params.forPlayer(u) : params, options);
     report.exact = report.exact && br.exact;
     if (br.improving) {
       report.isEquilibrium = false;

@@ -1,6 +1,9 @@
 // Game definition shared across the core, dynamics and bench layers.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "graph/types.hpp"
 
 namespace ncg {
@@ -17,12 +20,38 @@ struct GameParams {
   double alpha = 1.0;  ///< per-edge activation cost α > 0
   Dist k = 2;          ///< view radius; players know their k-neighborhood
 
+  /// Heterogeneous pricing: when non-empty, playerAlpha[u] overrides
+  /// `alpha` for player u (rich/poor populations). Empty means the
+  /// classic homogeneous game — every call site below degrades to the
+  /// scalar without branching on anything but `empty()`.
+  std::vector<double> playerAlpha;
+
+  /// Edge price paid by player u.
+  double alphaOf(NodeId u) const {
+    return playerAlpha.empty() ? alpha
+                               : playerAlpha[static_cast<std::size_t>(u)];
+  }
+
+  /// Scalar-α parameter view for solving player u's best response: the
+  /// solvers only ever price the solving player's own edges, so a copy
+  /// with alpha = alphaOf(u) and no per-player table is exact.
+  GameParams forPlayer(NodeId u) const {
+    GameParams p;
+    p.kind = kind;
+    p.alpha = alphaOf(u);
+    p.k = k;
+    return p;
+  }
+
+  /// True when some player's price differs from the scalar default.
+  bool heterogeneous() const { return !playerAlpha.empty(); }
+
   /// Convenience constructors for readable call sites.
   static GameParams max(double alpha, Dist k) {
-    return {GameKind::kMax, alpha, k};
+    return {GameKind::kMax, alpha, k, {}};
   }
   static GameParams sum(double alpha, Dist k) {
-    return {GameKind::kSum, alpha, k};
+    return {GameKind::kSum, alpha, k, {}};
   }
 };
 

@@ -1,6 +1,7 @@
 #include "core/restricted_moves.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -409,6 +410,121 @@ BestResponse greedyMoveReference(const PlayerView& pv,
   }
 
   finalizeResult(pv, bestCost, bestOwn, res);
+  return res;
+}
+
+BestResponse noisyGreedyMove(const PlayerView& pv, const GameParams& params,
+                             double temperature, Rng& rng,
+                             BestResponseScratch& scratch) {
+  NCG_REQUIRE(temperature > 0.0, "temperature must be positive");
+  BestResponse res;
+  if (prepareResult(pv, params, res)) return res;
+  const MoveSetup setup = prepareSetup(pv, scratch);
+  const std::vector<NodeId>& currentOwn = *setup.currentOwn;
+  const std::vector<NodeId>& currentSources = *setup.currentSources;
+  const std::vector<bool>& isFringe = *setup.isFringe;
+  const std::vector<bool>& isFree = *setup.isFree;
+  const std::vector<bool>& isOwn = *setup.isOwn;
+
+  removeCenterInto(pv.view.graph, pv.view.center, scratch.h0);
+  const CsrGraph& h0 = scratch.h0;
+  BfsEngine& engine = scratch.bfs;
+
+  res.currentCost =
+      params.alpha * static_cast<double>(currentOwn.size()) +
+      usageOf(h0, currentSources, params, isFringe, engine);
+  res.proposedCost = res.currentCost;
+
+  // Every strictly improving candidate, in the canonical buy → delete →
+  // swap enumeration order (the same order greedyMove resolves ties in).
+  struct Candidate {
+    double cost;
+    std::vector<NodeId> own;
+  };
+  std::vector<Candidate> improving;
+  std::vector<NodeId> sources;
+  const auto consider = [&](std::size_t ownCount, const auto& makeOwn) {
+    const double cost = params.alpha * static_cast<double>(ownCount) +
+                        usageOf(h0, sources, params, isFringe, engine);
+    if (cost < res.currentCost - kCostEpsilon) {
+      improving.push_back({cost, makeOwn()});
+    }
+  };
+
+  sources = currentSources;
+  for (NodeId v = 0; v < setup.m0; ++v) {
+    if (isOwn[static_cast<std::size_t>(v)] ||
+        isFree[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    sources.push_back(v);
+    consider(currentOwn.size() + 1, [&] {
+      std::vector<NodeId> own = currentOwn;
+      own.push_back(v);
+      return own;
+    });
+    sources.pop_back();
+  }
+  for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    const NodeId dropped = currentOwn[i];
+    sources = currentSources;
+    if (!isFree[static_cast<std::size_t>(dropped)]) {
+      sources.erase(std::find(sources.begin(), sources.end(), dropped));
+    }
+    consider(currentOwn.size() - 1, [&] {
+      std::vector<NodeId> own = currentOwn;
+      own.erase(own.begin() + static_cast<std::ptrdiff_t>(i));
+      return own;
+    });
+  }
+  for (std::size_t i = 0; i < currentOwn.size(); ++i) {
+    const NodeId dropped = currentOwn[i];
+    sources = currentSources;
+    if (!isFree[static_cast<std::size_t>(dropped)]) {
+      sources.erase(std::find(sources.begin(), sources.end(), dropped));
+    }
+    for (NodeId v = 0; v < setup.m0; ++v) {
+      if (v == dropped || isOwn[static_cast<std::size_t>(v)] ||
+          isFree[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      sources.push_back(v);
+      consider(currentOwn.size(), [&] {
+        std::vector<NodeId> own = currentOwn;
+        own[i] = v;
+        return own;
+      });
+      sources.pop_back();
+    }
+  }
+
+  if (improving.empty()) return res;
+
+  // Softmax over improvement depth, anchored at the best candidate so
+  // weights stay in (0, 1] regardless of the cost scale.
+  double minCost = improving.front().cost;
+  for (const Candidate& c : improving) minCost = std::min(minCost, c.cost);
+  double total = 0.0;
+  std::vector<double> weight;
+  weight.reserve(improving.size());
+  for (const Candidate& c : improving) {
+    const double w = std::exp((minCost - c.cost) / temperature);
+    weight.push_back(w);
+    total += w;
+  }
+  const double target = rng.nextDouble() * total;
+  std::size_t chosen = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < improving.size(); ++i) {
+    acc += weight[i];
+    if (target < acc) {
+      chosen = i;
+      break;
+    }
+    chosen = i;  // fp-slack fallback: the last candidate absorbs the tail
+  }
+
+  finalizeResult(pv, improving[chosen].cost, improving[chosen].own, res);
   return res;
 }
 

@@ -31,6 +31,7 @@
 #include "core/best_response.hpp"
 #include "core/game.hpp"
 #include "core/player_view.hpp"
+#include "support/random.hpp"
 
 namespace ncg {
 
@@ -67,5 +68,18 @@ BestResponse greedyMoveReference(const PlayerView& pv,
 BestResponse greedyMoveReference(const PlayerView& pv,
                                  const GameParams& params,
                                  BestResponseScratch& scratch);
+
+/// Temperature-style noisy best response over the single-edge move space:
+/// enumerates the same buy/delete/swap candidates as greedyMove, collects
+/// every strictly improving one, and softmax-selects among them with
+/// weight exp(-(cost_i - cost_min)/temperature) using exactly one
+/// `rng.nextDouble()` draw. temperature → 0 degrades to the greedy argmin
+/// (first-evaluated winner on ties); larger temperatures spread
+/// probability toward weaker improvements. When no candidate improves the
+/// result is non-improving and the rng is NOT advanced — callers can rely
+/// on "one draw per accepted enumeration" for cross-engine determinism.
+BestResponse noisyGreedyMove(const PlayerView& pv, const GameParams& params,
+                             double temperature, Rng& rng,
+                             BestResponseScratch& scratch);
 
 }  // namespace ncg

@@ -216,4 +216,59 @@ void DynamicsCache::applyMove(Graph& g, StrategyProfile& profile, NodeId u,
   invalidateBall(u);
 }
 
+void DynamicsCache::evictDerived(NodeId u) {
+  const auto slot = static_cast<std::size_t>(u);
+  if (slot < oracles_.size()) oracles_[slot] = MoveDistanceOracle{};
+  if (slot < covers_.size()) covers_[slot].evict();
+  if (slot < derivedSeen_.size()) {
+    derivedSeen_[slot] = 0;
+    derivedStreak_[slot] = 0;
+  }
+}
+
+void DynamicsCache::applyArrival(Graph& g, StrategyProfile& profile, NodeId u,
+                                 const std::vector<NodeId>& strategy) {
+  NCG_REQUIRE(profile.strategyOf(u).empty() && g.degree(u) == 0,
+              "arrival slot must be isolated");
+  applyMove(g, profile, u, strategy);
+}
+
+void DynamicsCache::applyDeparture(Graph& g, StrategyProfile& profile,
+                                   NodeId u) {
+  syncMirror(g);
+  // Pre-departure ball: a departure only removes edges through u, so
+  // distances can only grow — everyone whose view can change sees u
+  // within k right now. (The post-state ball is just {u}, already in.)
+  invalidateBall(u);
+
+  const std::vector<NodeId> former(g.neighborsUnchecked(u).begin(),
+                                   g.neighborsUnchecked(u).end());
+  std::vector<NodeId> trimmed;
+  for (const NodeId v : former) {
+    g.removeEdge(u, v);
+    const std::vector<NodeId>& sigmaV = profile.strategyOf(v);
+    if (std::binary_search(sigmaV.begin(), sigmaV.end(), u)) {
+      trimmed.assign(sigmaV.begin(), sigmaV.end());
+      trimmed.erase(std::find(trimmed.begin(), trimmed.end(), u));
+      profile.setStrategy(v, trimmed);
+    }
+  }
+  profile.setStrategy(u, {});
+
+  // removeEdge swap-erases, so the survivors' neighbor order must be
+  // restored to what a full rebuild would produce (their insertion
+  // events are unchanged: none involves u).
+  patchRows_.clear();
+  patchRows_.push_back(u);
+  for (const NodeId v : former) {
+    canonicalizeNeighbors(g, profile, v, sortKeyed_, sortOrder_);
+    patchRows_.push_back(v);
+  }
+  mirror_.patchRows(g, patchRows_);
+
+  valid_[static_cast<std::size_t>(u)] = false;
+  settled_[static_cast<std::size_t>(u)] = false;
+  evictDerived(u);
+}
+
 }  // namespace ncg

@@ -69,6 +69,36 @@ class DynamicsCache {
   void applyMove(Graph& g, StrategyProfile& profile, NodeId u,
                  const std::vector<NodeId>& newStrategy);
 
+  /// Applies the arrival of player u (churn): u must currently be an
+  /// isolated node with an empty strategy and no inbound purchases; it
+  /// joins by buying `strategy` (sorted). Dirty-tracking-wise an arrival
+  /// IS a move — the pre-move ball around an isolated node is {u}, and
+  /// the post-move ball covers everyone who can now see the new edges.
+  void applyArrival(Graph& g, StrategyProfile& profile, NodeId u,
+                    const std::vector<NodeId>& strategy);
+
+  /// Applies the departure of player u (churn): every incident edge is
+  /// severed — u's own purchases and any other player's link to u, whose
+  /// buyers get u stripped from their strategies — leaving u isolated
+  /// with an empty strategy. Unlike a move this rewrites several
+  /// players' strategies at once, but every changed edge is still
+  /// incident to u, so the pre-departure distance-<= k ball around u
+  /// covers every view that can change (removals only grow distances).
+  /// u's cached view AND its persisted derived solver payloads (greedy
+  /// oracle rows, cover instances) are fully evicted: a departed slot
+  /// holds no state a future arrival reusing the node id could ever
+  /// see a stale revision of.
+  void applyDeparture(Graph& g, StrategyProfile& profile, NodeId u);
+
+  /// True when player u currently holds persisted derived solver state
+  /// (oracle rows or cover instances). Diagnostics for the churn
+  /// eviction tests — departure must drive this to false.
+  bool hasDerivedPayload(NodeId u) const {
+    const auto slot = static_cast<std::size_t>(u);
+    return (slot < oracles_.size() && oracles_[slot].gate.revision != 0) ||
+           (slot < covers_.size() && covers_[slot].gate.revision != 0);
+  }
+
   /// Monotone stamp of u's cached view: bumped every time the view is
   /// rebuilt, stable exactly while the cached copy is reused (a "clean
   /// wakeup" presents the same revision the previous solve saw). Never
@@ -129,6 +159,7 @@ class DynamicsCache {
  private:
   void invalidateBall(NodeId u);
   void syncMirror(const Graph& g);
+  void evictDerived(NodeId u);
 
   Dist k_ = 1;
   std::vector<PlayerView> views_;

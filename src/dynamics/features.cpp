@@ -64,7 +64,7 @@ NetworkFeatures computeFeatures(const Graph& g,
         : params.kind == GameKind::kMax ? static_cast<double>(ecc)
                                         : static_cast<double>(status);
     const double cost =
-        params.alpha * static_cast<double>(profile.boughtCount(u)) + usage;
+        params.alphaOf(u) * static_cast<double>(profile.boughtCount(u)) + usage;
     f.socialCost += cost;
     minCost = std::min(minCost, cost);
     maxCost = std::max(maxCost, cost);

@@ -32,12 +32,33 @@ enum class MoveRule {
   kBestResponse,  ///< exact best response (the paper's protocol)
   kGreedy,        ///< best single-edge move: buy/delete/swap one edge
                   ///< (the Lenzner-style restricted variant; ablation)
+  kNoisy,         ///< temperature-style noisy best response: a seeded
+                  ///< softmax draw over the improving single-edge moves
+                  ///< (noisyGreedyMove); when none improves, the exact
+                  ///< best response is consulted, so a converged run is
+                  ///< still a certified LKE
 };
 
 /// Player activation order within a round.
 enum class Schedule {
   kRoundRobin,         ///< 0..n−1 every round (the paper's protocol)
   kRandomPermutation,  ///< a fresh uniform order each round
+  kAdversarial,        ///< always wake the worst-off player next: each
+                       ///< activation picks the not-yet-woken player with
+                       ///< the highest current cost (ties → lowest id),
+                       ///< re-evaluated after every accepted move.
+                       ///< Deterministic, so cycle detection stays sound.
+};
+
+/// How a round applies the players' computed responses.
+enum class RoundMode {
+  kSequential,    ///< one player moves at a time (the paper's protocol)
+  kSimultaneous,  ///< every player best-responds against the same
+                  ///< round-start snapshot; improving proposals are then
+                  ///< applied in ascending player id, and a proposal
+                  ///< whose application would disconnect G(σ) is reverted
+                  ///< (the deterministic conflict rule). Converging means
+                  ///< no player improves on the snapshot — an LKE.
 };
 
 /// Which implementation executes the dynamics. Both produce identical
@@ -75,6 +96,9 @@ struct DynamicsConfig {
   MoveRule moveRule = MoveRule::kBestResponse;
   Schedule schedule = Schedule::kRoundRobin;
   std::uint64_t scheduleSeed = 0;  ///< for kRandomPermutation
+  RoundMode roundMode = RoundMode::kSequential;
+  double temperature = 0.5;       ///< softmax temperature for kNoisy
+  std::uint64_t noiseSeed = 0;    ///< seeds kNoisy's softmax draws
   EngineMode engine = EngineMode::kIncremental;
   bool collectMoves = false;  ///< record every accepted move in `moves`
   /// Skip re-solving players whose situation is provably unchanged since

@@ -436,7 +436,9 @@ int runLegacyHarness(const std::string& name) {
   const std::string text =
       renderResults(*scenario, report.points, report.results, "legacy");
   std::fputs(text.c_str(), stdout);
-  return 0;
+  return scenario->exitCode
+             ? scenario->exitCode(*scenario, report.points, report.results)
+             : 0;
 }
 
 }  // namespace ncg::runtime

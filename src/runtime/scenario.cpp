@@ -13,10 +13,13 @@
 namespace ncg::runtime {
 
 namespace detail {
-// Defined in scenarios_builtin.cpp; called once to seed the registry.
-// A direct call (rather than static-initializer registration) so the
-// static library linker can never drop the built-ins.
+// Defined in scenarios_builtin.cpp / scenarios_legacy.cpp /
+// scenarios_families.cpp; called once to seed the registry. Direct
+// calls (rather than static-initializer registration) so the static
+// library linker can never drop the built-ins.
 void appendBuiltinScenarios(std::vector<Scenario>& registry);
+void appendLegacyPortScenarios(std::vector<Scenario>& registry);
+void appendFamilyScenarios(std::vector<Scenario>& registry);
 }  // namespace detail
 
 double ScenarioPoint::param(std::string_view name) const {
@@ -112,6 +115,8 @@ std::vector<Scenario>& mutableRegistry() {
   static std::vector<Scenario> registry = [] {
     std::vector<Scenario> builtins;
     detail::appendBuiltinScenarios(builtins);
+    detail::appendLegacyPortScenarios(builtins);
+    detail::appendFamilyScenarios(builtins);
     return builtins;
   }();
   return registry;

@@ -116,6 +116,14 @@ struct Scenario {
                             const std::vector<ScenarioPoint>&,
                             const ScenarioResults&)>
       render;
+
+  /// Optional process exit code for the legacy-harness wrapper
+  /// (runLegacyHarness): the ported verification harnesses
+  /// (fig1_2_construction, lb_constructions) exited non-zero when a
+  /// paper invariant failed to verify. Null = always 0.
+  std::function<int(const Scenario&, const std::vector<ScenarioPoint>&,
+                    const ScenarioResults&)>
+      exitCode;
 };
 
 /// All registered scenarios, built-ins first (registration order is

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/cost.hpp"
+#include "dynamics/churn.hpp"
 #include "dynamics/round_robin.hpp"
 #include "gen/erdos_renyi.hpp"
 #include "gen/random_tree.hpp"
@@ -25,6 +26,9 @@ struct Scenario {
   double alpha = 1.0;
   Dist k = 2;
   MoveRule moveRule = MoveRule::kBestResponse;
+  Schedule schedule = Schedule::kRoundRobin;
+  RoundMode roundMode = RoundMode::kSequential;
+  bool heteroAlpha = false;  ///< draw per-player α in [0.25, α+0.25)
   std::uint64_t seed = 0;
 };
 
@@ -32,6 +36,10 @@ std::string describe(const Scenario& s) {
   return std::string(s.kind == GameKind::kMax ? "max" : "sum") + "/" +
          (s.erdosRenyi ? "er" : "tree") + "/n=" + std::to_string(s.n) +
          "/k=" + std::to_string(s.k) + "/alpha=" + std::to_string(s.alpha) +
+         (s.heteroAlpha ? "/hetero" : "") +
+         (s.schedule == Schedule::kAdversarial ? "/adversarial" : "") +
+         (s.roundMode == RoundMode::kSimultaneous ? "/simultaneous" : "") +
+         (s.moveRule == MoveRule::kNoisy ? "/noisy" : "") +
          "/seed=" + std::to_string(s.seed);
 }
 
@@ -42,9 +50,24 @@ DynamicsResult runScenario(const Scenario& s, EngineMode mode) {
                    : makeRandomTree(s.n, rng);
   const StrategyProfile start = StrategyProfile::randomOwnership(initial, rng);
   DynamicsConfig config;
-  config.params = {s.kind, s.alpha, s.k};
+  config.params = {s.kind, s.alpha, s.k, {}};
+  if (s.heteroAlpha) {
+    // Same per-player prices for both engines: drawn from the instance
+    // stream, after the initial profile.
+    config.params.playerAlpha.resize(static_cast<std::size_t>(s.n));
+    for (NodeId u = 0; u < s.n; ++u) {
+      config.params.playerAlpha[static_cast<std::size_t>(u)] =
+          0.25 + s.alpha * rng.nextDouble();
+    }
+  }
   config.maxRounds = 40;
   config.moveRule = s.moveRule;
+  if (s.moveRule == MoveRule::kNoisy) {
+    config.temperature = 0.5;
+    config.noiseSeed = s.seed ^ 0x9E3779B97F4A7C15ULL;
+  }
+  config.schedule = s.schedule;
+  config.roundMode = s.roundMode;
   config.engine = mode;
   config.collectMoves = true;
   return runBestResponseDynamics(start, config);
@@ -72,7 +95,7 @@ void expectIdentical(const Scenario& s) {
   // scratch materialization of the final profile.
   EXPECT_EQ(incremental.graph, incremental.profile.buildGraph());
 
-  const GameParams params{s.kind, s.alpha, s.k};
+  const GameParams params{s.kind, s.alpha, s.k, {}};
   EXPECT_EQ(socialCost(params, reference.profile, reference.graph),
             socialCost(params, incremental.profile, incremental.graph));
 }
@@ -146,7 +169,7 @@ TEST(DynamicsDifferential, CacheDisabledStillIdentical) {
   const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
   for (const GameKind kind : {GameKind::kMax, GameKind::kSum}) {
     DynamicsConfig config;
-    config.params = {kind, 1.5, 3};
+    config.params = {kind, 1.5, 3, {}};
     config.maxRounds = 30;
     config.useBestResponseCache = false;
     config.collectMoves = true;
@@ -179,6 +202,131 @@ TEST(DynamicsDifferential, RandomPermutationScheduleIdentical) {
   ASSERT_EQ(reference.moves.size(), incremental.moves.size());
   for (std::size_t i = 0; i < reference.moves.size(); ++i) {
     EXPECT_EQ(reference.moves[i], incremental.moves[i]) << "move " << i;
+  }
+}
+
+TEST(DynamicsDifferential, HeterogeneousAlphaAcrossInstances) {
+  std::uint64_t seed = 0xD1FF7000;
+  for (const bool er : {false, true}) {
+    for (const Dist k : {2, 3}) {
+      for (const double alpha : {0.5, 2.0, 6.0}) {
+        Scenario s;
+        s.kind = GameKind::kMax;
+        s.erdosRenyi = er;
+        s.n = er ? 18 : 22;
+        s.alpha = alpha;
+        s.k = k;
+        s.heteroAlpha = true;
+        s.seed = ++seed;
+        expectIdentical(s);
+      }
+    }
+  }
+}
+
+TEST(DynamicsDifferential, AdversarialScheduleAcrossInstances) {
+  std::uint64_t seed = 0xD1FF8000;
+  for (const bool er : {false, true}) {
+    for (const Dist k : {2, 3}) {
+      for (const double alpha : {0.5, 2.0}) {
+        Scenario s;
+        s.erdosRenyi = er;
+        s.n = er ? 16 : 20;
+        s.alpha = alpha;
+        s.k = k;
+        s.schedule = Schedule::kAdversarial;
+        s.seed = ++seed;
+        expectIdentical(s);
+      }
+    }
+  }
+}
+
+TEST(DynamicsDifferential, SimultaneousRoundsAcrossInstances) {
+  std::uint64_t seed = 0xD1FF9000;
+  for (const bool er : {false, true}) {
+    for (const Dist k : {2, 3}) {
+      for (const double alpha : {0.5, 2.0}) {
+        Scenario s;
+        s.erdosRenyi = er;
+        s.n = er ? 16 : 20;
+        s.alpha = alpha;
+        s.k = k;
+        s.roundMode = RoundMode::kSimultaneous;
+        s.seed = ++seed;
+        expectIdentical(s);
+      }
+    }
+  }
+}
+
+TEST(DynamicsDifferential, NoisyMoveRuleAcrossInstances) {
+  // kNoisy draws from its own noise stream exactly once per solve with a
+  // non-empty improving set; the settled-skip only elides provably
+  // non-improving (draw-free) solves, so the draw sequences — and hence
+  // the trajectories — must agree between the engines.
+  std::uint64_t seed = 0xD1FFB000;
+  for (const bool er : {false, true}) {
+    for (const Dist k : {2, 3}) {
+      for (const double alpha : {0.5, 2.0}) {
+        Scenario s;
+        s.erdosRenyi = er;
+        s.n = er ? 16 : 20;
+        s.alpha = alpha;
+        s.k = k;
+        s.moveRule = MoveRule::kNoisy;
+        s.seed = ++seed;
+        expectIdentical(s);
+      }
+    }
+  }
+}
+
+ChurnResult runChurnScenario(std::uint64_t seed, Dist k, double alpha,
+                             EngineMode mode) {
+  Rng rng(seed);
+  const Graph tree = makeRandomTree(16, rng);
+  const StrategyProfile start = StrategyProfile::randomOwnership(tree, rng);
+  ChurnConfig config;
+  config.params = GameParams::max(alpha, k);
+  config.engine = mode;
+  config.collectMoves = true;
+  config.churnSeed = seed ^ 0xC4BA9ULL;
+  return runChurnDynamics(start, config);
+}
+
+TEST(DynamicsDifferential, ChurnTrajectoryIdentical) {
+  // Churn events (arrivals, departures, slot reuse) must replay
+  // identically through the incremental cache and the naive rebuild
+  // path: same events, same active set, same moves, same final network.
+  std::uint64_t seed = 0xD1FFD000;
+  for (const Dist k : {2, 3}) {
+    for (const double alpha : {1.0, 2.0}) {
+      ++seed;
+      SCOPED_TRACE("churn/k=" + std::to_string(k) +
+                   "/alpha=" + std::to_string(alpha) +
+                   "/seed=" + std::to_string(seed));
+      const ChurnResult reference =
+          runChurnScenario(seed, k, alpha, EngineMode::kReference);
+      const ChurnResult incremental =
+          runChurnScenario(seed, k, alpha, EngineMode::kIncremental);
+      EXPECT_EQ(reference.outcome, incremental.outcome);
+      EXPECT_EQ(reference.rounds, incremental.rounds);
+      EXPECT_EQ(reference.totalMoves, incremental.totalMoves);
+      ASSERT_EQ(reference.events.size(), incremental.events.size());
+      for (std::size_t i = 0; i < reference.events.size(); ++i) {
+        EXPECT_EQ(reference.events[i], incremental.events[i])
+            << "event " << i;
+      }
+      EXPECT_EQ(reference.active, incremental.active);
+      ASSERT_EQ(reference.moves.size(), incremental.moves.size());
+      for (std::size_t i = 0; i < reference.moves.size(); ++i) {
+        EXPECT_EQ(reference.moves[i], incremental.moves[i]) << "move " << i;
+      }
+      EXPECT_EQ(reference.profile, incremental.profile);
+      EXPECT_EQ(reference.graph, incremental.graph);
+      EXPECT_EQ(incremental.graph, incremental.profile.buildGraph());
+    }
   }
 }
 

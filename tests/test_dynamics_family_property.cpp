@@ -1,0 +1,121 @@
+// Property tests for the PR-9 workload families: whenever a dynamics
+// run reports kConverged, the final state must certify as a
+// local-knowledge equilibrium (isLke) under the exact parameters the
+// run used — heterogeneous per-player α, adversarial schedules,
+// simultaneous rounds and the noisy move rule all included. For churn,
+// convergence is a statement about the surviving population, so the
+// certificate is checked on the compacted active sub-network.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/equilibrium.hpp"
+#include "dynamics/churn.hpp"
+#include "dynamics/round_robin.hpp"
+#include "gen/random_tree.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+struct FamilyCase {
+  const char* label;
+  Schedule schedule = Schedule::kRoundRobin;
+  RoundMode roundMode = RoundMode::kSequential;
+  MoveRule moveRule = MoveRule::kBestResponse;
+  bool heteroAlpha = false;
+};
+
+TEST(FamilyProperty, ConvergedRunsCertifyLke) {
+  const FamilyCase cases[] = {
+      {"hetero_alpha", Schedule::kRoundRobin, RoundMode::kSequential,
+       MoveRule::kBestResponse, true},
+      {"adversarial", Schedule::kAdversarial},
+      {"simultaneous", Schedule::kRoundRobin, RoundMode::kSimultaneous},
+      {"noisy", Schedule::kRoundRobin, RoundMode::kSequential,
+       MoveRule::kNoisy},
+  };
+  int converged = 0;
+  std::uint64_t seed = 0xFA111700ULL;
+  for (const FamilyCase& fc : cases) {
+    for (const Dist k : {2, 3, 1000}) {
+      for (const double alpha : {1.0, 2.0}) {
+        for (int trial = 0; trial < 3; ++trial) {
+          ++seed;
+          SCOPED_TRACE(std::string(fc.label) + "/k=" + std::to_string(k) +
+                       "/alpha=" + std::to_string(alpha) +
+                       "/seed=" + std::to_string(seed));
+          Rng rng(seed);
+          const Graph tree = makeRandomTree(18, rng);
+          const StrategyProfile start =
+              StrategyProfile::randomOwnership(tree, rng);
+          DynamicsConfig config;
+          config.params = GameParams::max(alpha, k);
+          if (fc.heteroAlpha) {
+            config.params.playerAlpha.resize(18);
+            for (double& a : config.params.playerAlpha) {
+              a = 0.25 + alpha * rng.nextDouble();
+            }
+          }
+          config.schedule = fc.schedule;
+          config.roundMode = fc.roundMode;
+          config.moveRule = fc.moveRule;
+          if (fc.moveRule == MoveRule::kNoisy) {
+            config.temperature = 0.5;
+            config.noiseSeed = rng.next();
+          }
+          config.maxRounds = 200;
+          const DynamicsResult result = runBestResponseDynamics(start, config);
+          if (result.outcome != DynamicsOutcome::kConverged) continue;
+          ++converged;
+          EXPECT_TRUE(isLke(result.graph, result.profile, config.params));
+        }
+      }
+    }
+  }
+  // The property is vacuous if nothing ever converges; the grids above
+  // are chosen so plenty of runs do.
+  EXPECT_GT(converged, 20);
+}
+
+TEST(FamilyProperty, ConvergedChurnRunsCertifyLkeOnActivePopulation) {
+  int converged = 0;
+  std::uint64_t seed = 0xFA1C4B00ULL;
+  for (const Dist k : {2, 3}) {
+    for (const double alpha : {1.0, 2.0}) {
+      for (int trial = 0; trial < 3; ++trial) {
+        ++seed;
+        SCOPED_TRACE("k=" + std::to_string(k) +
+                     "/alpha=" + std::to_string(alpha) +
+                     "/seed=" + std::to_string(seed));
+        Rng rng(seed);
+        const Graph tree = makeRandomTree(16, rng);
+        const StrategyProfile start =
+            StrategyProfile::randomOwnership(tree, rng);
+        ChurnConfig config;
+        config.params = GameParams::max(alpha, k);
+        config.churnRounds = 9;
+        config.churnPeriod = 3;
+        config.settleRounds = 80;
+        config.churnSeed = rng.next();
+        const ChurnResult result = runChurnDynamics(start, config);
+        if (result.outcome != DynamicsOutcome::kConverged) continue;
+        ++converged;
+        const CompactState compact =
+            compactActive(result.graph, result.profile, result.active);
+        EXPECT_TRUE(isLke(compact.graph, compact.profile, config.params));
+        // Departed slots must hold no state at all: isolated, empty-
+        // handed, and therefore trivially quiet.
+        for (NodeId u = 0; u < result.graph.nodeCount(); ++u) {
+          if (result.active[static_cast<std::size_t>(u)]) continue;
+          EXPECT_TRUE(result.profile.strategyOf(u).empty());
+          EXPECT_EQ(result.graph.degree(u), 0);
+        }
+      }
+    }
+  }
+  EXPECT_GT(converged, 5);
+}
+
+}  // namespace
+}  // namespace ncg

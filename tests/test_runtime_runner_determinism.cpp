@@ -138,6 +138,62 @@ TEST(RunnerDeterminism, BuiltinSmokeScenarioIsProcessCountInvariant) {
             bitPatterns(runScenario(*smoke, eight).results));
 }
 
+/// The PR-9 workload families (runtime/scenarios_families.cpp) — every
+/// new scenario must hold the same bitwise process-count invariance the
+/// fixture and smoke grids do.
+const char* const kFamilyScenarios[] = {
+    "family_hetero_alpha", "family_churn", "family_simultaneous",
+    "family_adversarial", "family_noisy"};
+
+TEST(RunnerDeterminism, FamilyScenariosAreProcessCountInvariant) {
+  for (const char* name : kFamilyScenarios) {
+    SCOPED_TRACE(name);
+    const Scenario* scenario = findScenario(name);
+    ASSERT_NE(scenario, nullptr);
+    RunOptions one;
+    one.procs = 1;
+    RunOptions two;
+    two.procs = 2;
+    RunOptions eight;
+    eight.procs = 8;
+    const RunReport reference = runScenario(*scenario, one);
+    ASSERT_TRUE(reference.complete);
+    const std::vector<std::uint64_t> bits = bitPatterns(reference.results);
+    EXPECT_EQ(bits, bitPatterns(runScenario(*scenario, two).results));
+    EXPECT_EQ(bits, bitPatterns(runScenario(*scenario, eight).results));
+  }
+}
+
+TEST(CheckpointResume, FamilyScenarioKillAndResumeEqualsUninterrupted) {
+  for (const char* name : kFamilyScenarios) {
+    SCOPED_TRACE(name);
+    const Scenario* scenario = findScenario(name);
+    ASSERT_NE(scenario, nullptr);
+    RunOptions plain;
+    plain.procs = 1;
+    const std::vector<std::uint64_t> uninterrupted =
+        bitPatterns(runScenario(*scenario, plain).results);
+
+    const std::string path = tempPath(name);
+    std::remove(path.c_str());
+    RunOptions first;
+    first.procs = 2;
+    first.checkpointPath = path;
+    first.maxUnits = 5;  // the 2×2×3 family grids have 12 units
+    const RunReport partial = runScenario(*scenario, first);
+    EXPECT_FALSE(partial.complete);
+
+    RunOptions resume;
+    resume.procs = 4;
+    resume.checkpointPath = path;
+    const RunReport resumed = runScenario(*scenario, resume);
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.unitsFromCheckpoint, 5U);
+    EXPECT_EQ(bitPatterns(resumed.results), uninterrupted);
+    std::remove(path.c_str());
+  }
+}
+
 TEST(CheckpointResume, KillAndResumeEqualsUninterruptedRun) {
   const std::vector<std::uint64_t> uninterrupted =
       bitPatterns(runWithProcs(1).results);
