@@ -1,121 +1,13 @@
-// Ablation bench: design choices of the dynamics engine.
+// Ablation bench: design choices of the dynamics engine — exact vs
+// greedy move rule, best-response cache on/off.
 //
-//   1. Move rule — exact best response (paper protocol, needs the
-//      dominating-set solver) vs greedy single-edge moves (polynomial).
-//      Measures equilibrium quality, rounds and wall time.
-//   2. Best-response cache — view-fingerprint memoization on/off.
-//      Measures wall time only (results are provably identical, which
-//      test_dynamics_schedules.Cache asserts).
-#include <cstdio>
+// Ported onto the runtime scenario registry: the grid, trial bodies and
+// rendering live in src/runtime/scenarios_legacy.cpp. The ported
+// output keeps exactly the deterministic columns (quality, rounds,
+// converged) — the legacy wall-clock columns moved to the --timings
+// sidecar, where timings belong (they must never enter a manifest).
+// Run through `ncg_run` for multi-process sharding (NCG_PROCS) and
+// checkpoint/resume.
+#include "runtime/runner.hpp"
 
-#include "bench_common.hpp"
-#include "stats/experiment.hpp"
-#include "parallel/thread_pool.hpp"
-#include "stats/table.hpp"
-#include "support/string_util.hpp"
-#include "support/timer.hpp"
-
-using namespace ncg;
-
-namespace {
-
-struct AblationOutcome {
-  double quality = 0.0;
-  double rounds = 0.0;
-  double seconds = 0.0;
-  int converged = 0;
-};
-
-AblationOutcome measure(ThreadPool& pool, const bench::TrialSpec& spec,
-                        MoveRule rule, bool cache, int trials,
-                        std::uint64_t seed) {
-  RunningStat quality;
-  RunningStat rounds;
-  WallTimer timer;
-  const auto outcomes = ::ncg::runTrials<bench::TrialOutcome>(
-      pool, trials, seed, [&](int, Rng& rng) {
-        const Graph initial = bench::makeInitialGraph(spec, rng);
-        const StrategyProfile profile =
-            StrategyProfile::randomOwnership(initial, rng);
-        DynamicsConfig config;
-        config.params = spec.params;
-        config.maxRounds = spec.maxRounds;
-        config.moveRule = rule;
-        config.useBestResponseCache = cache;
-        const DynamicsResult result =
-            runBestResponseDynamics(profile, config);
-        bench::TrialOutcome outcome;
-        outcome.outcome = result.outcome;
-        outcome.rounds = result.rounds;
-        outcome.features =
-            computeFeatures(result.graph, result.profile, spec.params);
-        return outcome;
-      });
-  AblationOutcome result;
-  result.seconds = timer.seconds();
-  for (const auto& o : outcomes) {
-    if (o.outcome != DynamicsOutcome::kConverged) continue;
-    ++result.converged;
-    quality.push(o.features.quality);
-    rounds.push(static_cast<double>(o.rounds));
-  }
-  result.quality = quality.mean();
-  result.rounds = rounds.mean();
-  return result;
-}
-
-}  // namespace
-
-int main() {
-  bench::printHeader("Ablation — move rule and best-response cache",
-                     "design choices called out in DESIGN.md §5");
-  ThreadPool pool(bench::threadsFromEnv());
-  const int trials = bench::trialsFromEnv();
-
-  std::printf("--- move rule: exact best response vs greedy single-edge "
-              "(trees, n=100) ---\n");
-  TextTable moveTable({"alpha", "k", "rule", "quality", "rounds",
-                       "wall s", "converged"});
-  for (const double alpha : {0.5, 2.0, 10.0}) {
-    for (const Dist k : {3, 1000}) {
-      bench::TrialSpec spec;
-      spec.source = bench::Source::kRandomTree;
-      spec.n = 100;
-      spec.params = GameParams::max(alpha, k);
-      const std::uint64_t seed =
-          0xAB1A0ULL + static_cast<std::uint64_t>(alpha * 100 + k);
-      const AblationOutcome exact =
-          measure(pool, spec, MoveRule::kBestResponse, true, trials, seed);
-      const AblationOutcome greedy =
-          measure(pool, spec, MoveRule::kGreedy, true, trials, seed);
-      moveTable.addRow({formatFixed(alpha, 1), std::to_string(k), "exact",
-                        formatFixed(exact.quality, 3),
-                        formatFixed(exact.rounds, 2),
-                        formatFixed(exact.seconds, 2),
-                        std::to_string(exact.converged)});
-      moveTable.addRow({formatFixed(alpha, 1), std::to_string(k), "greedy",
-                        formatFixed(greedy.quality, 3),
-                        formatFixed(greedy.rounds, 2),
-                        formatFixed(greedy.seconds, 2),
-                        std::to_string(greedy.converged)});
-    }
-  }
-  std::printf("%s\n", moveTable.toString().c_str());
-
-  std::printf("--- best-response cache on/off (identical results; wall "
-              "time only) ---\n");
-  TextTable cacheTable({"source", "alpha", "k", "cache", "wall s"});
-  for (const bool cache : {true, false}) {
-    bench::TrialSpec spec;
-    spec.source = bench::Source::kErdosRenyi;
-    spec.n = 100;
-    spec.p = 0.1;
-    spec.params = GameParams::max(1.0, 3);
-    const AblationOutcome run = measure(
-        pool, spec, MoveRule::kBestResponse, cache, trials, 0xAB1A1ULL);
-    cacheTable.addRow({"G(100,0.1)", "1.0", "3", cache ? "on" : "off",
-                       formatFixed(run.seconds, 2)});
-  }
-  std::printf("%s\n", cacheTable.toString().c_str());
-  return 0;
-}
+int main() { return ncg::runtime::runLegacyHarness("ablation_dynamics"); }

@@ -19,63 +19,14 @@ PlayerView buildPlayerView(const Graph& g, const StrategyProfile& profile,
   return pv;
 }
 
-template <typename AnyGraph>
-static void buildPlayerViewImpl(const AnyGraph& g,
-                                const StrategyProfile& profile, NodeId u,
-                                Dist k, BfsEngine& engine, PlayerView& out) {
-  NCG_REQUIRE(g.nodeCount() == profile.playerCount(),
-              "graph/profile size mismatch");
-  NCG_REQUIRE(k >= 1, "view radius k must be >= 1, got " << k);
-
-  out.globalPlayer = u;
-  out.eccInView = 0;
-  out.ownBoughtLocal.clear();
-  out.freeNeighborsLocal.clear();
-  out.fringeLocal.clear();
-  buildView(g, u, k, engine, out.view);
-
-  // Distances from the center inside the induced ball coincide with
-  // distances in G (shortest paths to nodes at distance <= k stay inside
-  // the ball), so the fringe and the in-view eccentricity come straight
-  // from the extraction BFS's distances (LocalView::centerDist) — no
-  // second BFS over the view graph.
-  for (NodeId v = 0; v < out.view.graph.nodeCount(); ++v) {
-    const Dist d = out.view.centerDist[static_cast<std::size_t>(v)];
-    NCG_ASSERT(d != kUnreachable, "view must be connected to its center");
-    out.eccInView = std::max(out.eccInView, d);
-    if (d == k) out.fringeLocal.push_back(v);
-  }
-
-  out.alphaBought = static_cast<double>(profile.boughtCount(u));
-  for (NodeId v : profile.strategyOf(u)) {
-    NCG_REQUIRE(out.view.contains(v),
-                "strategy endpoint " << v << " of player " << u
-                                     << " escaped the view — corrupt state");
-    out.ownBoughtLocal.push_back(
-        out.view.toLocal[static_cast<std::size_t>(v)]);
-  }
-  std::sort(out.ownBoughtLocal.begin(), out.ownBoughtLocal.end());
-
-  // u was validated above (strategyOf range-checks it), so the unchecked
-  // row is safe for either representation.
-  for (NodeId v : neighborRow(g, u)) {
-    const auto& sigmaV = profile.strategyOf(v);
-    if (std::binary_search(sigmaV.begin(), sigmaV.end(), u)) {
-      out.freeNeighborsLocal.push_back(
-          out.view.toLocal[static_cast<std::size_t>(v)]);
-    }
-  }
-  std::sort(out.freeNeighborsLocal.begin(), out.freeNeighborsLocal.end());
-}
-
 void buildPlayerView(const Graph& g, const StrategyProfile& profile,
                      NodeId u, Dist k, BfsEngine& engine, PlayerView& out) {
-  buildPlayerViewImpl(g, profile, u, k, engine, out);
+  buildPlayerViewT(g, profile, u, k, engine, out);
 }
 
 void buildPlayerView(const CsrGraph& g, const StrategyProfile& profile,
                      NodeId u, Dist k, BfsEngine& engine, PlayerView& out) {
-  buildPlayerViewImpl(g, profile, u, k, engine, out);
+  buildPlayerViewT(g, profile, u, k, engine, out);
 }
 
 std::uint64_t viewFingerprint(const PlayerView& pv) {

@@ -1,0 +1,45 @@
+// Barabási–Albert preferential attachment — the honest large instance.
+//
+// The out-of-core scenarios need graphs whose degree structure looks
+// like real networks (a few hubs, a long low-degree tail) at sizes that
+// do not fit the in-RAM pipeline. BA gives exactly that with one knob:
+// each arriving node buys `attach` edges to existing nodes chosen with
+// probability proportional to degree. The newcomer owns the edges it
+// buys (it is the player who "joined the network"), which doubles as
+// the initial strategy profile of the large-scale dynamics family.
+//
+// Determinism: the edge sequence is a pure function of (nodes, attach,
+// seed) — the generator never consults storage layout, so the same
+// parameters produce the same network for any partition count or
+// backend (the property the differential wall relies on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/arena.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+
+/// Parameters of one BA instance.
+struct BarabasiAlbertParams {
+  NodeId nodes = 0;         ///< total nodes n
+  NodeId attach = 2;        ///< edges bought per arriving node (m)
+  std::uint64_t seed = 1;   ///< generator seed
+};
+
+/// The edge sequence of one BA instance: a complete seed clique on
+/// `attach + 1` nodes (each edge owned by its later endpoint), then for
+/// every arriving node t its `attach` preferential picks (owned by t).
+/// Edges are emitted in arrival order; use CsrArena::build to get the
+/// canonical sorted-row arena regardless of that order.
+std::vector<ArenaEdge> barabasiAlbertEdges(const BarabasiAlbertParams& p);
+
+/// Builds the arena file of a BA instance (generation streams straight
+/// into the arena builder; no Graph intermediate).
+void buildBarabasiAlbertArena(const std::string& path,
+                              const BarabasiAlbertParams& p,
+                              const ArenaOptions& options = {});
+
+}  // namespace ncg

@@ -23,14 +23,12 @@ void BfsEngine::prepare(NodeId n) {
 
 const std::vector<Dist>& BfsEngine::run(const Graph& g, NodeId source,
                                         Dist maxDepth) {
-  const NodeId sources[1] = {source};
-  return runMultiImpl(g, sources, maxDepth);
+  return runT(g, source, maxDepth);
 }
 
 const std::vector<Dist>& BfsEngine::run(const CsrGraph& g, NodeId source,
                                         Dist maxDepth) {
-  const NodeId sources[1] = {source};
-  return runMultiImpl(g, sources, maxDepth);
+  return runT(g, source, maxDepth);
 }
 
 const std::vector<Dist>& BfsEngine::runMulti(const Graph& g,
@@ -43,37 +41,6 @@ const std::vector<Dist>& BfsEngine::runMulti(const CsrGraph& g,
                                              std::span<const NodeId> sources,
                                              Dist maxDepth) {
   return runMultiImpl(g, sources, maxDepth);
-}
-
-template <typename AnyGraph>
-const std::vector<Dist>& BfsEngine::runMultiImpl(
-    const AnyGraph& g, std::span<const NodeId> sources, Dist maxDepth) {
-  NCG_REQUIRE(!sources.empty(), "BFS requires at least one source");
-  prepare(g.nodeCount());
-  for (NodeId s : sources) {
-    NCG_REQUIRE(s >= 0 && s < g.nodeCount(),
-                "BFS source " << s << " out of range");
-    if (dist_[static_cast<std::size_t>(s)] != 0) {
-      dist_[static_cast<std::size_t>(s)] = 0;
-      queue_.push_back(s);
-    }
-  }
-  // Classic array-backed frontier walk; queue_ doubles as the visit order.
-  // Every frontier node came off the queue, so its neighbor row needs no
-  // range re-check.
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const NodeId u = queue_[head];
-    const Dist du = dist_[static_cast<std::size_t>(u)];
-    if (maxDepth >= 0 && du >= maxDepth) continue;
-    for (NodeId v : neighborRow(g, u)) {
-      auto& dv = dist_[static_cast<std::size_t>(v)];
-      if (dv == kUnreachable) {
-        dv = du + 1;
-        queue_.push_back(v);
-      }
-    }
-  }
-  return dist_;
 }
 
 Dist BfsEngine::eccentricityOfLastRun(const Graph& g) const {

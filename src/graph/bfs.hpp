@@ -20,6 +20,7 @@
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "support/error.hpp"
 
 namespace ncg {
 
@@ -60,6 +61,27 @@ class BfsEngine {
                                     std::span<const NodeId> sources,
                                     Dist maxDepth = -1);
 
+  /// Generic entry points for any adjacency backend with `nodeCount()`
+  /// and a `neighborRow(g, u)` overload (found by ADL). The paged
+  /// out-of-core backend (storage/paged_graph.hpp) runs through these;
+  /// the loop holds at most one neighbor row at a time, so backends
+  /// whose rows are only valid until the next `neighborRow` call (a
+  /// faulting, evicting pager) are safe here.
+  template <typename AnyGraph>
+  const std::vector<Dist>& runT(const AnyGraph& g, NodeId source,
+                                Dist maxDepth = -1) {
+    const NodeId sources[1] = {source};
+    return runMultiImpl(g, sources, maxDepth);
+  }
+
+  /// As runT for multiple sources. Requires at least one source.
+  template <typename AnyGraph>
+  const std::vector<Dist>& runMultiT(const AnyGraph& g,
+                                     std::span<const NodeId> sources,
+                                     Dist maxDepth = -1) {
+    return runMultiImpl(g, sources, maxDepth);
+  }
+
   /// Distances from the last run (valid until the next run on this engine).
   const std::vector<Dist>& distances() const { return dist_; }
 
@@ -76,7 +98,35 @@ class BfsEngine {
   template <typename AnyGraph>
   const std::vector<Dist>& runMultiImpl(const AnyGraph& g,
                                         std::span<const NodeId> sources,
-                                        Dist maxDepth);
+                                        Dist maxDepth) {
+    NCG_REQUIRE(!sources.empty(), "BFS requires at least one source");
+    prepare(g.nodeCount());
+    for (NodeId s : sources) {
+      NCG_REQUIRE(s >= 0 && s < g.nodeCount(),
+                  "BFS source " << s << " out of range");
+      if (dist_[static_cast<std::size_t>(s)] != 0) {
+        dist_[static_cast<std::size_t>(s)] = 0;
+        queue_.push_back(s);
+      }
+    }
+    // Classic array-backed frontier walk; queue_ doubles as the visit
+    // order. Every frontier node came off the queue, so its neighbor row
+    // needs no range re-check. Exactly one neighbor row is live per
+    // iteration — the contract paged backends rely on.
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const NodeId u = queue_[head];
+      const Dist du = dist_[static_cast<std::size_t>(u)];
+      if (maxDepth >= 0 && du >= maxDepth) continue;
+      for (NodeId v : neighborRow(g, u)) {
+        auto& dv = dist_[static_cast<std::size_t>(v)];
+        if (dv == kUnreachable) {
+          dv = du + 1;
+          queue_.push_back(v);
+        }
+      }
+    }
+    return dist_;
+  }
 
   std::vector<Dist> dist_;
   std::vector<NodeId> queue_;

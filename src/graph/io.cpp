@@ -1,11 +1,63 @@
 #include "graph/io.hpp"
 
+#include <fstream>
+#include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "support/error.hpp"
+#include "support/string_util.hpp"
 
 namespace ncg {
+
+namespace {
+
+/// Reads the next whitespace-separated token and strictly parses it as
+/// a 64-bit integer. `what` names the token for error messages.
+long long requireInteger(std::istream& in, const std::string& what) {
+  std::string token;
+  NCG_REQUIRE(static_cast<bool>(in >> token), what << " missing");
+  const std::optional<long long> value = parseInteger64(token);
+  NCG_REQUIRE(value.has_value(),
+              what << " '" << token << "' is not an integer");
+  return *value;
+}
+
+/// The shared strict parser: validates the header and every edge,
+/// invoking `perEdge(u, v)` for each with 0 <= u < v < n guaranteed,
+/// and rejects any trailing token. Duplicate detection is left to the
+/// consumer (Graph::addEdge or the arena builder's row seal), which
+/// already rejects them.
+template <typename PerEdge>
+NodeId parseEdgeListStrict(std::istream& in, PerEdge&& perEdge) {
+  const long long n = requireInteger(in, "edge list header node count");
+  const long long m = requireInteger(in, "edge list header edge count");
+  NCG_REQUIRE(n >= 0 && n <= std::numeric_limits<NodeId>::max(),
+              "node count " << n << " out of range");
+  NCG_REQUIRE(m >= 0, "edge count must be non-negative, got " << m);
+  NCG_REQUIRE(m <= static_cast<long long>(n) * (n - 1) / 2,
+              "edge count " << m << " exceeds the simple-graph maximum for n="
+                            << n);
+  for (long long i = 0; i < m; ++i) {
+    const std::string label = "edge " + std::to_string(i);
+    const long long u = requireInteger(in, label + " endpoint");
+    const long long v = requireInteger(in, label + " endpoint");
+    NCG_REQUIRE(u != v, label << " (" << u << "," << v << ") is a self-loop");
+    NCG_REQUIRE(u >= 0 && u < v && v < n,
+                label << " (" << u << "," << v
+                      << ") violates 0 <= u < v < n for n=" << n);
+    perEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  std::string trailing;
+  NCG_REQUIRE(!(in >> trailing),
+              "trailing garbage '" << trailing << "' after edge list");
+  return static_cast<NodeId>(n);
+}
+
+}  // namespace
 
 void writeEdgeList(std::ostream& out, const Graph& g) {
   out << g.nodeCount() << ' ' << g.edgeCount() << '\n';
@@ -21,29 +73,47 @@ std::string toEdgeListString(const Graph& g) {
 }
 
 Graph readEdgeList(std::istream& in) {
-  long long n = 0;
-  long long m = 0;
-  NCG_REQUIRE(static_cast<bool>(in >> n >> m),
-              "edge list header '<n> <m>' missing or malformed");
-  NCG_REQUIRE(n >= 0 && n <= std::numeric_limits<NodeId>::max(),
-              "node count " << n << " out of range");
-  NCG_REQUIRE(m >= 0, "edge count must be non-negative");
-  Graph g(static_cast<NodeId>(n));
-  for (long long i = 0; i < m; ++i) {
-    long long u = 0;
-    long long v = 0;
-    NCG_REQUIRE(static_cast<bool>(in >> u >> v),
-                "edge " << i << " missing or malformed");
-    NCG_REQUIRE(u >= 0 && u < n && v >= 0 && v < n,
-                "edge (" << u << "," << v << ") out of range for n=" << n);
-    g.addEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  // Buffering the edges costs O(m) — the same order as the Graph being
+  // built; callers who can't afford that use buildArenaFromEdgeList.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId n = parseEdgeListStrict(
+      in, [&edges](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  Graph out(n);
+  for (const auto& [u, v] : edges) {
+    NCG_REQUIRE(out.addEdge(u, v),
+                "duplicate edge (" << u << "," << v << ")");
   }
-  return g;
+  return out;
 }
 
 Graph fromEdgeListString(const std::string& text) {
   std::istringstream iss(text);
   return readEdgeList(iss);
+}
+
+void buildArenaFromEdgeList(const std::string& edgeListPath,
+                            const std::string& arenaPath,
+                            const ArenaOptions& options) {
+  // Probe pass for the header (the arena builder needs nodeCount up
+  // front), then one fresh parse per build pass. Validation runs on
+  // every pass — a file mutated between passes fails loudly instead of
+  // desynchronizing the builder.
+  NodeId nodeCount = 0;
+  {
+    std::ifstream probe(edgeListPath);
+    NCG_REQUIRE(probe.is_open(), "cannot read " << edgeListPath);
+    nodeCount = parseEdgeListStrict(probe, [](NodeId, NodeId) {});
+  }
+  CsrArena::buildStreaming(
+      arenaPath, nodeCount,
+      [&edgeListPath](const std::function<void(const ArenaEdge&)>& sink) {
+        std::ifstream in(edgeListPath);
+        NCG_REQUIRE(in.is_open(), "cannot read " << edgeListPath);
+        parseEdgeListStrict(in, [&sink](NodeId u, NodeId v) {
+          sink(ArenaEdge{u, v, true, false});  // first endpoint buys
+        });
+      },
+      options);
 }
 
 std::string toDot(const Graph& g, const std::string& name) {

@@ -4,12 +4,22 @@
 // Edge-list format:
 //   line 1: "<n> <m>"
 //   next m lines: "<u> <v>" with 0 <= u < v < n
+//
+// Parsing is strict: every token must be a complete decimal integer
+// ("3x" and hex are rejected, not prefix-parsed; 64-bit overflow is
+// rejected, not wrapped), edges must satisfy 0 <= u < v < n (which
+// rules out self-loops and negative endpoints), duplicates are
+// rejected, and any token after the m-th edge is trailing garbage.
+// A loader that silently truncates or re-interprets its input would
+// corrupt an experiment upstream of every determinism check — so the
+// reader refuses instead.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "graph/graph.hpp"
+#include "storage/arena.hpp"
 
 namespace ncg {
 
@@ -24,6 +34,17 @@ Graph readEdgeList(std::istream& in);
 
 /// Parses the edge-list format from a string.
 Graph fromEdgeListString(const std::string& text);
+
+/// Streams an edge-list file straight into an arena at `arenaPath`
+/// without constructing an in-RAM Graph: the file is parsed twice (once
+/// per arena build pass) with the same strict validation as
+/// readEdgeList, so ingest memory is the arena builder's O(n) counters,
+/// not O(m) edges. Each edge is owned by its first (smaller) endpoint —
+/// the edge-list format carries no ownership, and a fixed convention
+/// keeps the resulting arena a pure function of the file's bytes.
+void buildArenaFromEdgeList(const std::string& edgeListPath,
+                            const std::string& arenaPath,
+                            const ArenaOptions& options = {});
 
 /// Graphviz DOT (undirected) representation.
 std::string toDot(const Graph& g, const std::string& name = "G");

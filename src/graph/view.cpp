@@ -38,52 +38,14 @@ void removeCenterInto(const Graph& viewGraph, NodeId center, CsrGraph& out) {
   out.assignViewMinusCenter(viewGraph);
 }
 
-namespace {
-
-template <typename AnyGraph>
-void buildViewImpl(const AnyGraph& g, NodeId center, Dist radius,
-                   BfsEngine& engine, LocalView& out) {
-  NCG_REQUIRE(radius >= 0, "view radius must be non-negative");
-  engine.run(g, center, radius);
-  const std::vector<NodeId>& members = engine.visited();
-
-  out.radius = radius;
-  out.toGlobal = members;
-  out.toLocal.assign(static_cast<std::size_t>(g.nodeCount()), NodeId{-1});
-  const std::vector<Dist>& dist = engine.distances();
-  out.centerDist.resize(members.size());
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    out.toLocal[static_cast<std::size_t>(members[i])] =
-        static_cast<NodeId>(i);
-    out.centerDist[i] = dist[static_cast<std::size_t>(members[i])];
-  }
-  out.center = out.toLocal[static_cast<std::size_t>(center)];
-  NCG_ASSERT(out.center == 0, "BFS order must place the center first");
-
-  out.graph.reset(static_cast<NodeId>(members.size()));
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    const NodeId globalU = members[i];
-    for (NodeId globalV : neighborRow(g, globalU)) {
-      const NodeId localV = out.toLocal[static_cast<std::size_t>(globalV)];
-      if (localV >= 0 && static_cast<NodeId>(i) < localV) {
-        // Induced edges are enumerated once (i < localV), so skip the
-        // membership scan of addEdge.
-        out.graph.addEdgeNew(static_cast<NodeId>(i), localV);
-      }
-    }
-  }
-}
-
-}  // namespace
-
 void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
                LocalView& out) {
-  buildViewImpl(g, center, radius, engine, out);
+  buildViewT(g, center, radius, engine, out);
 }
 
 void buildView(const CsrGraph& g, NodeId center, Dist radius,
                BfsEngine& engine, LocalView& out) {
-  buildViewImpl(g, center, radius, engine, out);
+  buildViewT(g, center, radius, engine, out);
 }
 
 }  // namespace ncg

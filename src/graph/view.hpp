@@ -62,6 +62,47 @@ void buildView(const Graph& g, NodeId center, Dist radius, BfsEngine& engine,
 void buildView(const CsrGraph& g, NodeId center, Dist radius,
                BfsEngine& engine, LocalView& out);
 
+/// Generic view extraction over any adjacency backend with `nodeCount()`
+/// and an ADL-visible `neighborRow(g, u)` (the surface BfsEngine::runT
+/// consumes). The extraction loop holds at most one neighbor row at a
+/// time, so paged backends whose rows are invalidated by the next
+/// `neighborRow` call are safe. The concrete buildView overloads above
+/// delegate here, so every backend with matching row order yields a
+/// byte-identical LocalView.
+template <typename AnyGraph>
+void buildViewT(const AnyGraph& g, NodeId center, Dist radius,
+                BfsEngine& engine, LocalView& out) {
+  NCG_REQUIRE(radius >= 0, "view radius must be non-negative");
+  engine.runT(g, center, radius);
+  const std::vector<NodeId>& members = engine.visited();
+
+  out.radius = radius;
+  out.toGlobal = members;
+  out.toLocal.assign(static_cast<std::size_t>(g.nodeCount()), NodeId{-1});
+  const std::vector<Dist>& dist = engine.distances();
+  out.centerDist.resize(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    out.toLocal[static_cast<std::size_t>(members[i])] =
+        static_cast<NodeId>(i);
+    out.centerDist[i] = dist[static_cast<std::size_t>(members[i])];
+  }
+  out.center = out.toLocal[static_cast<std::size_t>(center)];
+  NCG_ASSERT(out.center == 0, "BFS order must place the center first");
+
+  out.graph.reset(static_cast<NodeId>(members.size()));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const NodeId globalU = members[i];
+    for (NodeId globalV : neighborRow(g, globalU)) {
+      const NodeId localV = out.toLocal[static_cast<std::size_t>(globalV)];
+      if (localV >= 0 && static_cast<NodeId>(i) < localV) {
+        // Induced edges are enumerated once (i < localV), so skip the
+        // membership scan of addEdge.
+        out.graph.addEdgeNew(static_cast<NodeId>(i), localV);
+      }
+    }
+  }
+}
+
 /// Rebuilds `out` as the view graph minus its center — the "H₀" both
 /// best-response solvers work on (Propositions 2.1/2.2): node i of `out`
 /// corresponds to view node i+1. The center must have local id 0

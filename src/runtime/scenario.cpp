@@ -20,6 +20,7 @@ namespace detail {
 void appendBuiltinScenarios(std::vector<Scenario>& registry);
 void appendLegacyPortScenarios(std::vector<Scenario>& registry);
 void appendFamilyScenarios(std::vector<Scenario>& registry);
+void appendOutOfCoreScenarios(std::vector<Scenario>& registry);
 }  // namespace detail
 
 double ScenarioPoint::param(std::string_view name) const {
@@ -117,6 +118,7 @@ std::vector<Scenario>& mutableRegistry() {
     detail::appendBuiltinScenarios(builtins);
     detail::appendLegacyPortScenarios(builtins);
     detail::appendFamilyScenarios(builtins);
+    detail::appendOutOfCoreScenarios(builtins);
     return builtins;
   }();
   return registry;

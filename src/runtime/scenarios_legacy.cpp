@@ -871,6 +871,149 @@ Scenario makeLbConstructions() {
   return s;
 }
 
+// --------------------------------------------------------------------
+// ablation_dynamics — design choices of the dynamics engine. The
+// legacy harness printed wall-clock columns next to the deterministic
+// ones; the port keeps exactly the deterministic set (quality, rounds,
+// converged count) so the rendered text is a pure function of the
+// trials — wall time now comes from the --timings sidecar like every
+// other scenario. Trial bodies replicate the legacy measure() loop
+// draw-for-draw (pinned by test_runtime_scenario.cpp).
+// --------------------------------------------------------------------
+
+std::vector<double> ablationTrial(const TrialSpec& spec, MoveRule rule,
+                                  bool cache, Rng& rng) {
+  const Graph initial = makeInitialGraph(spec, rng);
+  const StrategyProfile profile =
+      StrategyProfile::randomOwnership(initial, rng);
+  DynamicsConfig config;
+  config.params = spec.params;
+  config.maxRounds = spec.maxRounds;
+  config.moveRule = rule;
+  config.useBestResponseCache = cache;
+  const DynamicsResult result = runBestResponseDynamics(profile, config);
+  const NetworkFeatures features =
+      computeFeatures(result.graph, result.profile, spec.params);
+  return {outcomeCode(result.outcome), static_cast<double>(result.rounds),
+          features.quality};
+}
+
+/// Converged-only aggregation of one ablation point, the legacy
+/// measure() reduction: mean quality, mean rounds, converged count.
+struct AblationCell {
+  RunningStat quality;
+  RunningStat rounds;
+  int converged = 0;
+};
+
+AblationCell ablationCell(const ScenarioResults& results, int point,
+                          int trials) {
+  AblationCell cell;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double>& m = results.metrics(point, t);
+    if (m[0] != 0.0) continue;
+    ++cell.converged;
+    cell.quality.push(m[2]);
+    cell.rounds.push(m[1]);
+  }
+  return cell;
+}
+
+Scenario makeAblationDynamics() {
+  Scenario s;
+  s.name = "ablation_dynamics";
+  s.description =
+      "Ablation: exact vs greedy move rule and best-response cache on/off "
+      "(deterministic columns; wall time via --timings)";
+  s.metricNames = {"outcome", "rounds", "quality"};
+  s.makePoints = [] {
+    std::vector<ScenarioPoint> points;
+    // Part 0 — move rule on trees, n=100: the legacy loop ran exact and
+    // greedy on the *same* seed, so the paired points share baseSeed.
+    for (const double alpha : {0.5, 2.0, 10.0}) {
+      for (const Dist k : {3, 1000}) {
+        for (const double rule : {0.0, 1.0}) {  // 0 = exact, 1 = greedy
+          ScenarioPoint point;
+          point.params = {{"alpha", alpha},
+                          {"k", static_cast<double>(k)},
+                          {"rule", rule}};
+          point.baseSeed =
+              0xAB1A0ULL + static_cast<std::uint64_t>(alpha * 100 + k);
+          point.trials = env::trials();
+          points.push_back(std::move(point));
+        }
+      }
+    }
+    // Part 1 — cache on/off on G(100, 0.1); results are provably
+    // identical (the renderer shows both rows to pin that).
+    for (const double cache : {1.0, 0.0}) {
+      ScenarioPoint point;
+      point.params = {{"cache", cache}};
+      point.baseSeed = 0xAB1A1ULL;
+      point.trials = env::trials();
+      points.push_back(std::move(point));
+    }
+    return points;
+  };
+  s.runTrialFn = [](const ScenarioPoint& point, int /*trial*/, Rng& rng) {
+    TrialSpec spec;
+    spec.n = 100;
+    if (point.tryParam("cache").has_value()) {
+      spec.source = Source::kErdosRenyi;
+      spec.p = 0.1;
+      spec.params = GameParams::max(1.0, 3);
+      return ablationTrial(spec, MoveRule::kBestResponse,
+                           point.param("cache") == 1.0, rng);
+    }
+    spec.source = Source::kRandomTree;
+    spec.params = GameParams::max(point.param("alpha"),
+                                  static_cast<Dist>(point.param("k")));
+    const MoveRule rule = point.param("rule") == 0.0 ? MoveRule::kBestResponse
+                                                     : MoveRule::kGreedy;
+    return ablationTrial(spec, rule, /*cache=*/true, rng);
+  };
+  s.render = [](const Scenario&, const std::vector<ScenarioPoint>& points,
+                const ScenarioResults& results) {
+    std::string out = headerText(
+        "Ablation — move rule and best-response cache",
+        "design choices called out in DESIGN.md §5");
+    out += "--- move rule: exact best response vs greedy single-edge "
+           "(trees, n=100) ---\n";
+    TextTable moveTable(
+        {"alpha", "k", "rule", "quality", "rounds", "converged"});
+    TextTable cacheTable(
+        {"source", "alpha", "k", "cache", "quality", "rounds", "converged"});
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const ScenarioPoint& point = points[p];
+      const AblationCell cell =
+          ablationCell(results, static_cast<int>(p), point.trials);
+      if (point.tryParam("cache").has_value()) {
+        cacheTable.addRow({"G(100,0.1)", "1.0", "3",
+                           point.param("cache") == 1.0 ? "on" : "off",
+                           formatFixed(cell.quality.mean(), 3),
+                           formatFixed(cell.rounds.mean(), 2),
+                           std::to_string(cell.converged)});
+        continue;
+      }
+      moveTable.addRow(
+          {formatFixed(point.param("alpha"), 1),
+           std::to_string(static_cast<Dist>(point.param("k"))),
+           point.param("rule") == 0.0 ? "exact" : "greedy",
+           formatFixed(cell.quality.mean(), 3),
+           formatFixed(cell.rounds.mean(), 2),
+           std::to_string(cell.converged)});
+    }
+    out += moveTable.toString();
+    out += "\n";
+    out += "--- best-response cache on/off (identical deterministic "
+           "columns; wall time via --timings) ---\n";
+    out += cacheTable.toString();
+    out += "\n";
+    return out;
+  };
+  return s;
+}
+
 }  // namespace
 
 void appendLegacyPortScenarios(std::vector<Scenario>& registry) {
@@ -882,6 +1025,7 @@ void appendLegacyPortScenarios(std::vector<Scenario>& registry) {
   registry.push_back(makeExtSumExperiments());
   registry.push_back(makeFrontierNeLke());
   registry.push_back(makeLbConstructions());
+  registry.push_back(makeAblationDynamics());
 }
 
 }  // namespace detail

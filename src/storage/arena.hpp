@@ -1,0 +1,206 @@
+// Out-of-core adjacency: an mmap-backed, partitioned CSR arena.
+//
+// All prior workloads materialize the network in one address space,
+// which walls instances at n ≈ 10³. The paper's locality premise says
+// that is unnecessary: a player's move touches O(view) state, so only
+// the partitions holding active views ever need to be resident. The
+// arena is the storage half of that argument — one file holding the
+// whole network's adjacency (and edge ownership) as fixed row-range
+// partitions, each independently faultable, verifiable and evictable:
+//
+//   [ file header + partition directory | partition 0 | partition 1 | … ]
+//
+// Every partition region is page-aligned and self-describing:
+//
+//   PartitionHeader { liveArcs, usedArcs, capArcs, revision, crc }
+//   row table       rows × { offsetArcs, len, cap }   (arc indices)
+//   ids plane       capArcs × NodeId                  (sorted per row)
+//   owned plane     capArcs × u8                      (1 ⇔ the row's
+//                                                      node bought the arc)
+//
+// Integrity follows the PR-8 durable-log discipline: a CRC-32 per
+// partition (and one over the header + directory) detects at-rest
+// corruption; a file longer than its declared size — the signature of a
+// torn growth append — has the excess moved to `<path>.quarantine` on
+// open, exactly like a torn JSONL tail. Per-partition `revision` stamps
+// give cache layers the same dirty-tracking hook DynamicsCache uses.
+//
+// Canonical row order is ascending neighbor id. Builders sort rows and
+// all mutators preserve the order, so any backend reading arena rows
+// (PagedGraph, or a RAM Graph loaded from the arena) walks neighbors
+// identically — the property every BFS-order-dependent layer above
+// relies on for bit-identity.
+//
+// Mutation mirrors CsrGraph::patchRows: a patched row that fits its
+// slot is written in place; one that outgrows it is relocated to the
+// partition's bump tail with doubling slack; a partition whose tail is
+// exhausted is compacted in place, and only if that still does not fit
+// is the partition grown by appending a fresh region at end-of-file
+// (the directory entry is repointed; the old region becomes dead space
+// until the next rebuild).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace ncg {
+
+/// One undirected edge with per-endpoint ownership, the builder's input
+/// unit. Both endpoints may own (buy) the same link independently.
+struct ArenaEdge {
+  NodeId u = -1;
+  NodeId v = -1;
+  bool uOwns = false;
+  bool vOwns = false;
+};
+
+/// Build-time knobs.
+struct ArenaOptions {
+  NodeId partitionRows = 8192;  ///< rows (nodes) per partition
+  /// Relocation slack reserved per partition, as a fraction of its
+  /// initial live arcs (plus a small constant floor), so early moves
+  /// never force a grow-append.
+  double slackFraction = 0.25;
+};
+
+/// A row as stored: neighbor ids (ascending) plus the parallel
+/// ownership plane. `owned[i]` is 1 iff the row's node bought the link
+/// to `ids[i]`. Spans point into the mapping and stay address-stable
+/// for the arena's lifetime (eviction only drops residency, never the
+/// mapping).
+struct ArenaRowRef {
+  std::span<const NodeId> ids;
+  std::span<const std::uint8_t> owned;
+};
+
+/// What open() had to repair.
+struct ArenaOpenReport {
+  std::uint64_t quarantinedBytes = 0;  ///< torn tail moved aside
+};
+
+/// The mmap-backed partitioned CSR file. Single-threaded, like every
+/// mutable structure in the library; one CsrArena per worker process.
+class CsrArena {
+ public:
+  CsrArena() = default;
+  ~CsrArena();
+  CsrArena(const CsrArena&) = delete;
+  CsrArena& operator=(const CsrArena&) = delete;
+  CsrArena(CsrArena&& other) noexcept;
+  CsrArena& operator=(CsrArena&& other) noexcept;
+
+  /// Builds an arena file from a buffered edge list (no in-RAM Graph
+  /// intermediate — two passes over the edges fill mapped planes
+  /// directly). Self-loops, out-of-range endpoints and duplicate edges
+  /// are rejected. Deterministic: the file's bytes depend only on
+  /// (nodeCount, edge multiset, options), not on edge order.
+  static void build(const std::string& path, NodeId nodeCount,
+                    std::span<const ArenaEdge> edges,
+                    const ArenaOptions& options = {});
+
+  /// As build(), streaming: `emitEdges` is invoked exactly twice with a
+  /// sink and must emit the same edge multiset both times (pass 1
+  /// counts degrees, pass 2 fills rows). This is the path the edge-list
+  /// file loader uses, so ingest memory is O(n) counters, not O(m).
+  static void buildStreaming(
+      const std::string& path, NodeId nodeCount,
+      const std::function<void(const std::function<void(const ArenaEdge&)>&)>&
+          emitEdges,
+      const ArenaOptions& options = {});
+
+  /// Maps an existing arena read-write. Validates magic/version/header
+  /// CRC, quarantines a torn tail (file longer than its declared size)
+  /// to `<path>.quarantine`, and throws ncg::Error on anything
+  /// unrepairable (short file, bad magic, bad header CRC). Partition
+  /// CRCs are verified lazily, on each partition's first access.
+  ArenaOpenReport open(const std::string& path);
+
+  /// Flushes and unmaps. Safe on a closed arena.
+  void close();
+
+  bool isOpen() const { return map_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  NodeId nodeCount() const { return nodeCount_; }
+  NodeId partitionRows() const { return partitionRows_; }
+  std::int64_t partitionCount() const { return partitionCount_; }
+  std::uint64_t fileBytes() const { return fileBytes_; }
+
+  /// Which partition holds node u's row.
+  std::int64_t partitionOf(NodeId u) const {
+    return static_cast<std::int64_t>(u) /
+           static_cast<std::int64_t>(partitionRows_);
+  }
+
+  /// Total live directed arcs (2 × edge count). Touches every
+  /// partition's header page.
+  std::uint64_t arcCount();
+
+  /// Degree of node u. Faults (and CRC-verifies, once per open) u's
+  /// partition.
+  NodeId degree(NodeId u);
+
+  /// Node u's row: ascending neighbor ids + ownership plane.
+  ArenaRowRef row(NodeId u);
+
+  /// Replaces node u's row. `ids` must be ascending, self-free and
+  /// in range; `owned` parallel to `ids`. Marks the partition dirty and
+  /// bumps its revision stamp.
+  void patchRow(NodeId u, std::span<const NodeId> ids,
+                std::span<const std::uint8_t> owned);
+
+  /// Monotone per-partition mutation stamp (starts at 1 on build).
+  std::uint64_t partitionRevision(std::int64_t p);
+
+  /// Bytes of partition p's current region (the unit the pager budgets).
+  std::uint64_t partitionBytes(std::int64_t p) const;
+
+  /// Recomputes and stores p's CRC if dirty. Returns true if anything
+  /// was written.
+  bool flushPartition(std::int64_t p);
+
+  /// Flushes every dirty partition, refreshes the header CRC and
+  /// schedules writeback (msync MS_ASYNC).
+  void flush();
+
+  /// Drops partition p's residency (flushing it first if dirty) via
+  /// madvise(MADV_DONTNEED). The mapping — and any ArenaRowRef into it —
+  /// stays valid; the next access refaults from the file. This is the
+  /// pager's eviction primitive: process RSS drops, correctness doesn't.
+  void dropResidency(std::int64_t p);
+
+  /// Forces p's CRC check now (normally lazy). Throws on mismatch.
+  void verifyPartition(std::int64_t p);
+
+ private:
+  struct Layout;  // decoded directory entry + plane pointers
+
+  void faultPartition(std::int64_t p);
+  Layout layoutOf(std::int64_t p) const;
+  std::uint32_t computeCrc(std::int64_t p) const;
+  void compactPartition(std::int64_t p);
+  void growPartition(std::int64_t p, std::uint64_t minFreeArcs);
+  void remap(std::uint64_t newFileBytes);
+  void writeHeaderCrc();
+
+  std::string path_;
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;
+  std::uint64_t fileBytes_ = 0;
+  NodeId nodeCount_ = 0;
+  NodeId partitionRows_ = 0;
+  std::int64_t partitionCount_ = 0;
+  std::vector<bool> verified_;  ///< CRC checked this open
+  std::vector<bool> dirty_;     ///< mutated since last flush
+};
+
+/// The quarantine sibling of an arena path (same convention as the
+/// durable-log layer: `<path>.quarantine`).
+std::string arenaQuarantinePath(const std::string& path);
+
+}  // namespace ncg

@@ -1,0 +1,153 @@
+#include "storage/paged_dynamics.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+namespace {
+
+/// Splits newSigma against oldSigma (both ascending) into the endpoints
+/// to drop and to gain.
+void diffSorted(const std::vector<NodeId>& oldSigma,
+                const std::vector<NodeId>& newSigma,
+                std::vector<NodeId>& removed, std::vector<NodeId>& added) {
+  removed.clear();
+  added.clear();
+  std::set_difference(oldSigma.begin(), oldSigma.end(), newSigma.begin(),
+                      newSigma.end(), std::back_inserter(removed));
+  std::set_difference(newSigma.begin(), newSigma.end(), oldSigma.begin(),
+                      oldSigma.end(), std::back_inserter(added));
+}
+
+}  // namespace
+
+void ArenaDynamicsBackend::applyStrategy(NodeId u,
+                                         const std::vector<NodeId>& newSigma) {
+  // strategyOf returns a span into the adapter's scratch — copy before
+  // any further row access.
+  const auto sigmaSpan = strategy_.strategyOf(u);
+  oldSigma_.assign(sigmaSpan.begin(), sigmaSpan.end());
+  diffSorted(oldSigma_, newSigma, removed_, added_);
+
+  // Whether the counterpart owns the link decides if a dropped purchase
+  // severs the edge; probe before rewriting u's row.
+  const auto otherOwns = [&](NodeId v) {
+    const ArenaRowRef row = paged_.rowWithOwnership(v);
+    const auto it = std::lower_bound(row.ids.begin(), row.ids.end(), u);
+    NCG_ASSERT(it != row.ids.end() && *it == u,
+               "arena rows out of sync: " << u << " missing from " << v);
+    return row.owned[static_cast<std::size_t>(it - row.ids.begin())] != 0;
+  };
+
+  // Rebuild u's row: walk the current row once, dropping severed links,
+  // clearing ownership on kept-but-dropped ones, setting it on newly
+  // bought existing links; then merge brand-new endpoints in (ascending).
+  struct PendingPatch {
+    NodeId v;
+    bool severed;   // remove u from v's row
+    bool inserted;  // add u to v's row (v does not own it)
+  };
+  std::vector<PendingPatch> pending;
+  pending.reserve(removed_.size() + added_.size());
+
+  rowIds_.clear();
+  rowOwned_.clear();
+  {
+    // Copy u's row before interleaved otherOwns() faults can recycle the
+    // arena span.
+    const ArenaRowRef row = paged_.rowWithOwnership(u);
+    const std::vector<NodeId> ids(row.ids.begin(), row.ids.end());
+    const std::vector<std::uint8_t> owned(row.owned.begin(),
+                                          row.owned.end());
+    std::size_t nextAdd = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const NodeId v = ids[i];
+      while (nextAdd < added_.size() && added_[nextAdd] < v) {
+        // Brand-new endpoint smaller than every remaining current one.
+        rowIds_.push_back(added_[nextAdd]);
+        rowOwned_.push_back(1);
+        pending.push_back({added_[nextAdd], false, true});
+        ++nextAdd;
+      }
+      if (nextAdd < added_.size() && added_[nextAdd] == v) {
+        // Newly bought but already present (the counterpart owns it).
+        rowIds_.push_back(v);
+        rowOwned_.push_back(1);
+        ++nextAdd;
+        continue;
+      }
+      if (std::binary_search(removed_.begin(), removed_.end(), v)) {
+        if (otherOwns(v)) {
+          rowIds_.push_back(v);  // double-bought: link survives
+          rowOwned_.push_back(0);
+        } else {
+          pending.push_back({v, true, false});  // severed
+        }
+        continue;
+      }
+      rowIds_.push_back(v);
+      rowOwned_.push_back(owned[i]);
+    }
+    while (nextAdd < added_.size()) {
+      rowIds_.push_back(added_[nextAdd]);
+      rowOwned_.push_back(1);
+      pending.push_back({added_[nextAdd], false, true});
+      ++nextAdd;
+    }
+  }
+  paged_.patchRow(u, rowIds_, rowOwned_);
+
+  // Counterpart rows: remove u where severed, insert u (unowned by the
+  // counterpart) where a new link appeared.
+  for (const PendingPatch& patch : pending) {
+    const ArenaRowRef row = paged_.rowWithOwnership(patch.v);
+    rowIds_.assign(row.ids.begin(), row.ids.end());
+    rowOwned_.assign(row.owned.begin(), row.owned.end());
+    const auto it = std::lower_bound(rowIds_.begin(), rowIds_.end(), u);
+    if (patch.severed) {
+      NCG_ASSERT(it != rowIds_.end() && *it == u,
+                 "severed link not present in counterpart row");
+      rowOwned_.erase(rowOwned_.begin() + (it - rowIds_.begin()));
+      rowIds_.erase(it);
+    } else {
+      NCG_ASSERT(it == rowIds_.end() || *it != u,
+                 "inserted link already present in counterpart row");
+      rowOwned_.insert(rowOwned_.begin() + (it - rowIds_.begin()), 0);
+      rowIds_.insert(it, u);
+    }
+    paged_.patchRow(patch.v, rowIds_, rowOwned_);
+  }
+}
+
+void RamDynamicsBackend::applyStrategy(NodeId u,
+                                       const std::vector<NodeId>& newSigma) {
+  const std::vector<NodeId> oldSigma = profile_.strategyOf(u);
+  diffSorted(oldSigma, newSigma, removed_, added_);
+
+  touched_.clear();
+  for (NodeId v : removed_) {
+    const auto& sigmaV = profile_.strategyOf(v);
+    if (!std::binary_search(sigmaV.begin(), sigmaV.end(), u)) {
+      graph_.removeEdge(u, v);
+      touched_.push_back(v);
+    }
+  }
+  for (NodeId v : added_) {
+    if (!graph_.hasEdge(u, v)) {
+      graph_.addEdge(u, v);
+      touched_.push_back(v);
+    }
+  }
+  profile_.setStrategy(u, newSigma);
+
+  // Restore the canonical ascending row order the arena backend keeps
+  // by construction (removeEdge swap-erases; addEdge appends).
+  graph_.reorderNeighbors(u, std::less<NodeId>{});
+  for (NodeId v : touched_) {
+    graph_.reorderNeighbors(v, std::less<NodeId>{});
+  }
+}
+
+}  // namespace ncg

@@ -1,0 +1,139 @@
+#include "storage/paged_graph.hpp"
+
+#include "support/error.hpp"
+
+namespace ncg {
+
+PagedGraph::PagedGraph(CsrArena& arena, std::uint64_t byteBudget)
+    : arena_(&arena), budget_(byteBudget) {
+  NCG_REQUIRE(arena.isOpen(), "PagedGraph needs an open arena");
+  const auto partitions = static_cast<std::size_t>(arena.partitionCount());
+  where_.assign(partitions, lru_.end());
+  resident_.assign(partitions, false);
+  pinned_.assign(partitions, 0);
+}
+
+void PagedGraph::touch(std::int64_t p) const {
+  const auto slot = static_cast<std::size_t>(p);
+  if (resident_[slot]) {
+    if (where_[slot] != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, where_[slot]);
+    }
+    return;
+  }
+  // Fault: the arena verifies the partition's CRC on its first access
+  // per open; here we only account for residency.
+  lru_.push_front(p);
+  where_[slot] = lru_.begin();
+  resident_[slot] = true;
+  ++stats_.faults;
+  stats_.residentBytes += arena_->partitionBytes(p);
+  stats_.peakResidentBytes =
+      std::max(stats_.peakResidentBytes, stats_.residentBytes);
+  evictOverBudget();
+}
+
+void PagedGraph::evictOverBudget() const {
+  if (budget_ == 0) return;
+  // Never evict the MRU partition (the row being consumed right now),
+  // nor pinned ones; scan from the cold end.
+  while (stats_.residentBytes > budget_ && lru_.size() > 1) {
+    auto it = std::prev(lru_.end());
+    while (it != lru_.begin() &&
+           pinned_[static_cast<std::size_t>(*it)] > 0) {
+      --it;
+    }
+    if (it == lru_.begin()) return;  // everything else is pinned
+    const std::int64_t victim = *it;
+    const auto slot = static_cast<std::size_t>(victim);
+    arena_->dropResidency(victim);
+    stats_.residentBytes -= arena_->partitionBytes(victim);
+    ++stats_.evictions;
+    lru_.erase(it);
+    where_[slot] = lru_.end();
+    resident_[slot] = false;
+  }
+}
+
+NodeId PagedGraph::degree(NodeId u) const {
+  touch(arena_->partitionOf(u));
+  return arena_->degree(u);
+}
+
+std::span<const NodeId> PagedGraph::neighbors(NodeId u) const {
+  touch(arena_->partitionOf(u));
+  return arena_->row(u).ids;
+}
+
+ArenaRowRef PagedGraph::rowWithOwnership(NodeId u) const {
+  touch(arena_->partitionOf(u));
+  return arena_->row(u);
+}
+
+void PagedGraph::patchRow(NodeId u, std::span<const NodeId> ids,
+                          std::span<const std::uint8_t> owned) {
+  touch(arena_->partitionOf(u));
+  arena_->patchRow(u, ids, owned);
+}
+
+void PagedGraph::pinPartition(std::int64_t p) {
+  NCG_REQUIRE(p >= 0 && p < arena_->partitionCount(),
+              "partition " << p << " out of range");
+  ++pinned_[static_cast<std::size_t>(p)];
+}
+
+void PagedGraph::unpinPartition(std::int64_t p) {
+  NCG_REQUIRE(p >= 0 && p < arena_->partitionCount() &&
+                  pinned_[static_cast<std::size_t>(p)] > 0,
+              "unpin of partition " << p << " without a pin");
+  --pinned_[static_cast<std::size_t>(p)];
+}
+
+void PagedGraph::dropAll() {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const std::int64_t p = *it;
+    const auto slot = static_cast<std::size_t>(p);
+    if (pinned_[slot] > 0) {
+      ++it;
+      continue;
+    }
+    arena_->dropResidency(p);
+    stats_.residentBytes -= arena_->partitionBytes(p);
+    ++stats_.evictions;
+    it = lru_.erase(it);
+    where_[slot] = lru_.end();
+    resident_[slot] = false;
+  }
+}
+
+Graph materializeGraph(CsrArena& arena) {
+  const NodeId n = arena.nodeCount();
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    // Emitting each edge once, in ascending (u, v) order, appends every
+    // node's smaller neighbors (during their own passes) before its
+    // larger ones — rows come out ascending with no sort step, matching
+    // the arena's canonical row order.
+    for (NodeId v : arena.row(u).ids) {
+      if (v > u) g.addEdgeNew(u, v);
+    }
+  }
+  return g;
+}
+
+StrategyProfile materializeProfile(CsrArena& arena) {
+  const NodeId n = arena.nodeCount();
+  StrategyProfile profile(n);
+  std::vector<NodeId> bought;
+  for (NodeId u = 0; u < n; ++u) {
+    const ArenaRowRef row = arena.row(u);
+    bought.clear();
+    for (std::size_t i = 0; i < row.ids.size(); ++i) {
+      if (row.owned[i]) bought.push_back(row.ids[i]);
+    }
+    profile.setStrategy(u, bought);
+  }
+  return profile;
+}
+
+}  // namespace ncg

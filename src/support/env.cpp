@@ -28,4 +28,19 @@ int retryBudget() { return envInt("NCG_RETRY_BUDGET", 1000); }
 
 int chaosSeed() { return envInt("NCG_CHAOS_SEED", 0); }
 
+long long arenaBudget() { return envInt64("NCG_ARENA_BUDGET", 0); }
+
+std::string arenaDir() {
+  const char* value = std::getenv("NCG_ARENA_DIR");
+  if (value != nullptr && value[0] != '\0') return value;
+  const char* tmpdir = std::getenv("TMPDIR");
+  if (tmpdir != nullptr && tmpdir[0] != '\0') return tmpdir;
+  return "/tmp";
+}
+
+bool arenaBackendRam() {
+  const char* value = std::getenv("NCG_ARENA_BACKEND");
+  return value != nullptr && std::string(value) == "ram";
+}
+
 }  // namespace ncg::env

@@ -52,4 +52,21 @@ int retryBudget();
 /// Values > 0 select a reproducible fault schedule.
 int chaosSeed();
 
+/// NCG_ARENA_BUDGET — byte budget of the out-of-core pager
+/// (`storage/paged_graph.hpp`): partitions over this total are evicted
+/// LRU-first (flushed + madvise'd away). 0 / unset = unlimited (no
+/// eviction). Results are bitwise identical for any value.
+long long arenaBudget();
+
+/// NCG_ARENA_DIR — directory holding the cached base arena files of the
+/// out-of-core scenarios and their per-trial scratch copies. Defaults
+/// to $TMPDIR, else /tmp.
+std::string arenaDir();
+
+/// True when NCG_ARENA_BACKEND=ram asks the out-of-core scenarios to
+/// run on the in-RAM Graph/StrategyProfile twin instead of the paged
+/// arena (same trajectories either way — that equivalence is the
+/// subsystem's differential wall). Default: the paged backend.
+bool arenaBackendRam();
+
 }  // namespace ncg::env

@@ -62,6 +62,32 @@ std::optional<int> parseInteger(std::string_view text) {
   return static_cast<int>(value);
 }
 
+std::optional<long long> parseInteger64(std::string_view text) {
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos == text.size()) return std::nullopt;
+  // Accumulate negated so LLONG_MIN parses without overflowing; the
+  // pre-multiplication bound catches the overflow the accumulate would
+  // commit.
+  long long value = 0;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (c < '0' || c > '9') return std::nullopt;
+    const int digit = c - '0';
+    if (value < (LLONG_MIN + digit) / 10) return std::nullopt;
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == LLONG_MIN) return std::nullopt;
+    value = -value;
+  }
+  return value;
+}
+
 int envInt(const char* name, int fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
@@ -71,6 +97,19 @@ int envInt(const char* name, int fallback) {
     // truncating through a long→int cast) is how typos corrupt runs;
     // say what was ignored, once, and use the fallback.
     std::fprintf(stderr, "warning: %s='%s' is not an integer, using %d\n",
+                 name, env, fallback);
+    return fallback;
+  }
+  if (*value <= 0) return fallback;
+  return *value;
+}
+
+long long envInt64(const char* name, long long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const auto value = parseInteger64(env);
+  if (!value.has_value()) {
+    std::fprintf(stderr, "warning: %s='%s' is not an integer, using %lld\n",
                  name, env, fallback);
     return fallback;
   }

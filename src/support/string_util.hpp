@@ -31,11 +31,21 @@ std::string padRight(const std::string& s, std::size_t width);
 /// value. The parser behind envInt and the CLI flag values.
 std::optional<int> parseInteger(std::string_view text);
 
+/// 64-bit variant of parseInteger, same strictness. Needed by byte-sized
+/// knobs (NCG_ARENA_BUDGET) and the edge-list loader's overflow checks,
+/// where int's range is too small.
+std::optional<long long> parseInteger64(std::string_view text);
+
 /// Parses a positive integer from an environment variable, with fallback.
 /// Used by benches for NCG_TRIALS / NCG_SCALE style knobs. Malformed
 /// text (trailing garbage, out-of-int-range values) falls back with a
 /// one-line stderr warning; a well-formed non-positive value falls back
 /// silently (NCG_SCALE=0 is a legitimate "off").
 int envInt(const char* name, int fallback);
+
+/// 64-bit envInt with the same fallback discipline (malformed warns,
+/// non-positive falls back silently — 0 meaning "off"/"unlimited" is
+/// expressed by a 0 fallback).
+long long envInt64(const char* name, long long fallback);
 
 }  // namespace ncg

@@ -1,8 +1,15 @@
 // Tests for graph serialization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "gen/classic.hpp"
 #include "graph/io.hpp"
+#include "storage/arena.hpp"
 #include "support/error.hpp"
 
 namespace ncg {
@@ -44,6 +51,85 @@ TEST(Io, MissingEdgesThrow) {
 TEST(Io, OutOfRangeEdgeThrows) {
   EXPECT_THROW(fromEdgeListString("3 1\n0 3\n"), Error);
   EXPECT_THROW(fromEdgeListString("-1 0\n"), Error);
+}
+
+// The strict-parsing rejection table: every class of malformed input
+// the loader must refuse rather than truncate or re-interpret. A
+// loader that guesses corrupts experiments upstream of every
+// determinism check.
+TEST(Io, RejectionTable) {
+  const char* rejected[] = {
+      "3 2\n0 1\n0 2\ngarbage",    // trailing garbage token
+      "3 1\n0 1\n7",               // trailing number
+      "3x 1\n0 1\n",               // header not a pure integer
+      "3 1x\n0 1\n",               // edge count not a pure integer
+      "3 1\n0x 1\n",               // endpoint not a pure integer
+      "3 1\n0 0x1\n",              // hex is not decimal
+      "99999999999999999999 0\n",  // 64-bit overflow in header
+      "3 1\n0 99999999999999999999\n",  // 64-bit overflow endpoint
+      "3 -1\n",                    // negative edge count
+      "3 1\n1 1\n",                // self-loop
+      "3 1\n-1 2\n",               // negative endpoint
+      "3 1\n2 1\n",                // u >= v violates the format
+      "3 2\n0 1\n0 1\n",           // duplicate edge
+      "3 99\n",                    // m beyond the simple-graph maximum
+      "2147483648 0\n",            // n beyond NodeId
+  };
+  for (const char* text : rejected) {
+    EXPECT_THROW(fromEdgeListString(text), Error) << "input: " << text;
+  }
+  // The well-formed boundary cases stay accepted.
+  EXPECT_EQ(fromEdgeListString("3 3\n0 1\n0 2\n1 2\n").edgeCount(), 3u);
+  EXPECT_EQ(fromEdgeListString("+3 0\n").nodeCount(), 3);
+}
+
+TEST(Io, StreamingIngestMatchesReader) {
+  const Graph g = makeGrid(4, 4);
+  const std::string edgeListPath =
+      ::testing::TempDir() + "ncg_io_test_ingest.edges";
+  const std::string arenaPath =
+      ::testing::TempDir() + "ncg_io_test_ingest.arena";
+  std::remove(edgeListPath.c_str());
+  std::remove(arenaPath.c_str());
+  {
+    std::ofstream out(edgeListPath);
+    writeEdgeList(out, g);
+  }
+  buildArenaFromEdgeList(edgeListPath, arenaPath);
+  CsrArena arena;
+  arena.open(arenaPath);
+  EXPECT_EQ(arena.nodeCount(), g.nodeCount());
+  EXPECT_EQ(arena.arcCount(), 2 * g.edgeCount());
+  for (NodeId u = 0; u < g.nodeCount(); ++u) {
+    const ArenaRowRef row = arena.row(u);
+    std::vector<NodeId> expect(g.neighborsUnchecked(u).begin(),
+                               g.neighborsUnchecked(u).end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(std::vector<NodeId>(row.ids.begin(), row.ids.end()), expect);
+    // Ownership convention: the smaller endpoint bought the edge.
+    for (std::size_t i = 0; i < row.ids.size(); ++i) {
+      EXPECT_EQ(row.owned[i] != 0, u < row.ids[i]);
+    }
+  }
+  arena.close();
+  std::remove(edgeListPath.c_str());
+  std::remove(arenaPath.c_str());
+}
+
+TEST(Io, StreamingIngestRejectsMalformedFile) {
+  const std::string edgeListPath =
+      ::testing::TempDir() + "ncg_io_test_bad.edges";
+  const std::string arenaPath =
+      ::testing::TempDir() + "ncg_io_test_bad.arena";
+  {
+    std::ofstream out(edgeListPath);
+    out << "3 1\n0 1\ntrailing\n";
+  }
+  EXPECT_THROW(buildArenaFromEdgeList(edgeListPath, arenaPath), Error);
+  EXPECT_THROW(buildArenaFromEdgeList(edgeListPath + ".missing", arenaPath),
+               Error);
+  std::remove(edgeListPath.c_str());
+  std::remove(arenaPath.c_str());
 }
 
 TEST(Io, DotContainsAllEdges) {

@@ -49,9 +49,9 @@ TEST(ScenarioRegistry, BuiltinsAreRegistered) {
         "fig9_unfairness", "fig10_convergence", "smoke_dynamics",
         "fig1_2_construction", "fig3_max_bounds", "fig4_sum_bounds",
         "ext_empirical_poa", "ext_regular_starts", "ext_sum_experiments",
-        "frontier_ne_lke", "lb_constructions", "family_hetero_alpha",
-        "family_churn", "family_simultaneous", "family_adversarial",
-        "family_noisy"}) {
+        "frontier_ne_lke", "lb_constructions", "ablation_dynamics",
+        "family_hetero_alpha", "family_churn", "family_simultaneous",
+        "family_adversarial", "family_noisy", "family_large_ba"}) {
     const Scenario* scenario = findScenario(name);
     ASSERT_NE(scenario, nullptr) << name;
     EXPECT_EQ(scenario->name, name);
@@ -147,6 +147,43 @@ TEST(ScenarioRegistry, FamilyGridsArePinnedAndEnvIndependent) {
         ++i;
       }
     }
+  }
+}
+
+TEST(ScenarioRegistry, LargeBaGridIsPinnedAndScaleGated) {
+  // The out-of-core family: 1e5 nodes at k ∈ {1, 2}, one trial per
+  // point (a trial IS the campaign unit), seed formula pinned so the
+  // cached base arenas stay valid across sessions. NCG_SCALE must only
+  // ever *append* the million-node point — never reseed the small ones.
+  const Scenario* scenario = findScenario("family_large_ba");
+  ASSERT_NE(scenario, nullptr);
+  const char* previousScale = std::getenv("NCG_SCALE");
+  const std::string savedScale = previousScale != nullptr ? previousScale : "";
+  ::unsetenv("NCG_SCALE");
+  const std::vector<ScenarioPoint> points = scenario->makePoints();
+  ASSERT_EQ(points.size(), 2U);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double k = static_cast<double>(i + 1);
+    EXPECT_EQ(points[i].param("n"), 100000.0);
+    EXPECT_EQ(points[i].param("k"), k);
+    EXPECT_EQ(points[i].param("alpha"), 4.0);
+    EXPECT_EQ(points[i].baseSeed,
+              0xBA9EA51ULL + 100000ULL * 31 +
+                  static_cast<std::uint64_t>(k) * 131);
+    EXPECT_EQ(points[i].trials, 1);
+  }
+  ::setenv("NCG_SCALE", "1", 1);
+  const std::vector<ScenarioPoint> full = scenario->makePoints();
+  ASSERT_EQ(full.size(), 3U);
+  EXPECT_EQ(full[0].baseSeed, points[0].baseSeed);
+  EXPECT_EQ(full[1].baseSeed, points[1].baseSeed);
+  EXPECT_EQ(full[2].param("n"), 1000000.0);
+  EXPECT_EQ(full[2].param("k"), 2.0);
+  EXPECT_EQ(full[2].baseSeed, 0xBA9EA51ULL + 1000000ULL * 31 + 2ULL * 131);
+  if (previousScale != nullptr) {
+    ::setenv("NCG_SCALE", savedScale.c_str(), 1);
+  } else {
+    ::unsetenv("NCG_SCALE");
   }
 }
 
@@ -611,6 +648,98 @@ std::string legacyFig9Text() {
   out += "\n";
   out += "paper claims: smaller k yields fairer equilibria; "
          "unfairness decreases as k decreases.\n";
+  return out;
+}
+
+// The legacy ablation bench's measure() loop, verbatim minus the wall
+// timer: the port keeps exactly the deterministic columns (quality,
+// rounds, converged) and this reference must reproduce them
+// draw-for-draw from the shared per-(alpha, k) seed.
+struct LegacyAblationOutcome {
+  double quality = 0.0;
+  double rounds = 0.0;
+  int converged = 0;
+};
+
+LegacyAblationOutcome legacyAblationMeasure(const TrialSpec& spec,
+                                            MoveRule rule, bool cache,
+                                            int trials, std::uint64_t seed) {
+  RunningStat quality;
+  RunningStat rounds;
+  LegacyAblationOutcome result;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng(deriveSeed(seed, static_cast<std::uint64_t>(trial)));
+    const Graph initial = makeInitialGraph(spec, rng);
+    const StrategyProfile profile =
+        StrategyProfile::randomOwnership(initial, rng);
+    DynamicsConfig config;
+    config.params = spec.params;
+    config.maxRounds = spec.maxRounds;
+    config.moveRule = rule;
+    config.useBestResponseCache = cache;
+    const DynamicsResult run = runBestResponseDynamics(profile, config);
+    if (run.outcome != DynamicsOutcome::kConverged) continue;
+    ++result.converged;
+    quality.push(computeFeatures(run.graph, run.profile, spec.params).quality);
+    rounds.push(static_cast<double>(run.rounds));
+  }
+  result.quality = quality.mean();
+  result.rounds = rounds.mean();
+  return result;
+}
+
+std::string legacyAblationText() {
+  std::string out =
+      headerText("Ablation — move rule and best-response cache",
+                 "design choices called out in DESIGN.md §5");
+  const int trials = env::trials();
+  out += "--- move rule: exact best response vs greedy single-edge "
+         "(trees, n=100) ---\n";
+  TextTable moveTable(
+      {"alpha", "k", "rule", "quality", "rounds", "converged"});
+  for (const double alpha : {0.5, 2.0, 10.0}) {
+    for (const Dist k : {3, 1000}) {
+      TrialSpec spec;
+      spec.source = Source::kRandomTree;
+      spec.n = 100;
+      spec.params = GameParams::max(alpha, k);
+      const std::uint64_t seed =
+          0xAB1A0ULL + static_cast<std::uint64_t>(alpha * 100 + k);
+      const LegacyAblationOutcome exact = legacyAblationMeasure(
+          spec, MoveRule::kBestResponse, true, trials, seed);
+      const LegacyAblationOutcome greedy =
+          legacyAblationMeasure(spec, MoveRule::kGreedy, true, trials, seed);
+      moveTable.addRow({formatFixed(alpha, 1), std::to_string(k), "exact",
+                        formatFixed(exact.quality, 3),
+                        formatFixed(exact.rounds, 2),
+                        std::to_string(exact.converged)});
+      moveTable.addRow({formatFixed(alpha, 1), std::to_string(k), "greedy",
+                        formatFixed(greedy.quality, 3),
+                        formatFixed(greedy.rounds, 2),
+                        std::to_string(greedy.converged)});
+    }
+  }
+  out += moveTable.toString();
+  out += "\n";
+  out += "--- best-response cache on/off (identical deterministic "
+         "columns; wall time via --timings) ---\n";
+  TextTable cacheTable(
+      {"source", "alpha", "k", "cache", "quality", "rounds", "converged"});
+  for (const bool cache : {true, false}) {
+    TrialSpec spec;
+    spec.source = Source::kErdosRenyi;
+    spec.n = 100;
+    spec.p = 0.1;
+    spec.params = GameParams::max(1.0, 3);
+    const LegacyAblationOutcome run = legacyAblationMeasure(
+        spec, MoveRule::kBestResponse, cache, trials, 0xAB1A1ULL);
+    cacheTable.addRow({"G(100,0.1)", "1.0", "3", cache ? "on" : "off",
+                       formatFixed(run.quality, 3),
+                       formatFixed(run.rounds, 2),
+                       std::to_string(run.converged)});
+  }
+  out += cacheTable.toString();
+  out += "\n";
   return out;
 }
 
@@ -1224,6 +1353,42 @@ TEST(PortFidelity, ExtSumExperimentsIsByteIdenticalToLegacyHarness) {
 TEST(PortFidelity, FrontierNeLkeIsByteIdenticalToLegacyHarness) {
   EXPECT_EQ(withPinnedTrials([] { return renderScenario("frontier_ne_lke"); }),
             withPinnedTrials(legacyFrontierText));
+}
+
+TEST(PortFidelity, AblationDynamicsIsByteIdenticalToLegacyHarness) {
+  EXPECT_EQ(
+      withPinnedTrials([] { return renderScenario("ablation_dynamics"); }),
+      withPinnedTrials(legacyAblationText));
+  // The cache on/off rows must agree on every deterministic column —
+  // that identity is the point of the ablation's second table.
+  const std::string text =
+      withPinnedTrials([] { return renderScenario("ablation_dynamics"); });
+  std::vector<std::string> cacheRows;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.find("G(100,0.1)") == std::string::npos) continue;
+    // Collapse the cache token and padding so only the data columns
+    // remain comparable.
+    std::string normalized;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == ' ' && !normalized.empty() &&
+          normalized.back() == ' ') {
+        continue;
+      }
+      normalized += line[i];
+    }
+    const std::size_t on = normalized.find(" on ");
+    const std::size_t off = normalized.find(" off ");
+    if (on != std::string::npos) normalized.erase(on, 3);
+    if (off != std::string::npos) normalized.erase(off, 4);
+    cacheRows.push_back(normalized);
+  }
+  ASSERT_EQ(cacheRows.size(), 2U);
+  EXPECT_EQ(cacheRows[0], cacheRows[1]);
 }
 
 TEST(GenericRenderer, ProducesHeaderlessTableWithParamsAndMetrics) {

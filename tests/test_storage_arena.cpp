@@ -1,0 +1,304 @@
+// The mmap arena's format and failure discipline: canonical sorted
+// rows, deterministic file bytes, per-partition CRC detection, the
+// torn-tail quarantine on reopen, and the patch → relocate → compact →
+// grow write-back ladder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "storage/arena.hpp"
+#include "support/error.hpp"
+
+namespace ncg {
+namespace {
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "ncg_arena_test_" + name + ".arena";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+void removeArena(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove(arenaQuarantinePath(path).c_str());
+}
+
+/// A small two-partition instance: path graph 0-1-2-3-4 plus chord
+/// 1-3, each edge owned by its smaller endpoint.
+std::vector<ArenaEdge> pathWithChord() {
+  return {{0, 1, true, false},
+          {1, 2, true, false},
+          {2, 3, true, false},
+          {3, 4, true, false},
+          {1, 3, true, false}};
+}
+
+ArenaOptions tinyPartitions() {
+  ArenaOptions options;
+  options.partitionRows = 2;  // 5 nodes -> 3 partitions
+  return options;
+}
+
+TEST(Arena, BuildAndReadBack) {
+  const std::string path = tempPath("roundtrip");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+
+  CsrArena arena;
+  const ArenaOpenReport report = arena.open(path);
+  EXPECT_EQ(report.quarantinedBytes, 0u);
+  EXPECT_EQ(arena.nodeCount(), 5);
+  EXPECT_EQ(arena.partitionCount(), 3);
+  EXPECT_EQ(arena.arcCount(), 10u);
+
+  EXPECT_EQ(arena.degree(0), 1);
+  EXPECT_EQ(arena.degree(1), 3);
+  const ArenaRowRef row1 = arena.row(1);
+  EXPECT_EQ(std::vector<NodeId>(row1.ids.begin(), row1.ids.end()),
+            (std::vector<NodeId>{0, 2, 3}));
+  // 1 bought 1-2 and 1-3; 0 bought 0-1.
+  EXPECT_EQ(std::vector<std::uint8_t>(row1.owned.begin(), row1.owned.end()),
+            (std::vector<std::uint8_t>{0, 1, 1}));
+  for (NodeId u = 0; u < 5; ++u) {
+    const ArenaRowRef row = arena.row(u);
+    EXPECT_TRUE(std::is_sorted(row.ids.begin(), row.ids.end()));
+  }
+  arena.close();
+  removeArena(path);
+}
+
+TEST(Arena, FileBytesIndependentOfEdgeOrder) {
+  const std::string a = tempPath("order_a");
+  const std::string b = tempPath("order_b");
+  removeArena(a);
+  removeArena(b);
+  std::vector<ArenaEdge> edges = pathWithChord();
+  CsrArena::build(a, 5, edges, tinyPartitions());
+  std::reverse(edges.begin(), edges.end());
+  CsrArena::build(b, 5, edges, tinyPartitions());
+  EXPECT_EQ(slurp(a), slurp(b));
+  removeArena(a);
+  removeArena(b);
+}
+
+TEST(Arena, BuildRejectsBadEdges) {
+  const std::string path = tempPath("reject");
+  removeArena(path);
+  EXPECT_THROW(
+      CsrArena::build(path, 3, std::vector<ArenaEdge>{{1, 1, true, false}}),
+      Error);
+  EXPECT_THROW(
+      CsrArena::build(path, 3, std::vector<ArenaEdge>{{0, 3, true, false}}),
+      Error);
+  EXPECT_THROW(CsrArena::build(path, 3,
+                               std::vector<ArenaEdge>{{0, 1, true, false},
+                                                      {1, 0, false, true}}),
+               Error);
+  removeArena(path);
+}
+
+TEST(Arena, CrcTamperDetectedOnAccess) {
+  const std::string path = tempPath("tamper");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+
+  // Flip one byte in the last partition's body (the file tail is inside
+  // the final region). The lazy per-partition CRC check must refuse the
+  // first access; untouched partitions stay readable.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x5A);
+  spit(path, bytes);
+
+  CsrArena arena;
+  arena.open(path);
+  EXPECT_EQ(arena.degree(0), 1);                  // partition 0 intact
+  EXPECT_THROW((void)arena.degree(4), Error);     // partition 2 corrupt
+  arena.close();
+  removeArena(path);
+}
+
+TEST(Arena, HeaderTamperRejectedOnOpen) {
+  const std::string path = tempPath("header");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+  std::string bytes = slurp(path);
+  bytes[60] = static_cast<char>(bytes[60] ^ 0xFF);  // directory region
+  spit(path, bytes);
+  CsrArena arena;
+  EXPECT_THROW(arena.open(path), Error);
+  removeArena(path);
+}
+
+TEST(Arena, TornTailQuarantinedOnOpen) {
+  const std::string path = tempPath("torn");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+  const std::string clean = slurp(path);
+
+  // A crash mid-grow leaves appended bytes past the declared size.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "torn-growth-debris";
+  }
+  CsrArena arena;
+  const ArenaOpenReport report = arena.open(path);
+  EXPECT_EQ(report.quarantinedBytes, 18u);
+  EXPECT_EQ(slurp(arenaQuarantinePath(path)), "torn-growth-debris");
+  EXPECT_EQ(arena.fileBytes(), clean.size());
+  EXPECT_EQ(arena.degree(1), 3);  // content unharmed
+  arena.close();
+  EXPECT_EQ(slurp(path), clean);
+  removeArena(path);
+}
+
+TEST(Arena, ShortFileRejected) {
+  const std::string path = tempPath("short");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+  const std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 100));
+  CsrArena arena;
+  EXPECT_THROW(arena.open(path), Error);
+  removeArena(path);
+}
+
+TEST(Arena, PatchRowRoundTripsAcrossReopen) {
+  const std::string path = tempPath("patch");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+
+  CsrArena arena;
+  arena.open(path);
+  const std::uint64_t before = arena.partitionRevision(0);
+
+  // Same-size in-place patch: node 0's single neighbor 1 -> 2.
+  const std::vector<NodeId> ids0 = {2};
+  const std::vector<std::uint8_t> owned0 = {1};
+  arena.patchRow(0, ids0, owned0);
+  EXPECT_GT(arena.partitionRevision(0), before);
+
+  // Growing patch (relocation into partition slack).
+  const std::vector<NodeId> ids1 = {0, 2, 3, 4};
+  const std::vector<std::uint8_t> owned1 = {0, 1, 1, 1};
+  arena.patchRow(1, ids1, owned1);
+
+  arena.flush();
+  arena.close();
+
+  arena.open(path);
+  const ArenaRowRef row0 = arena.row(0);
+  EXPECT_EQ(std::vector<NodeId>(row0.ids.begin(), row0.ids.end()), ids0);
+  const ArenaRowRef row1 = arena.row(1);
+  EXPECT_EQ(std::vector<NodeId>(row1.ids.begin(), row1.ids.end()), ids1);
+  EXPECT_EQ(std::vector<std::uint8_t>(row1.owned.begin(), row1.owned.end()),
+            owned1);
+  arena.close();
+  removeArena(path);
+}
+
+TEST(Arena, PatchRejectsNonCanonicalRows) {
+  const std::string path = tempPath("patchbad");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+  CsrArena arena;
+  arena.open(path);
+  const std::vector<std::uint8_t> owned2 = {0, 0};
+  EXPECT_THROW(
+      arena.patchRow(0, std::vector<NodeId>{3, 2}, owned2),  // descending
+      Error);
+  EXPECT_THROW(
+      arena.patchRow(0, std::vector<NodeId>{0, 2}, owned2),  // self-loop
+      Error);
+  EXPECT_THROW(
+      arena.patchRow(0, std::vector<NodeId>{2, 9}, owned2),  // out of range
+      Error);
+  arena.close();
+  removeArena(path);
+}
+
+TEST(Arena, RepeatedGrowthKeepsEveryRowReadable) {
+  // Force the compact-then-grow path: keep fattening rows of one tiny
+  // partition far beyond its build-time slack, verifying all rows after
+  // every step and across a reopen.
+  const std::string path = tempPath("grow");
+  removeArena(path);
+  CsrArena::build(path, 6,
+                  std::vector<ArenaEdge>{{0, 1, true, false},
+                                         {2, 3, true, false},
+                                         {4, 5, true, false}},
+                  tinyPartitions());
+  CsrArena arena;
+  arena.open(path);
+
+  std::mt19937 mix(7);
+  std::vector<std::vector<NodeId>> expect(2);
+  for (int step = 1; step <= 40; ++step) {
+    const NodeId u = static_cast<NodeId>(mix() % 2);
+    std::vector<NodeId> ids;
+    for (NodeId v = 0; v < 6; ++v) {
+      if (v != u && (mix() % 3) != 0) ids.push_back(v);
+    }
+    const std::vector<std::uint8_t> owned(ids.size(), 1);
+    arena.patchRow(u, ids, owned);
+    expect[static_cast<std::size_t>(u)] = ids;
+    for (NodeId w = 0; w < 2; ++w) {
+      if (expect[static_cast<std::size_t>(w)].empty()) continue;
+      const ArenaRowRef row = arena.row(w);
+      EXPECT_EQ(std::vector<NodeId>(row.ids.begin(), row.ids.end()),
+                expect[static_cast<std::size_t>(w)])
+          << "step " << step << " row " << w;
+    }
+  }
+  arena.flush();
+  arena.close();
+
+  arena.open(path);
+  for (NodeId w = 0; w < 2; ++w) {
+    const ArenaRowRef row = arena.row(w);
+    EXPECT_EQ(std::vector<NodeId>(row.ids.begin(), row.ids.end()),
+              expect[static_cast<std::size_t>(w)]);
+  }
+  // Other partitions were never touched and still verify.
+  EXPECT_EQ(arena.degree(2), 1);
+  EXPECT_EQ(arena.degree(5), 1);
+  arena.close();
+  removeArena(path);
+}
+
+TEST(Arena, DropResidencyPreservesContentAndSpans) {
+  const std::string path = tempPath("evict");
+  removeArena(path);
+  CsrArena::build(path, 5, pathWithChord(), tinyPartitions());
+  CsrArena arena;
+  arena.open(path);
+  const ArenaRowRef row = arena.row(1);
+  const std::vector<NodeId> before(row.ids.begin(), row.ids.end());
+  arena.dropResidency(0);
+  // The mapping survives eviction: the same span refaults from the file.
+  EXPECT_EQ(std::vector<NodeId>(row.ids.begin(), row.ids.end()), before);
+  arena.close();
+  removeArena(path);
+}
+
+TEST(Arena, QuarantinePathConvention) {
+  EXPECT_EQ(arenaQuarantinePath("/x/y.arena"), "/x/y.arena.quarantine");
+}
+
+}  // namespace
+}  // namespace ncg

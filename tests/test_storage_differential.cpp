@@ -1,0 +1,185 @@
+// The out-of-core differential wall: greedy dynamics served from the
+// mmap arena (any pager budget) must be *bit-identical* — trajectories,
+// final network, final strategies, scenario metrics — to the same
+// dynamics on the in-RAM Graph/StrategyProfile twin. This is the
+// invariant that lets the large-scale family trade RSS for faults
+// without a determinism caveat.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/barabasi_albert.hpp"
+#include "runtime/scenario.hpp"
+#include "storage/paged_dynamics.hpp"
+#include "support/random.hpp"
+
+namespace ncg {
+namespace {
+
+std::string tempPath(const char* name) {
+  return ::testing::TempDir() + "ncg_storage_diff_" + name + ".arena";
+}
+
+void copyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  std::ofstream out(to, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+}
+
+BarabasiAlbertParams baParams(NodeId nodes) {
+  BarabasiAlbertParams p;
+  p.nodes = nodes;
+  p.attach = 2;
+  p.seed = 1234;
+  return p;
+}
+
+PagedDynamicsConfig dynamicsConfig(NodeId nodes, double alpha, Dist k,
+                                   std::uint64_t seed) {
+  PagedDynamicsConfig config;
+  config.params = GameParams::max(alpha, k);
+  Rng rng(seed);
+  while (config.active.size() < 32) {
+    const NodeId u = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(nodes)));
+    if (std::find(config.active.begin(), config.active.end(), u) !=
+        config.active.end()) {
+      continue;
+    }
+    config.active.push_back(u);
+  }
+  config.maxRounds = 3;
+  return config;
+}
+
+struct FinalState {
+  PagedDynamicsResult result;
+  Graph graph;
+  StrategyProfile profile;
+};
+
+FinalState runArenaBacked(const std::string& basePath,
+                          const PagedDynamicsConfig& config,
+                          std::uint64_t budget) {
+  const std::string scratch = basePath + ".scratch";
+  copyFile(basePath, scratch);
+  CsrArena arena;
+  arena.open(scratch);
+  ArenaDynamicsBackend backend(arena, budget);
+  const PagedDynamicsResult result = runPagedGreedyDynamics(backend, config);
+  backend.paged().dropAll();
+  FinalState state{result, materializeGraph(arena),
+                   materializeProfile(arena)};
+  arena.close();
+  std::remove(scratch.c_str());
+  return state;
+}
+
+FinalState runRamBacked(const std::string& basePath,
+                        const PagedDynamicsConfig& config) {
+  CsrArena arena;
+  arena.open(basePath);
+  RamDynamicsBackend backend(materializeGraph(arena),
+                             materializeProfile(arena));
+  arena.close();
+  const PagedDynamicsResult result = runPagedGreedyDynamics(backend, config);
+  return {result, backend.graph(), backend.strategy()};
+}
+
+void expectIdentical(const FinalState& a, const FinalState& b) {
+  EXPECT_EQ(a.result.outcome, b.result.outcome);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.totalMoves, b.result.totalMoves);
+  // Bit-level, not approximate: the sums accumulate in the same order.
+  EXPECT_EQ(a.result.activeCostSum, b.result.activeCostSum);
+  EXPECT_EQ(a.graph, b.graph);
+  ASSERT_EQ(a.profile.playerCount(), b.profile.playerCount());
+  for (NodeId u = 0; u < a.profile.playerCount(); ++u) {
+    EXPECT_EQ(a.profile.strategyOf(u), b.profile.strategyOf(u)) << "u=" << u;
+  }
+}
+
+TEST(StorageDifferential, ArenaMatchesRamAcrossParamSweep) {
+  const std::string base = tempPath("sweep");
+  std::remove(base.c_str());
+  buildBarabasiAlbertArena(base, baParams(300));
+
+  std::int64_t movesSeen = 0;
+  for (const double alpha : {1.0, 4.0}) {
+    for (const Dist k : {1, 2}) {
+      const PagedDynamicsConfig config =
+          dynamicsConfig(300, alpha, k, 0xD1FFULL + static_cast<Dist>(k));
+      const FinalState ram = runRamBacked(base, config);
+      const FinalState arena = runArenaBacked(base, config, /*budget=*/0);
+      expectIdentical(arena, ram);
+      movesSeen += ram.result.totalMoves;
+    }
+  }
+  // The sweep must actually exercise write-back, or the equality above
+  // proves nothing about the patch path.
+  EXPECT_GT(movesSeen, 0);
+  std::remove(base.c_str());
+}
+
+TEST(StorageDifferential, PagerBudgetNeverChangesTrajectories) {
+  const std::string base = tempPath("budget");
+  std::remove(base.c_str());
+  buildBarabasiAlbertArena(base, baParams(300));
+
+  std::int64_t movesSeen = 0;
+  for (const double alpha : {1.0, 4.0}) {
+    for (const Dist k : {1, 2}) {
+      const PagedDynamicsConfig config =
+          dynamicsConfig(300, alpha, k, 0xD1FFULL + static_cast<Dist>(k));
+      const FinalState unlimited = runArenaBacked(base, config, 0);
+      // A budget far below one partition still progresses (MRU
+      // exemption) and must land on the same fixed point.
+      const FinalState starved = runArenaBacked(base, config, 4096);
+      expectIdentical(starved, unlimited);
+      movesSeen += unlimited.result.totalMoves;
+    }
+  }
+  EXPECT_GT(movesSeen, 0);
+  std::remove(base.c_str());
+}
+
+/// The registered large-scale family, run as one in-process unit per
+/// backend: metrics must agree bit-for-bit between NCG_ARENA_BACKEND=
+/// paged and ram, and across pager budgets.
+TEST(StorageDifferential, LargeBaScenarioUnitMatchesAcrossBackends) {
+  const std::string dir = ::testing::TempDir() + "ncg_storage_diff_family";
+  ::setenv("NCG_ARENA_DIR", dir.c_str(), 1);
+
+  const runtime::Scenario* scenario =
+      runtime::findScenario("family_large_ba");
+  ASSERT_NE(scenario, nullptr);
+  const std::vector<runtime::ScenarioPoint> points = scenario->makePoints();
+  ASSERT_FALSE(points.empty());
+
+  const auto runUnit = [&](const runtime::ScenarioPoint& point) {
+    Rng rng(deriveSeed(point.baseSeed, 0));
+    return scenario->runTrialFn(point, 0, rng);
+  };
+
+  for (const runtime::ScenarioPoint& point : points) {
+    ::unsetenv("NCG_ARENA_BACKEND");
+    ::unsetenv("NCG_ARENA_BUDGET");
+    const std::vector<double> paged = runUnit(point);
+    ::setenv("NCG_ARENA_BUDGET", "262144", 1);
+    const std::vector<double> pagedTight = runUnit(point);
+    ::setenv("NCG_ARENA_BACKEND", "ram", 1);
+    const std::vector<double> ram = runUnit(point);
+    ::unsetenv("NCG_ARENA_BACKEND");
+    ::unsetenv("NCG_ARENA_BUDGET");
+    EXPECT_EQ(paged, pagedTight);
+    EXPECT_EQ(paged, ram);
+  }
+  ::unsetenv("NCG_ARENA_DIR");
+}
+
+}  // namespace
+}  // namespace ncg

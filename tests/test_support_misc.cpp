@@ -120,5 +120,38 @@ TEST(StringUtil, ParseIntegerStrictness) {
   EXPECT_FALSE(parseInteger("99999999999999999999").has_value());
 }
 
+TEST(StringUtil, ParseInteger64Strictness) {
+  EXPECT_EQ(parseInteger64("0"), 0);
+  EXPECT_EQ(parseInteger64("-42"), -42);
+  EXPECT_EQ(parseInteger64("+42"), 42);
+  // Beyond int, within 64 bits — the byte-budget range.
+  EXPECT_EQ(parseInteger64("4294967297"), 4294967297LL);
+  EXPECT_EQ(parseInteger64("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_EQ(parseInteger64("-9223372036854775808"),
+            -9223372036854775807LL - 1);
+  EXPECT_FALSE(parseInteger64("").has_value());
+  EXPECT_FALSE(parseInteger64("-").has_value());
+  EXPECT_FALSE(parseInteger64("8x").has_value());
+  EXPECT_FALSE(parseInteger64(" 8").has_value());
+  EXPECT_FALSE(parseInteger64("0x10").has_value());
+  EXPECT_FALSE(parseInteger64("9223372036854775808").has_value());
+  EXPECT_FALSE(parseInteger64("-9223372036854775809").has_value());
+  EXPECT_FALSE(parseInteger64("99999999999999999999").has_value());
+}
+
+TEST(StringUtil, EnvInt64Fallbacks) {
+  ::unsetenv("NCG_TEST_ENV_INT64");
+  EXPECT_EQ(envInt64("NCG_TEST_ENV_INT64", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT64", "8589934592", 1);  // 8 GiB
+  EXPECT_EQ(envInt64("NCG_TEST_ENV_INT64", 7), 8589934592LL);
+  ::setenv("NCG_TEST_ENV_INT64", "8x", 1);
+  EXPECT_EQ(envInt64("NCG_TEST_ENV_INT64", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT64", "-3", 1);
+  EXPECT_EQ(envInt64("NCG_TEST_ENV_INT64", 7), 7);
+  ::setenv("NCG_TEST_ENV_INT64", "0", 1);
+  EXPECT_EQ(envInt64("NCG_TEST_ENV_INT64", 7), 7);  // 0 = use fallback
+  ::unsetenv("NCG_TEST_ENV_INT64");
+}
+
 }  // namespace
 }  // namespace ncg
